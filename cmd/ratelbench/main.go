@@ -1,0 +1,67 @@
+// Command ratelbench regenerates the paper's tables and figures from the
+// calibrated simulator. Run with no arguments to list experiments, with
+// experiment ids (e.g. "fig5a") to run some, or with "all". The -out flag
+// additionally writes each experiment's output to <dir>/<id>.txt for
+// archiving (EXPERIMENTS.md provenance).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ratel/internal/experiments"
+)
+
+func main() {
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	flag.Parse()
+	args := flag.Args()
+
+	if len(args) < 1 {
+		fmt.Println("usage: ratelbench [-out dir] <experiment-id>...|all")
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = nil
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		if err := runOne(id, *outDir); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func runOne(id, outDir string) error {
+	var w io.Writer = os.Stdout
+	if outDir != "" {
+		f, err := os.Create(filepath.Join(outDir, id+".txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	return experiments.Run(id, w)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ratelbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command ratelplan prints Ratel's holistic traffic-aware activation swap
+// plan and the predicted iteration time for a (model, server, batch)
+// combination.
+//
+// Usage:
+//
+//	ratelplan -model 13B -batch 32 -gpu 4090 -mem 768 -ssds 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ratel/internal/capacity"
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/model"
+	"ratel/internal/plan"
+	"ratel/internal/sim"
+	"ratel/internal/strategy"
+	"ratel/internal/trace"
+	"ratel/internal/units"
+)
+
+func main() {
+	modelName := flag.String("model", "13B", "catalog model (6B..412B, DiT-*)")
+	batch := flag.Int("batch", 32, "batch size")
+	gpuName := flag.String("gpu", "4090", "GPU: 4090, 3090 or 4080")
+	memGiB := flag.Int("mem", 768, "main memory in GiB")
+	ssds := flag.Int("ssds", 12, "number of NVMe SSDs")
+	traceCSV := flag.String("trace", "", "write the simulated iteration timeline to this CSV file")
+	gantt := flag.Bool("gantt", false, "render a per-resource Gantt strip")
+	serverJSON := flag.String("server", "", "JSON server description (overrides -gpu/-mem/-ssds)")
+	flag.Parse()
+
+	cfg, err := model.ByName(*modelName)
+	if err != nil {
+		fail(err)
+	}
+	var srv hw.Server
+	if *serverJSON != "" {
+		if srv, err = hw.LoadServer(*serverJSON); err != nil {
+			fail(err)
+		}
+	} else {
+		gpu, err := pickGPU(*gpuName)
+		if err != nil {
+			fail(err)
+		}
+		srv = hw.EvalServer(gpu, units.Bytes(*memGiB)*units.GiB, *ssds)
+	}
+
+	if err := capacity.Check(strategy.Ratel, cfg, *batch, srv); err != nil {
+		fmt.Fprint(os.Stderr, capacity.Explain(strategy.Ratel, cfg, *batch, srv))
+		fail(fmt.Errorf("configuration infeasible: %w", err))
+	}
+	fmt.Print(capacity.Explain(strategy.Ratel, cfg, *batch, srv))
+	profile := capacity.PlannerProfile(strategy.Ratel, cfg, *batch, srv)
+	pl, err := plan.Optimize(profile)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("model %s (P=%.1fB), batch %d on %s, %.0f GiB, %d SSDs\n",
+		cfg.Name, float64(cfg.Params())/1e9, *batch, srv.GPU.Name, srv.MainMemory.GiBf(), srv.SSDCount)
+	fmt.Printf("activations: total %v, inter-block floor %v\n",
+		profile.Aall(), profile.AinterBlock())
+	fmt.Printf("plan (%v): swap %v (%d layers), %.0f%% of swapped bytes spill to SSD\n",
+		pl.Case, pl.AG2M, len(pl.Swapped), 100*pl.Alpha())
+	fmt.Printf("recomputation: %.0f TFLOP per iteration\n", pl.FLOPr.TFLOPf())
+	fmt.Printf("predicted: forward %.1f s, backward %.1f s, iteration %.1f s\n",
+		pl.Predicted.Tf, pl.Predicted.Tb, pl.Predicted.Titer)
+
+	rep, err := itersim.Simulate(strategy.Ratel, cfg, *batch, srv)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("simulated: iteration %.1f s, %.0f tokens/s, %.0f TFLOPS, GPU busy %.0f%%\n",
+		rep.Makespan, rep.TokensPerSec, rep.TFLOPS, 100*rep.GPUBusyFrac)
+
+	path := sim.CriticalPath(rep.Result)
+	fmt.Print("critical path by resource:")
+	shares := sim.ResourceShares(path)
+	for _, res := range []sim.ResourceID{sim.GPUCompute, sim.PCIeM2G, sim.PCIeG2M, sim.SSDBus, sim.CPUAdam} {
+		if shares[res] > 0.005 {
+			fmt.Printf("  %s %.0f%%", res, 100*shares[res])
+		}
+	}
+	fmt.Println()
+
+	if *gantt {
+		fmt.Print(trace.Gantt(rep.Result, 96))
+		fmt.Print(trace.FormatStageUtilization(rep.Result, trace.StageWindows{
+			ForwardEnd: rep.ForwardEnd, BackwardEnd: rep.BackwardEnd, End: rep.Makespan,
+		}))
+	}
+	if *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(rep.Result, f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("timeline written to %s (%d tasks)\n", *traceCSV, len(rep.Result.Spans))
+	}
+}
+
+func pickGPU(name string) (hw.GPU, error) {
+	switch name {
+	case "4090":
+		return hw.RTX4090, nil
+	case "3090":
+		return hw.RTX3090, nil
+	case "4080":
+		return hw.RTX4080, nil
+	}
+	return hw.GPU{}, fmt.Errorf("unknown GPU %q (want 4090, 3090 or 4080)", name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ratelplan:", err)
+	os.Exit(1)
+}

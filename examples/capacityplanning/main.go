@@ -1,0 +1,58 @@
+// Capacity planning: given a target model, find the cheapest commodity
+// server that can fine-tune it, and compare what each training system could
+// do with the same machine — the workflow behind the paper's Figs. 2a/6/8.
+package main
+
+import (
+	"fmt"
+
+	"ratel"
+)
+
+func main() {
+	target := "175B"
+	fmt.Printf("planning a server to fine-tune the %s model\n\n", target)
+
+	// Sweep main-memory sizes and GPUs the way Fig. 6 does.
+	gpus := []ratel.GPU{ratel.RTX4080, ratel.RTX3090, ratel.RTX4090}
+	mems := []ratel.Bytes{128 * ratel.GiB, 256 * ratel.GiB, 512 * ratel.GiB, 768 * ratel.GiB}
+
+	fmt.Println("smallest feasible configurations (Ratel):")
+	for _, gpu := range gpus {
+		for _, mem := range mems {
+			srv := ratel.EvalServer(gpu, mem, 12)
+			cfg, ok, err := ratel.MaxTrainable("Ratel", srv, 1)
+			if err != nil {
+				panic(err)
+			}
+			if ok && cfg.Name == target {
+				fmt.Printf("  %-28s + %3.0f GiB -> trains %s ($%.0f with 12 SSDs)\n",
+					gpu.Name, mem.GiBf(), target, srv.PriceUSD())
+				break
+			}
+		}
+	}
+
+	// What can the baselines do with the best of those machines?
+	srv := ratel.EvalServer(ratel.RTX4090, 768*ratel.GiB, 12)
+	fmt.Printf("\nmax trainable model on the full evaluation server (768 GiB, 12 SSDs):\n")
+	for _, sys := range []string{"FlashNeuron", "Colossal-AI", "ZeRO-Offload", "ZeRO-Infinity", "Ratel"} {
+		cfg, ok, err := ratel.MaxTrainable(sys, srv, 1)
+		if err != nil {
+			panic(err)
+		}
+		name := "-"
+		if ok {
+			name = cfg.Name
+		}
+		fmt.Printf("  %-14s %s\n", sys, name)
+	}
+
+	// And the predicted speed of fine-tuning the target on that server.
+	rep, err := ratel.Predict("Ratel", target, 16, srv)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\npredicted %s fine-tuning at batch 16: %.1f s/iter, %.0f tokens/s, %.0f TFLOPS\n",
+		target, rep.Makespan, rep.TokensPerSec, rep.TFLOPS)
+}

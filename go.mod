@@ -1,0 +1,3 @@
+module ratel
+
+go 1.22

@@ -1,0 +1,236 @@
+package agoffload
+
+import (
+	"math"
+	"testing"
+
+	"ratel/internal/sim"
+	"ratel/internal/units"
+)
+
+// backwardWithGrads builds a synthetic backward stage: n GPU compute tasks
+// in a chain, each followed by a gradient G2M transfer. Returns the tasks,
+// the arrival IDs, and the next free task ID.
+func backwardWithGrads(n int, compute, xfer units.Seconds) ([]sim.Task, []int, int) {
+	var tasks []sim.Task
+	arrivals := make([]int, n)
+	id := 0
+	prev := -1
+	for i := 0; i < n; i++ {
+		c := sim.Task{ID: id, Label: "bwd", Resource: sim.GPUCompute, Duration: compute}
+		if prev >= 0 {
+			c.Deps = []int{prev}
+		}
+		id++
+		g := sim.Task{ID: id, Label: "grad", Resource: sim.PCIeG2M, Duration: xfer, Deps: []int{c.ID}}
+		id++
+		tasks = append(tasks, c, g)
+		arrivals[i] = g.ID
+		prev = c.ID
+	}
+	return tasks, arrivals, id
+}
+
+func rates() Rates {
+	return Rates{BWS2M: units.GBps(32), BWM2S: units.GBps(32), AdamParamsPerSec: 1.1e9}
+}
+
+func runMode(t *testing.T, mode Mode) units.Seconds {
+	t.Helper()
+	tasks, arrivals, next := backwardWithGrads(8, 2, 0.3)
+	labels := make([]string, 8)
+	params := make([]int64, 8)
+	for i := range labels {
+		labels[i] = "blk"
+		params[i] = 1.6e9 // 8 chunks of a ~13B model
+	}
+	chunks, err := ChunksForBlocks(labels, params, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, finals, err := Schedule(mode, chunks, next, rates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 8 {
+		t.Fatalf("finals = %d, want 8", len(finals))
+	}
+	res, err := sim.Run(append(tasks, opt...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Makespan
+}
+
+// TestModeOrdering reproduces the Fig. 7 effect: optimized < naive <
+// serialized iteration time.
+func TestModeOrdering(t *testing.T) {
+	ser := runMode(t, Serialized)
+	nai := runMode(t, Naive)
+	opt := runMode(t, Optimized)
+	if !(opt < nai && nai < ser) {
+		t.Errorf("want optimized < naive < serialized, got %.2f, %.2f, %.2f",
+			opt, nai, ser)
+	}
+}
+
+// TestSerializedWaitsForBackward checks that in Serialized mode no optimizer
+// task starts before the last gradient arrives.
+func TestSerializedWaitsForBackward(t *testing.T) {
+	tasks, arrivals, next := backwardWithGrads(4, 1, 0.2)
+	chunks, err := ChunksForBlocks([]string{"a", "b", "c", "d"}, []int64{1e9, 1e9, 1e9, 1e9}, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, _, err := Schedule(Serialized, chunks, next, rates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(append(tasks, opt...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastArrival := units.Seconds(0)
+	for _, id := range arrivals {
+		if e := res.Spans[id].End; e > lastArrival {
+			lastArrival = e
+		}
+	}
+	for _, o := range opt {
+		if s := res.Spans[o.ID].Start; s < lastArrival {
+			t.Errorf("serialized optimizer task %s started at %v before backward ended at %v",
+				o.Label, s, lastArrival)
+		}
+	}
+}
+
+// TestNaiveSerializesHandlerSteps checks the Fig. 3a chain: chunk i+1's
+// state read never starts before chunk i's write-back finished.
+func TestNaiveSerializesHandlerSteps(t *testing.T) {
+	tasks, arrivals, next := backwardWithGrads(4, 0.1, 0.05) // gradients arrive fast
+	chunks, _ := ChunksForBlocks([]string{"a", "b", "c", "d"}, []int64{2e9, 2e9, 2e9, 2e9}, arrivals)
+	opt, _, _, err := Schedule(Naive, chunks, next, rates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(append(tasks, opt...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevWriteEnd units.Seconds
+	for i := 0; i < len(opt); i += 3 {
+		read, write := opt[i], opt[i+2]
+		if s := res.Spans[read.ID].Start; i > 0 && s+1e-9 < prevWriteEnd {
+			t.Errorf("naive: read %d started at %v before previous write ended at %v", i/3, s, prevWriteEnd)
+		}
+		prevWriteEnd = res.Spans[write.ID].End
+	}
+}
+
+// TestOptimizedOverlapsCPUAndSSD checks the Fig. 3b property: total CPU busy
+// time and SSD busy time overlap, i.e. the optimizer tail beyond backward is
+// close to max(cpu, ssd) rather than their sum.
+func TestOptimizedOverlapsCPUAndSSD(t *testing.T) {
+	tasks, arrivals, next := backwardWithGrads(8, 0.1, 0.05)
+	labels := make([]string, 8)
+	params := make([]int64, 8)
+	for i := range labels {
+		labels[i], params[i] = "blk", 2e9
+	}
+	chunks, _ := ChunksForBlocks(labels, params, arrivals)
+	opt, _, _, err := Schedule(Optimized, chunks, next, rates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(append(tasks, opt...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := res.Busy[sim.CPUAdam]
+	ssd := res.Busy[sim.SSDBus]
+	longest := cpu
+	if ssd > longest {
+		longest = ssd
+	}
+	// Pipelined: makespan is within 25% of the busiest resource, far from
+	// the serial sum.
+	if float64(res.Makespan) > 1.25*float64(longest) {
+		t.Errorf("optimized makespan %.2f s not pipelined (cpu %.2f, ssd %.2f)",
+			res.Makespan, cpu, ssd)
+	}
+}
+
+// TestNoStreamingMode covers ZeRO-Offload-style handlers: states resident in
+// main memory, handler is CPU-only.
+func TestNoStreamingMode(t *testing.T) {
+	tasks, arrivals, next := backwardWithGrads(3, 0.5, 0.1)
+	chunks, _ := ChunksForBlocks([]string{"a", "b", "c"}, []int64{1e9, 1e9, 1e9}, arrivals)
+	opt, _, finals, err := Schedule(Optimized, chunks, next, Rates{AdamParamsPerSec: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range opt {
+		if task.Resource == sim.SSDBus {
+			t.Fatal("no-streaming mode emitted SSD tasks")
+		}
+	}
+	if len(finals) != 3 {
+		t.Errorf("finals = %d, want 3 (the CPU updates)", len(finals))
+	}
+	res, err := sim.Run(append(tasks, opt...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU total = 3 s; backward = 1.8 s; overlap means makespan < 1.8+3.
+	if float64(res.Makespan) >= 4.8-1e-9 {
+		t.Errorf("makespan %.2f s shows no overlap", res.Makespan)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, _, _, err := Schedule(Optimized, []Chunk{{Label: "x", Params: 0}}, 0, rates()); err == nil {
+		t.Error("zero-param chunk accepted")
+	}
+	if _, _, _, err := Schedule(Optimized, nil, 0, Rates{}); err == nil {
+		t.Error("zero Adam rate accepted")
+	}
+	if _, err := ChunksForBlocks([]string{"a"}, nil, nil); err == nil {
+		t.Error("mismatched chunk inputs accepted")
+	}
+}
+
+// TestAdamTimeAccounting: total CPU busy equals params/rate regardless of
+// mode.
+func TestAdamTimeAccounting(t *testing.T) {
+	for _, mode := range []Mode{Serialized, Naive, Optimized} {
+		tasks, arrivals, next := backwardWithGrads(5, 1, 0.1)
+		labels := make([]string, 5)
+		params := make([]int64, 5)
+		var total float64
+		for i := range labels {
+			labels[i], params[i] = "blk", int64(1e9*(1+float64(i)))
+			total += float64(params[i])
+		}
+		chunks, _ := ChunksForBlocks(labels, params, arrivals)
+		opt, _, _, err := Schedule(mode, chunks, next, rates())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(append(tasks, opt...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := total / 1.1e9
+		if got := float64(res.Busy[sim.CPUAdam]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: CPU busy = %.3f s, want %.3f s", mode, got, want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Serialized, Naive, Optimized} {
+		if m.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+}

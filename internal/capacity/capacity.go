@@ -1,0 +1,281 @@
+// Package capacity decides whether a (policy, model, batch, server)
+// combination fits in the machine, and searches for the maximum trainable
+// model size and batch size. It implements the memory model behind the
+// paper's Figs. 2a, 6 and 8 and Table V.
+//
+// Each policy's requirements decompose into three budgets:
+//
+//	GPU    — resident model states (if any) + parameter pipeline buffers +
+//	         gradient bucket + activation working set + reserved overhead,
+//	         within (1 - workspace-fraction) of device memory.
+//	Host   — resident model states (if any) + pinned staging pools +
+//	         host-held activations.
+//	SSD    — model states (if offloaded) + spilled activations.
+//
+// Calibration anchors (DESIGN.md §3): FlashNeuron tops out near 1.5B on a
+// 24 GB GPU; ZeRO-Infinity reaches 135B with 768 GiB; Ratel reaches 135B
+// with 128 GiB, 276B with 256 GiB, and is GPU-bound below 412B; the 276B
+// model does not fit a 16 GB RTX 4080, the 175B model does.
+package capacity
+
+import (
+	"fmt"
+
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/plan"
+	"ratel/internal/strategy"
+	"ratel/internal/units"
+)
+
+// Requirements is the per-budget footprint of a configuration.
+type Requirements struct {
+	GPU  units.Bytes
+	Host units.Bytes
+	SSD  units.Bytes
+}
+
+// zeroInfinityHostBytesPerParam models DeepSpeed's pinned fp32 gradient
+// staging and bounce pools (~6 bytes/param), which cap ZeRO-Infinity at
+// ~135B under 768 GiB (Fig. 6a).
+const zeroInfinityHostBytesPerParam = 6
+
+// hostStateBytesPerParam is the resident footprint of host-homed model
+// states (P32 + OS32 + G16: 14 bytes/param; the P16 working copy streams).
+const hostStateBytesPerParam = 14
+
+// checkmateSolverOverhead is the host memory Checkmate's MILP solver pins
+// for the activation graph and solver state (see hostActBytes).
+const checkmateSolverOverhead = 70 * units.GiB
+
+// Compute derives the budgets a configuration needs.
+func Compute(p strategy.Policy, cfg model.Config, batch int, srv hw.Server) Requirements {
+	params := cfg.Params()
+	if p.TensorParallel && srv.GPUCount > 1 {
+		params = params / int64(srv.GPUCount)
+	}
+	var r Requirements
+
+	// --- GPU budget ---
+	largest := cfg.LargestLayerParamBytesFP16()
+	pipeline := units.Bytes(float64(largest) * (hw.GPUPipelineDepth + hw.GPUGradBucketFraction))
+	switch p.States {
+	case strategy.StatesGPU:
+		r.GPU = model.ModelStateBytes(params)
+	default:
+		r.GPU = pipeline
+	}
+	switch p.Act {
+	case strategy.ActAllOnGPU:
+		if p.TensorParallel && srv.GPUCount > 1 {
+			// Megatron with sequence parallelism and selective
+			// recomputation keeps only the sharded boundary activations
+			// plus a working block resident.
+			r.GPU += (cfg.AinterBlock(batch) + cfg.ResidentActWorkingSet(batch)) / units.Bytes(srv.GPUCount)
+		} else {
+			r.GPU += cfg.Aall(batch)
+		}
+	case strategy.ActKeepGPU:
+		r.GPU += cfg.AinterBlock(batch) + cfg.ResidentActWorkingSet(batch)
+	case strategy.ActInterBlockHost, strategy.ActCapuchin, strategy.ActCheckmate:
+		// Recomputation-based systems hold a block's activations while
+		// recomputing.
+		r.GPU += cfg.ResidentActWorkingSet(batch)
+	default:
+		r.GPU += cfg.GPUActWorkingSet(batch)
+	}
+	r.GPU += hw.GPUReservedBytes
+
+	// --- Host budget ---
+	switch p.States {
+	case strategy.StatesHost:
+		r.Host = units.Bytes(hostStateBytesPerParam * params)
+	case strategy.StatesSSD:
+		if isRatelFamily(p) {
+			r.Host = units.Bytes(hw.RatelHostBytesPerParam * float64(params))
+		} else {
+			// ZeRO-Infinity-style pinned staging.
+			r.Host = units.Bytes(zeroInfinityHostBytesPerParam * params)
+		}
+	}
+	r.Host += hw.RatelHostBaseBytes
+	r.Host += hostActBytes(p, cfg, batch, srv)
+
+	// --- SSD budget ---
+	if p.States == strategy.StatesSSD {
+		r.SSD += model.ModelStateBytes(params)
+	}
+	switch p.Act {
+	case strategy.ActAllToSSD, strategy.ActAllToSSDNoStates:
+		r.SSD += cfg.Aall(batch)
+	case strategy.ActPlanner:
+		// Worst case: everything the planner may spill.
+		r.SSD += cfg.Aall(batch)
+	}
+	return r
+}
+
+// hostActBytes is the activation footprint a policy pins in main memory.
+func hostActBytes(p strategy.Policy, cfg model.Config, batch int, srv hw.Server) units.Bytes {
+	switch p.Act {
+	case strategy.ActInterBlockHost:
+		return cfg.AinterBlock(batch)
+	case strategy.ActPlannerHostOnly:
+		// The host-only planner needs at least the inter-block floor in
+		// main memory; anything beyond that it can trade for recomputation.
+		return cfg.AinterBlock(batch)
+	case strategy.ActCapuchin:
+		return capuchinSwapBytes(cfg, batch, srv)
+	case strategy.ActCheckmate:
+		// Checkmate adapts its swap set to the memory budget, but its MILP
+		// solver materializes the activation graph and solver state in host
+		// memory — a large flat overhead that makes it fail outright on the
+		// 128 GiB configuration of Table V while Capuchin survives.
+		return cfg.AinterBlock(batch) + checkmateSolverOverhead
+	case strategy.ActAllToSSD, strategy.ActAllToSSDNoStates, strategy.ActPlanner:
+		// Pass-through staging only (already in the base bytes).
+		return 0
+	default:
+		return 0
+	}
+}
+
+// capuchinSwapBytes is Capuchin's swap set: layers whose recomputation time
+// exceeds their GPU<->host transfer time (it ignores SSD and model-state
+// traffic, §IV-D), i.e. OB > THP_G / BW_G.
+func capuchinSwapBytes(cfg model.Config, batch int, srv hw.Server) units.Bytes {
+	threshold := float64(srv.GPU.PeakFP16) / float64(srv.Link.GPUPerDirection)
+	var swap units.Bytes
+	for _, l := range cfg.LayerProfiles(batch) {
+		if l.Boundary || l.OffloadingBenefit() > threshold {
+			swap += l.ActBytes
+		}
+	}
+	return swap
+}
+
+// Check reports nil when the configuration fits, or an error naming the
+// binding resource.
+func Check(p strategy.Policy, cfg model.Config, batch int, srv hw.Server) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := srv.Validate(); err != nil {
+		return err
+	}
+	if batch < 1 {
+		return fmt.Errorf("capacity: batch %d", batch)
+	}
+	if p.RequiresGPUDirect && !srv.GPU.HasGPUDirect && !p.AssumeGPUDirect {
+		return fmt.Errorf("capacity: %s requires GPUDirect, which %s lacks (§III-C)", p.Name, srv.GPU.Name)
+	}
+	r := Compute(p, cfg, batch, srv)
+	gpuBudget := units.Bytes(float64(srv.GPU.Memory) * (1 - hw.GPUWorkspaceFraction))
+	if r.GPU > gpuBudget {
+		return fmt.Errorf("capacity: %s/%s batch %d needs %v GPU memory, budget %v on %s",
+			p.Name, cfg.Name, batch, r.GPU, gpuBudget, srv.GPU.Name)
+	}
+	if r.Host > srv.MainMemory {
+		return fmt.Errorf("capacity: %s/%s batch %d needs %v main memory, have %v",
+			p.Name, cfg.Name, batch, r.Host, srv.MainMemory)
+	}
+	if cap := srv.SSDCapacity(); r.SSD > cap {
+		return fmt.Errorf("capacity: %s/%s batch %d needs %v SSD capacity, have %v",
+			p.Name, cfg.Name, batch, r.SSD, cap)
+	}
+	return nil
+}
+
+// Explain renders the configuration's per-budget requirements against the
+// server's capacities, for diagnostics and the ratelplan CLI.
+func Explain(p strategy.Policy, cfg model.Config, batch int, srv hw.Server) string {
+	r := Compute(p, cfg, batch, srv)
+	gpuBudget := units.Bytes(float64(srv.GPU.Memory) * (1 - hw.GPUWorkspaceFraction))
+	verdict := func(need, have units.Bytes) string {
+		if need <= have {
+			return "ok"
+		}
+		return "EXCEEDED"
+	}
+	return fmt.Sprintf(
+		"%s fine-tuning %s at batch %d:\n"+
+			"  GPU  need %v of %v budget (%s)\n"+
+			"  host need %v of %v (%s)\n"+
+			"  SSD  need %v of %v (%s)\n",
+		p.Name, cfg.Name, batch,
+		r.GPU, gpuBudget, verdict(r.GPU, gpuBudget),
+		r.Host, srv.MainMemory, verdict(r.Host, srv.MainMemory),
+		r.SSD, srv.SSDCapacity(), verdict(r.SSD, srv.SSDCapacity()))
+}
+
+// MaxModel returns the largest candidate (by parameter count) the policy
+// can train, and false when none fits.
+func MaxModel(p strategy.Policy, srv hw.Server, batch int, candidates []model.Config) (model.Config, bool) {
+	var best model.Config
+	found := false
+	for _, c := range candidates {
+		if Check(p, c, batch, srv) != nil {
+			continue
+		}
+		if !found || c.Params() > best.Params() {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MaxBatch returns the largest batch in the grid the policy can train the
+// model at, and false when none fits.
+func MaxBatch(p strategy.Policy, cfg model.Config, srv hw.Server, grid []int) (int, bool) {
+	best, found := 0, false
+	for _, b := range grid {
+		if Check(p, cfg, b, srv) != nil {
+			continue
+		}
+		if b > best {
+			best = b
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MemAvailForActivations is MEMavail_M (§IV-B): the main memory left for
+// activations after the policy's fixed footprint, used to parameterize the
+// planner.
+func MemAvailForActivations(p strategy.Policy, cfg model.Config, srv hw.Server) units.Bytes {
+	r := Compute(p, cfg, 1, srv)
+	fixed := r.Host - hostActBytes(p, cfg, 1, srv)
+	avail := srv.MainMemory - fixed
+	if avail < 0 {
+		avail = 0
+	}
+	return avail
+}
+
+// PlannerProfile assembles the plan.Profile for a policy on a server,
+// applying the policy's efficiency deratings.
+func PlannerProfile(p strategy.Policy, cfg model.Config, batch int, srv hw.Server) plan.Profile {
+	pr := plan.FromModel(cfg, srv, batch, MemAvailForActivations(p, cfg, srv))
+	pr.THPG = units.FLOPsPerSecond(float64(pr.THPG) * p.ComputeEff)
+	pr.BWG = units.BytesPerSecond(float64(pr.BWG) * p.LinkEff)
+	pr.BWS2M = units.BytesPerSecond(float64(pr.BWS2M) * p.SSDEff)
+	pr.BWM2S = units.BytesPerSecond(float64(pr.BWM2S) * p.SSDEff)
+	return pr
+}
+
+func isRatelFamily(p strategy.Policy) bool {
+	switch p.Act {
+	case strategy.ActPlanner, strategy.ActPlannerHostOnly:
+		return true
+	}
+	switch p.Name {
+	case "Ratel+DS", "Ratel+Cap", "Ratel+G10", "Ratel+CM":
+		return true
+	}
+	return false
+}

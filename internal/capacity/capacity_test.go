@@ -1,0 +1,302 @@
+package capacity
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/strategy"
+	"ratel/internal/units"
+)
+
+func candidates() []model.Config {
+	return append(append([]model.Config{}, model.SmallLMs...), model.TableIV...)
+}
+
+func srv4090(memGiB units.Bytes) hw.Server {
+	return hw.EvalServer(hw.RTX4090, memGiB*units.GiB, 12)
+}
+
+func maxName(t *testing.T, p strategy.Policy, srv hw.Server, batch int) string {
+	t.Helper()
+	c, ok := MaxModel(p, srv, batch, candidates())
+	if !ok {
+		return "-"
+	}
+	return c.Name
+}
+
+// TestFig6aHeadlines checks the paper's headline capacities on the RTX 4090
+// (Fig. 6a, §I, §V-B).
+func TestFig6aHeadlines(t *testing.T) {
+	cases := []struct {
+		pol  strategy.Policy
+		mem  units.Bytes
+		want string
+	}{
+		{strategy.Ratel, 768, "276B"},        // "fine-tuning of a 276B model under 768 GB"
+		{strategy.Ratel, 256, "276B"},        // Fig. 8b top end
+		{strategy.Ratel, 128, "135B"},        // Fig. 8a top end
+		{strategy.ZeROInfinity, 768, "135B"}, // "2.04x larger than ZeRO-Infinity"
+		{strategy.FlashNeuron, 768, "1.3B"},  // "FlashNeuron can only fine-tune a 1.55B model"
+	}
+	for _, c := range cases {
+		if got := maxName(t, c.pol, srv4090(c.mem), 1); got != c.want {
+			t.Errorf("%s @ %d GiB: max model = %s, want %s", c.pol.Name, c.mem, got, c.want)
+		}
+	}
+}
+
+// TestFig6b4080 checks the abstract's claim: Ratel trains the 175B model on
+// an RTX 4080 with 256 GiB main memory, and the 276B model does not fit.
+func TestFig6b4080(t *testing.T) {
+	srv := hw.EvalServer(hw.RTX4080, 256*units.GiB, 12)
+	if got := maxName(t, strategy.Ratel, srv, 1); got != "175B" {
+		t.Errorf("Ratel on 4080/256GiB: max model = %s, want 175B", got)
+	}
+	if err := Check(strategy.Ratel, model.MustByName("276B"), 1, srv); err == nil {
+		t.Error("276B should not fit a 16 GB RTX 4080")
+	}
+}
+
+// Test412BIsGPUBound: the 412B model fails on the 4090 even with maximal
+// main memory — the per-layer pipeline working set exceeds device memory
+// (why Fig. 6a tops out at 276B).
+func Test412BIsGPUBound(t *testing.T) {
+	err := Check(strategy.Ratel, model.MustByName("412B"), 1, srv4090(768))
+	if err == nil {
+		t.Fatal("412B should fail on a 24 GB GPU")
+	}
+	if !strings.Contains(err.Error(), "GPU") {
+		t.Errorf("412B failure should name the GPU, got: %v", err)
+	}
+}
+
+// TestOrderingAcrossSystems: for every memory size, Ratel >= ZeRO-Infinity
+// >= ZeRO-Offload and Colossal-AI >= FlashNeuron in max trainable params
+// (the Fig. 2a / Fig. 6 ordering).
+func TestOrderingAcrossSystems(t *testing.T) {
+	for _, mem := range []units.Bytes{128, 256, 384, 512, 640, 768} {
+		srv := srv4090(mem)
+		get := func(p strategy.Policy) int64 {
+			c, ok := MaxModel(p, srv, 1, candidates())
+			if !ok {
+				return 0
+			}
+			return c.Params()
+		}
+		ratel, zi, zo, col, fn := get(strategy.Ratel), get(strategy.ZeROInfinity),
+			get(strategy.ZeROOffload), get(strategy.ColossalAI), get(strategy.FlashNeuron)
+		if !(ratel >= zi && zi >= zo && col >= fn) {
+			t.Errorf("mem %d GiB: ordering violated: Ratel %d, ZI %d, ZO %d, Col %d, FN %d",
+				mem, ratel, zi, zo, col, fn)
+		}
+	}
+}
+
+// TestFig8CpuActGap: swapping activations to SSD enlarges the trainable
+// model 2x-5x with 128 GiB main memory (Fig. 8a).
+func TestFig8CpuActGap(t *testing.T) {
+	srv := srv4090(128)
+	for _, b := range []int{12, 24, 36, 60} {
+		full, ok1 := MaxModel(strategy.Ratel, srv, b, candidates())
+		host, ok2 := MaxModel(strategy.RatelCpuAct, srv, b, candidates())
+		if !ok1 || !ok2 {
+			t.Fatalf("batch %d: no feasible model (ratel %v, cpuact %v)", b, ok1, ok2)
+		}
+		ratio := float64(full.Params()) / float64(host.Params())
+		if ratio < 1.5 || ratio > 6 {
+			t.Errorf("batch %d: Ratel/CpuAct size ratio = %.1fx (%s vs %s), want 2x-5x",
+				b, ratio, full.Name, host.Name)
+		}
+	}
+}
+
+// TestFig8LargeBatchConverges: with 256 GiB and batch 60 the two variants'
+// maxima come close (the paper observes them equal), because the GPU
+// working set, not main memory, binds.
+func TestFig8LargeBatchConverges(t *testing.T) {
+	srv := srv4090(256)
+	full, _ := MaxModel(strategy.Ratel, srv, 60, candidates())
+	host, _ := MaxModel(strategy.RatelCpuAct, srv, 60, candidates())
+	ratio := float64(full.Params()) / float64(host.Params())
+	if ratio > 1.5 {
+		t.Errorf("256 GiB / batch 60: ratio %.2fx (%s vs %s), want close to 1x",
+			ratio, full.Name, host.Name)
+	}
+}
+
+func TestGPUDirectGate(t *testing.T) {
+	g10 := strategy.G10
+	g10.AssumeGPUDirect = false
+	if err := Check(g10, model.MustByName("13B"), 1, srv4090(768)); err == nil {
+		t.Error("G10 without GPUDirect should fail on a consumer GPU")
+	}
+	// With the paper's simulation assumption it runs.
+	if err := Check(strategy.G10, model.MustByName("13B"), 1, srv4090(768)); err != nil {
+		t.Errorf("G10 with assumed GPUDirect: %v", err)
+	}
+	// And on an A100 (which has GPUDirect) it runs regardless.
+	a100 := hw.EvalServer(hw.A100_80G, 768*units.GiB, 12)
+	if err := Check(g10, model.MustByName("13B"), 1, a100); err != nil {
+		t.Errorf("G10 on A100: %v", err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	srv := srv4090(768)
+	cfg := model.MustByName("13B")
+	if err := Check(strategy.Ratel, cfg, 0, srv); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	bad := srv
+	bad.GPUCount = 0
+	if err := Check(strategy.Ratel, cfg, 1, bad); err == nil {
+		t.Error("invalid server accepted")
+	}
+	if err := Check(strategy.Policy{}, cfg, 1, srv); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestSSDCapacityBinds(t *testing.T) {
+	// One SSD (3.84 TB) cannot hold the 276B model's 4.4 TB of states.
+	srv := srv4090(768).WithSSDs(1)
+	err := Check(strategy.Ratel, model.MustByName("276B"), 1, srv)
+	if err == nil || !strings.Contains(err.Error(), "SSD") {
+		t.Errorf("276B on 1 SSD = %v, want SSD capacity error", err)
+	}
+	// Twelve SSDs hold it easily.
+	if err := Check(strategy.Ratel, model.MustByName("276B"), 1, srv4090(768)); err != nil {
+		t.Errorf("276B on 12 SSDs: %v", err)
+	}
+}
+
+func TestMaxBatch(t *testing.T) {
+	grid := []int{8, 16, 24, 32, 48, 64}
+	b, ok := MaxBatch(strategy.Ratel, model.MustByName("70B"), srv4090(512), grid)
+	if !ok {
+		t.Fatal("no feasible batch for 70B")
+	}
+	if b < 32 {
+		t.Errorf("Ratel 70B max batch = %d, want >= 32 (Table V)", b)
+	}
+	// An infeasible combination reports not-found.
+	if _, ok := MaxBatch(strategy.FlashNeuron, model.MustByName("70B"), srv4090(512), grid); ok {
+		t.Error("FlashNeuron should not train 70B at any batch")
+	}
+}
+
+func TestMemAvailForActivations(t *testing.T) {
+	cfg := model.MustByName("13B")
+	avail := MemAvailForActivations(strategy.Ratel, cfg, srv4090(256))
+	if avail <= 0 || avail >= 256*units.GiB {
+		t.Errorf("MemAvail = %v, want in (0, 256 GiB)", avail)
+	}
+	// A model whose staging exceeds memory leaves nothing.
+	huge := model.MustByName("412B")
+	if got := MemAvailForActivations(strategy.Ratel, huge, srv4090(128)); got != 0 {
+		t.Errorf("MemAvail for oversized staging = %v, want 0", got)
+	}
+}
+
+func TestPlannerProfileAppliesDeratings(t *testing.T) {
+	cfg := model.MustByName("13B")
+	srv := srv4090(768)
+	full := PlannerProfile(strategy.Ratel, cfg, 32, srv)
+	derated := PlannerProfile(strategy.ZeROInfinity, cfg, 32, srv)
+	if derated.BWG >= full.BWG {
+		t.Error("ZeRO-Infinity link derating not applied")
+	}
+	if derated.BWS2M >= full.BWS2M {
+		t.Error("ZeRO-Infinity SSD derating not applied")
+	}
+}
+
+func TestRequirementsScaleWithBatch(t *testing.T) {
+	cfg := model.MustByName("13B")
+	srv := srv4090(768)
+	small := Compute(strategy.ZeROInfinity, cfg, 8, srv)
+	large := Compute(strategy.ZeROInfinity, cfg, 64, srv)
+	if large.Host <= small.Host {
+		t.Error("host activation requirement should grow with batch")
+	}
+	if large.GPU <= small.GPU {
+		t.Error("GPU working set should grow with batch")
+	}
+}
+
+func TestTensorParallelShardsStates(t *testing.T) {
+	cfg := model.MustByName("30B")
+	dgx := hw.DGXA100()
+	if err := Check(strategy.Megatron, cfg, 8, dgx); err != nil {
+		t.Errorf("Megatron 30B on DGX-A100: %v (the paper fine-tunes it)", err)
+	}
+	// The 175B model exceeds even 8x80 GB without offloading.
+	if err := Check(strategy.Megatron, model.MustByName("175B"), 8, dgx); err == nil {
+		t.Error("Megatron 175B on DGX should not fit (motivates Fig. 13)")
+	}
+}
+
+// TestMaxModelMonotoneInMemory: adding main memory never shrinks any
+// system's maximum trainable model (fuzzed over systems and memory pairs).
+func TestMaxModelMonotoneInMemory(t *testing.T) {
+	pols := []strategy.Policy{strategy.Ratel, strategy.RatelCpuAct,
+		strategy.ZeROInfinity, strategy.ZeROOffload, strategy.ColossalAI, strategy.FlashNeuron}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := pols[rng.Intn(len(pols))]
+		m1 := units.Bytes(64+rng.Intn(700)) * units.GiB
+		m2 := m1 + units.Bytes(1+rng.Intn(300))*units.GiB
+		batch := 1 << rng.Intn(6)
+		size := func(mem units.Bytes) int64 {
+			c, ok := MaxModel(p, hw.EvalServer(hw.RTX4090, mem, 12), batch, candidates())
+			if !ok {
+				return 0
+			}
+			return c.Params()
+		}
+		return size(m2) >= size(m1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxModelMonotoneInBatch: a larger batch never enlarges the maximum
+// trainable model.
+func TestMaxModelMonotoneInBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b1 := 1 + rng.Intn(32)
+		b2 := b1 + 1 + rng.Intn(64)
+		srv := hw.EvalServer(hw.RTX4090, units.Bytes(128+rng.Intn(640))*units.GiB, 12)
+		size := func(b int) int64 {
+			c, ok := MaxModel(strategy.Ratel, srv, b, candidates())
+			if !ok {
+				return 0
+			}
+			return c.Params()
+		}
+		return size(b2) <= size(b1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	out := Explain(strategy.Ratel, model.MustByName("13B"), 32, srv4090(768))
+	for _, want := range []string{"GPU", "host", "SSD", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	over := Explain(strategy.Ratel, model.MustByName("412B"), 1, srv4090(768))
+	if !strings.Contains(over, "EXCEEDED") {
+		t.Errorf("Explain for infeasible config missing EXCEEDED:\n%s", over)
+	}
+}

@@ -1,0 +1,71 @@
+// Package cost implements the cost-effectiveness comparison of §V-I: token
+// throughput per thousand dollars of server price (Fig. 13), using the
+// component prices of Table VII.
+package cost
+
+import (
+	"fmt"
+
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/model"
+	"ratel/internal/strategy"
+)
+
+// Point is one cost-effectiveness measurement.
+type Point struct {
+	Label        string
+	SSDs         int
+	PriceUSD     float64
+	TokensPerSec float64
+	// TokensPerSecPer1kUSD is the Fig. 13 metric.
+	TokensPerSecPer1kUSD float64
+}
+
+func point(label string, srv hw.Server, rep itersim.Report) Point {
+	price := srv.PriceUSD()
+	return Point{
+		Label:                label,
+		SSDs:                 srv.SSDCount,
+		PriceUSD:             price,
+		TokensPerSec:         rep.TokensPerSec,
+		TokensPerSecPer1kUSD: rep.TokensPerSec / (price / 1000),
+	}
+}
+
+// RatelSweep measures Ratel fine-tuning cfg on a multi-GPU commodity server
+// across SSD counts.
+func RatelSweep(cfg model.Config, srv hw.Server, globalBatch int, ssdCounts []int) ([]Point, error) {
+	var pts []Point
+	for _, n := range ssdCounts {
+		s := srv.WithSSDs(n)
+		rep, err := itersim.SimulateMultiGPU(strategy.Ratel, cfg, globalBatch, s)
+		if err != nil {
+			return nil, fmt.Errorf("cost: Ratel with %d SSDs: %w", n, err)
+		}
+		pts = append(pts, point(fmt.Sprintf("Ratel %dxGPU %dxSSD", s.GPUCount, n), s, rep))
+	}
+	return pts, nil
+}
+
+// MegatronBaseline measures Megatron-LM on the DGX-A100.
+func MegatronBaseline(cfg model.Config, batch int) (Point, error) {
+	dgx := hw.DGXA100()
+	rep, err := itersim.SimulateTensorParallel(strategy.Megatron, cfg, batch, dgx)
+	if err != nil {
+		return Point{}, fmt.Errorf("cost: Megatron on DGX: %w", err)
+	}
+	return point("Megatron DGX-A100", dgx, rep), nil
+}
+
+// BestAdvantage reports the maximum cost-effectiveness ratio of the sweep
+// over the baseline (the paper's "at most 2.17x").
+func BestAdvantage(sweep []Point, baseline Point) float64 {
+	best := 0.0
+	for _, p := range sweep {
+		if r := p.TokensPerSecPer1kUSD / baseline.TokensPerSecPer1kUSD; r > best {
+			best = r
+		}
+	}
+	return best
+}

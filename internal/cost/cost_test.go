@@ -1,0 +1,64 @@
+package cost
+
+import (
+	"testing"
+
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/units"
+)
+
+func TestFig13Shape(t *testing.T) {
+	srv := hw.EvalServer(hw.RTX4090, 768*units.GiB, 12).WithGPUs(4)
+	cfg := model.MustByName("30B")
+	sweep, err := RatelSweep(cfg, srv, 64, []int{1, 2, 3, 6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MegatronBaseline(cfg, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak cost-effectiveness is at 6 SSDs and declines at 12 (§V-I:
+	// "adding SSDs beyond the optimal number ... raises costs").
+	byCount := make(map[int]Point)
+	for _, p := range sweep {
+		byCount[p.SSDs] = p
+	}
+	if byCount[6].TokensPerSecPer1kUSD <= byCount[3].TokensPerSecPer1kUSD {
+		t.Error("cost-effectiveness should still grow from 3 to 6 SSDs")
+	}
+	if byCount[12].TokensPerSecPer1kUSD >= byCount[6].TokensPerSecPer1kUSD {
+		t.Error("cost-effectiveness should decline from 6 to 12 SSDs")
+	}
+	// Ratel's best point beats the DGX by roughly 2x (paper: up to 2.17x).
+	adv := BestAdvantage(sweep, base)
+	if adv < 1.5 || adv > 4 {
+		t.Errorf("best advantage = %.2fx, want ~2x", adv)
+	}
+}
+
+func TestPriceAccounting(t *testing.T) {
+	srv := hw.EvalServer(hw.RTX4090, 768*units.GiB, 6).WithGPUs(4)
+	sweep, err := RatelSweep(model.MustByName("13B"), srv, 64, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 14098.0 + 4*1600 + 6*308
+	if sweep[0].PriceUSD != want {
+		t.Errorf("price = %.0f, want %.0f (Table VII)", sweep[0].PriceUSD, want)
+	}
+	if sweep[0].TokensPerSecPer1kUSD <= 0 {
+		t.Error("non-positive cost-effectiveness")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv := hw.EvalServer(hw.RTX4080, 32*units.GiB, 12).WithGPUs(4)
+	if _, err := RatelSweep(model.MustByName("175B"), srv, 64, []int{1}); err == nil {
+		t.Error("infeasible sweep should fail")
+	}
+	if _, err := MegatronBaseline(model.MustByName("175B"), 8); err == nil {
+		t.Error("Megatron 175B should fail on the DGX")
+	}
+}

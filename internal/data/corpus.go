@@ -1,0 +1,105 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Corpus is a character-level language-modeling dataset over a fixed text:
+// batches are random windows, targets are the next character.
+type Corpus struct {
+	tokens []int
+	chars  []rune
+	index  map[rune]int
+}
+
+// DefaultText seeds the built-in corpus for demos.
+const DefaultText = `ratel is a low cost high performance training framework that enables
+efficient hundred billion parameter model fine tuning on a commodity server
+with a consumer grade gpu and limited main memory. the key idea is to add
+holistic offloading traffic as an optimization dimension: active gradient
+offloading hides the out of core cpu optimizer behind backward propagation,
+and traffic aware activation swapping balances recomputation against pcie
+and ssd transfers so that each iteration finishes as fast as the slowest
+resource allows. model states live on nvme ssds, so the trainable model
+size is bounded by ssd capacity rather than by gpu or main memory.`
+
+// NewCorpus builds a corpus from text, assigning token ids to characters in
+// sorted order (deterministic).
+func NewCorpus(text string) (*Corpus, error) {
+	text = strings.TrimSpace(text)
+	if len(text) < 8 {
+		return nil, fmt.Errorf("data: corpus needs at least 8 characters")
+	}
+	seen := map[rune]bool{}
+	for _, r := range text {
+		seen[r] = true
+	}
+	chars := make([]rune, 0, len(seen))
+	for r := range seen {
+		chars = append(chars, r)
+	}
+	sort.Slice(chars, func(i, j int) bool { return chars[i] < chars[j] })
+	index := make(map[rune]int, len(chars))
+	for i, r := range chars {
+		index[r] = i
+	}
+	c := &Corpus{chars: chars, index: index}
+	for _, r := range text {
+		c.tokens = append(c.tokens, index[r])
+	}
+	return c, nil
+}
+
+// VocabSize is the number of distinct characters.
+func (c *Corpus) VocabSize() int { return len(c.chars) }
+
+// Len is the corpus length in tokens.
+func (c *Corpus) Len() int { return len(c.tokens) }
+
+// Batch samples batch random windows of length seq, with next-character
+// targets.
+func (c *Corpus) Batch(rng *rand.Rand, batch, seq int) (tokens, targets [][]int, err error) {
+	if batch < 1 || seq < 1 {
+		return nil, nil, fmt.Errorf("data: bad geometry batch=%d seq=%d", batch, seq)
+	}
+	if seq+1 > len(c.tokens) {
+		return nil, nil, fmt.Errorf("data: window %d exceeds corpus length %d", seq+1, len(c.tokens))
+	}
+	tokens = make([][]int, batch)
+	targets = make([][]int, batch)
+	for b := 0; b < batch; b++ {
+		start := rng.Intn(len(c.tokens) - seq)
+		tokens[b] = append([]int(nil), c.tokens[start:start+seq]...)
+		targets[b] = append([]int(nil), c.tokens[start+1:start+seq+1]...)
+	}
+	return tokens, targets, nil
+}
+
+// Encode maps text to token ids; unknown characters are rejected.
+func (c *Corpus) Encode(text string) ([]int, error) {
+	var out []int
+	for _, r := range text {
+		id, ok := c.index[r]
+		if !ok {
+			return nil, fmt.Errorf("data: character %q not in corpus vocabulary", r)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Decode maps token ids back to text.
+func (c *Corpus) Decode(tokens []int) string {
+	var b strings.Builder
+	for _, t := range tokens {
+		if t >= 0 && t < len(c.chars) {
+			b.WriteRune(c.chars[t])
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}

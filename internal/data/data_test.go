@@ -1,0 +1,147 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoaderDeterminism(t *testing.T) {
+	a, err := NewLoader(Progression, 2, 8, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLoader(Progression, 2, 8, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ta, ga := a.Next()
+		tb, gb := b.Next()
+		for r := range ta {
+			for c := range ta[r] {
+				if ta[r][c] != tb[r][c] || ga[r][c] != gb[r][c] {
+					t.Fatalf("batch %d nondeterministic", i)
+				}
+			}
+		}
+	}
+}
+
+func TestCopyTaskStructure(t *testing.T) {
+	l, err := NewLoader(Copy, 3, 6, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens, targets := l.Next()
+	for b := range tokens {
+		for s := 0; s < 5; s++ {
+			if targets[b][s] != tokens[b][s+1] {
+				t.Fatalf("copy target mismatch at (%d,%d)", b, s)
+			}
+		}
+	}
+}
+
+func TestTokenRanges(t *testing.T) {
+	f := func(seed int64, taskSel uint8) bool {
+		task := Task(int(taskSel) % 3)
+		l, err := NewLoader(task, 2, 10, 17, seed)
+		if err != nil {
+			return false
+		}
+		tokens, targets := l.Next()
+		for b := range tokens {
+			for s := range tokens[b] {
+				if tokens[b][s] < 0 || tokens[b][s] >= 17 || targets[b][s] < 0 || targets[b][s] >= 17 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewLoaderErrors(t *testing.T) {
+	if _, err := NewLoader(Copy, 0, 4, 8, 1); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := NewLoader(Copy, 1, 0, 8, 1); err == nil {
+		t.Error("seq 0 accepted")
+	}
+	if _, err := NewLoader(Copy, 1, 4, 1, 1); err == nil {
+		t.Error("vocab 1 accepted")
+	}
+	if _, err := NewLoader(Task(9), 1, 4, 8, 1); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestTaskStrings(t *testing.T) {
+	for _, task := range []Task{Copy, Progression, Uniform} {
+		if task.String() == "" {
+			t.Error("empty task string")
+		}
+	}
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	c, err := NewCorpus("hello world, hello ratel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.Encode("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Decode(ids); got != "hello" {
+		t.Errorf("decode(encode) = %q", got)
+	}
+	if _, err := c.Encode("z"); err == nil {
+		t.Error("unknown character accepted")
+	}
+	if c.VocabSize() < 5 || c.Len() != 24 {
+		t.Errorf("vocab=%d len=%d", c.VocabSize(), c.Len())
+	}
+	if c.Decode([]int{-1, 999}) != "??" {
+		t.Error("out-of-range decode should map to ?")
+	}
+}
+
+func TestCorpusBatches(t *testing.T) {
+	c, err := NewCorpus(DefaultText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	tokens, targets, err := c.Batch(rng, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range tokens {
+		if len(tokens[b]) != 16 || len(targets[b]) != 16 {
+			t.Fatal("bad window size")
+		}
+		// Targets are the input shifted by one.
+		for s := 0; s < 15; s++ {
+			if targets[b][s] != tokens[b][s+1] {
+				t.Fatal("targets are not next characters")
+			}
+		}
+	}
+	if _, _, err := c.Batch(rng, 0, 4); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, _, err := c.Batch(rng, 1, 100000); err == nil {
+		t.Error("oversized window accepted")
+	}
+}
+
+func TestCorpusErrors(t *testing.T) {
+	if _, err := NewCorpus("   a  "); err == nil {
+		t.Error("tiny corpus accepted")
+	}
+}

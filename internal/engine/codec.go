@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+
+	"ratel/internal/nn"
+	"ratel/internal/tensor"
+)
+
+// geometry fixes the tensor shapes of a block cache so it can be serialized
+// without per-tensor headers.
+type geometry struct {
+	batch, seq, hidden, heads int
+}
+
+func geometryOf(cfg nn.Config) geometry {
+	return geometry{batch: cfg.Batch, seq: cfg.Seq, hidden: cfg.Hidden, heads: cfg.Heads}
+}
+
+// cacheTensors lists a block cache's tensors in serialization order. The
+// block output Y is excluded: backward never reads it.
+func cacheTensors(c *nn.BlockCache) []*tensor.Tensor {
+	ts := []*tensor.Tensor{c.LN1Out, c.Attn.QKV}
+	for _, hs := range c.Attn.Probs {
+		ts = append(ts, hs...)
+	}
+	return append(ts, c.Attn.Ctx, c.AttnY, c.Res1, c.LN2Out, c.FC1Out, c.GeluOut)
+}
+
+// cacheShapes mirrors cacheTensors for decoding.
+func (g geometry) cacheShapes() [][]int {
+	n := g.batch * g.seq
+	shapes := [][]int{{n, g.hidden}, {n, 3 * g.hidden}}
+	for i := 0; i < g.batch*g.heads; i++ {
+		shapes = append(shapes, []int{g.seq, g.seq})
+	}
+	return append(shapes,
+		[]int{n, g.hidden},     // ctx
+		[]int{n, g.hidden},     // attnY
+		[]int{n, g.hidden},     // res1
+		[]int{n, g.hidden},     // ln2out
+		[]int{n, 4 * g.hidden}, // fc1out
+		[]int{n, 4 * g.hidden}, // geluout
+	)
+}
+
+// encodeCache packs a block cache's activations as binary16 — the A16 bytes
+// the engine offloads. Every tensor is already on the fp16 grid, so the
+// encoding is lossless.
+func encodeCache(c *nn.BlockCache, g geometry) []byte {
+	var out []byte
+	for _, t := range cacheTensors(c) {
+		out = append(out, tensor.ToFP16Bytes(t.Data)...)
+	}
+	return out
+}
+
+// decodeCache restores a block cache from its fp16 bytes and the saved
+// block input.
+func decodeCache(blob []byte, input *tensor.Tensor, g geometry) (*nn.BlockCache, error) {
+	c := &nn.BlockCache{X: input, Attn: &nn.AttnCache{}}
+	off := 0
+	next := func(shape []int) (*tensor.Tensor, error) {
+		n := tensor.Numel(shape...)
+		end := off + 2*n
+		if end > len(blob) {
+			return nil, fmt.Errorf("engine: activation blob truncated at %d of %d bytes", off, len(blob))
+		}
+		t := tensor.New(shape...)
+		if err := tensor.FromFP16Bytes(blob[off:end], t.Data); err != nil {
+			return nil, err
+		}
+		off = end
+		return t, nil
+	}
+
+	shapes := g.cacheShapes()
+	var err error
+	if c.LN1Out, err = next(shapes[0]); err != nil {
+		return nil, err
+	}
+	if c.Attn.QKV, err = next(shapes[1]); err != nil {
+		return nil, err
+	}
+	c.Attn.Probs = make([][]*tensor.Tensor, g.batch)
+	idx := 2
+	for bi := 0; bi < g.batch; bi++ {
+		c.Attn.Probs[bi] = make([]*tensor.Tensor, g.heads)
+		for h := 0; h < g.heads; h++ {
+			if c.Attn.Probs[bi][h], err = next(shapes[idx]); err != nil {
+				return nil, err
+			}
+			idx++
+		}
+	}
+	for _, dst := range []**tensor.Tensor{&c.Attn.Ctx, &c.AttnY, &c.Res1, &c.LN2Out, &c.FC1Out, &c.GeluOut} {
+		if *dst, err = next(shapes[idx]); err != nil {
+			return nil, err
+		}
+		idx++
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("engine: activation blob has %d trailing bytes", len(blob)-off)
+	}
+	return c, nil
+}

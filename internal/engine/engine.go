@@ -1,0 +1,725 @@
+// Package engine is the runnable Ratel training engine at laptop scale: a
+// real transformer fine-tuned with mixed precision, with model states homed
+// on the striped NVMe substrate, activations swapped or recomputed per the
+// holistic plan, and the out-of-core CPU optimizer consuming gradients as
+// they arrive during backward propagation (active gradient offloading,
+// §IV-C).
+//
+// The engine exists to validate the paper's correctness claims for real:
+// offloaded training is bit-identical to in-memory training, recomputation
+// is bit-identical to caching, and active gradient offloading — naive or
+// optimized — introduces no parameter staleness relative to a serialized
+// optimizer stage.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ratel/internal/agoffload"
+	"ratel/internal/memctl"
+	"ratel/internal/nn"
+	"ratel/internal/nvme"
+	"ratel/internal/opt"
+	"ratel/internal/tensor"
+	"ratel/internal/units"
+)
+
+// Tier says where a block's activation cache lives until backward.
+type Tier int
+
+// Activation placements, mirroring the planner's three-level hierarchy.
+const (
+	// Recompute discards the cache; backward rebuilds it from the block
+	// input (which is always kept — it is the recomputation root).
+	Recompute Tier = iota
+	// SwapHost keeps the fp16 cache pinned in main memory.
+	SwapHost
+	// SwapSSD stages the fp16 cache through main memory onto the NVMe
+	// array (the α·A_G2M portion of Eq. 3).
+	SwapSSD
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case Recompute:
+		return "recompute"
+	case SwapHost:
+		return "swap-host"
+	case SwapSSD:
+		return "swap-ssd"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// Config assembles an engine.
+type Config struct {
+	Model nn.Config
+	Adam  opt.AdamConfig
+	// GradMode selects how the optimizer consumes gradients: Serialized
+	// (after backward, ZeRO-style), Naive (inline per-tensor handlers), or
+	// Optimized (pipelined handlers overlapping backward).
+	GradMode agoffload.Mode
+	// Swap places each block's activation cache; absent blocks recompute.
+	Swap map[int]Tier
+	// DelayedUpdate enables ZeRO-Offload's one-step delayed parameter
+	// update (footnote 4 of the paper): the optimizer applies iteration
+	// k-1's gradients while iteration k computes with stale parameters.
+	// Ratel rejects this because it changes the training trajectory — the
+	// engine implements it so the staleness is demonstrable.
+	DelayedUpdate bool
+	// Devices is the NVMe array width; Dir selects file backing ("" =
+	// memory).
+	Devices int
+	Dir     string
+	// SSD, when non-nil, overrides the NVMe array's throttling/integrity
+	// knobs (bandwidth per device, per-op latency, checksums); Devices and
+	// Dir above still apply.
+	SSD *nvme.Config
+	// HostMemory caps the host staging pool (0 = unlimited).
+	HostMemory units.Bytes
+	// LRSchedule, when non-nil, sets the learning rate at the start of
+	// every optimizer step (e.g. opt.WarmupCosine).
+	LRSchedule opt.Schedule
+	// LossScale, when > 0, amplifies the loss gradient by this factor so
+	// small gradients survive fp16 (G16); the optimizer unscales in fp32.
+	// Static scaling works with every GradMode.
+	LossScale float64
+	// DynamicLossScale adjusts the scale on overflow: a step whose
+	// gradients contain Inf/NaN is skipped and the scale halved. Requires
+	// the Serialized gradient mode — every gradient must be validated
+	// before any update is applied.
+	DynamicLossScale bool
+	// ClipGroupNorm, when > 0, clips each parameter group's gradient to
+	// this L2 norm inside its optimizer handler. Per-group rather than
+	// global: the global norm is only known after all gradients arrive,
+	// which would re-serialize the optimizer (§IV-C's whole point).
+	ClipGroupNorm float64
+	// DisablePrefetch turns off the backward-stage activation prefetch
+	// pipeline (for ablation benchmarks; values are unaffected either way).
+	DisablePrefetch bool
+}
+
+// Stats counts the engine's data movement.
+type Stats struct {
+	Steps int
+	// SkippedSteps counts dynamic-loss-scaling overflow skips.
+	SkippedSteps int
+	// ActBytesOffload is activation bytes written to the SSD tier.
+	ActBytesOffload units.Bytes
+	// ActBytesHost is activation bytes pinned in the host tier.
+	ActBytesHost units.Bytes
+	// ActBytesFetched is activation bytes restored from either tier.
+	ActBytesFetched  units.Bytes
+	RecomputedBlocks int
+	SSD              nvme.Stats
+}
+
+// Engine drives training.
+type Engine struct {
+	cfg       Config
+	model     *nn.Model
+	array     *nvme.Array
+	optimizer *opt.OutOfCoreAdam
+	hostPool  *memctl.Pool
+	geom      geometry
+
+	hostActs  map[int]*hostAct
+	prevGrads map[string][]float32 // pending gradients in DelayedUpdate mode
+	scaler    *opt.LossScaler      // dynamic loss scaling, nil when static/off
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// hostAct is a block cache pinned in main memory (SwapHost tier).
+type hostAct struct {
+	blob []byte
+	res  *memctl.Reservation
+}
+
+// New builds the engine: model, NVMe array, and the out-of-core optimizer
+// seeded with the initial fp32 masters.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Devices < 1 {
+		cfg.Devices = 1
+	}
+	m, err := nn.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	ncfg := nvme.Config{StripeSize: 4096}
+	if cfg.SSD != nil {
+		ncfg = *cfg.SSD
+		if ncfg.StripeSize == 0 {
+			ncfg.StripeSize = 4096
+		}
+	}
+	ncfg.Devices = cfg.Devices
+	ncfg.Dir = cfg.Dir
+	a, err := nvme.Open(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Adam == (opt.AdamConfig{}) {
+		cfg.Adam = opt.DefaultAdam()
+	}
+	e := &Engine{
+		cfg:       cfg,
+		model:     m,
+		array:     a,
+		optimizer: opt.NewOutOfCoreAdam(a, cfg.Adam, "states"),
+		hostPool:  memctl.NewPool("host", cfg.HostMemory),
+		geom:      geometryOf(cfg.Model),
+		hostActs:  make(map[int]*hostAct),
+	}
+	if cfg.ClipGroupNorm > 0 {
+		if err := e.optimizer.SetClipNorm(cfg.ClipGroupNorm); err != nil {
+			a.Close()
+			return nil, err
+		}
+	}
+	if cfg.DynamicLossScale {
+		if cfg.GradMode != agoffload.Serialized {
+			a.Close()
+			return nil, fmt.Errorf("engine: dynamic loss scaling requires the serialized gradient mode (updates must wait for overflow validation)")
+		}
+		initial := cfg.LossScale
+		if initial == 0 {
+			initial = 1 << 16
+		}
+		scaler, err := opt.NewLossScaler(initial)
+		if err != nil {
+			a.Close()
+			return nil, err
+		}
+		e.scaler = scaler
+	}
+	for _, g := range m.ParamGroups() {
+		if err := e.optimizer.InitGroup(g); err != nil {
+			a.Close()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// currentScale is the active loss scale (1 = off).
+func (e *Engine) currentScale() float64 {
+	if e.scaler != nil {
+		return e.scaler.Scale()
+	}
+	if e.cfg.LossScale > 0 {
+		return e.cfg.LossScale
+	}
+	return 1
+}
+
+// LossScale reports the active loss scale (for tests and telemetry).
+func (e *Engine) LossScale() float64 { return e.currentScale() }
+
+// Close releases the NVMe array.
+func (e *Engine) Close() error { return e.array.Close() }
+
+// Model exposes the underlying model (its weights are the P16 working
+// copies).
+func (e *Engine) Model() *nn.Model { return e.model }
+
+// Array exposes the NVMe substrate for inspection and fault injection.
+func (e *Engine) Array() *nvme.Array { return e.array }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.SSD = e.array.Stats()
+	return s
+}
+
+// gradJob hands one parameter group's gradients to the optimizer pipeline.
+type gradJob struct {
+	group nn.ParamGroup
+	errCh chan error
+}
+
+// TrainStep runs one synchronous training iteration and returns the loss.
+// Regardless of GradMode, the parameters after TrainStep are identical —
+// active gradient offloading changes when updates run, not what they
+// compute (no staleness, §IV-C).
+func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
+	m := e.model
+	m.ZeroGrads()
+	if !e.cfg.DelayedUpdate {
+		e.beginStep()
+	}
+
+	groups := m.ParamGroups() // embedding, block0..N-1, head
+
+	// Optimizer pipeline for the Optimized mode: handlers run on a worker
+	// goroutine, overlapping the remaining backward computation. Naive
+	// runs handlers inline (strictly serialized per tensor); Serialized
+	// defers them all past backward.
+	var (
+		jobs     chan gradJob
+		pending  []chan error
+		deferred []nn.ParamGroup
+		workerWG sync.WaitGroup
+	)
+	if e.cfg.GradMode == agoffload.Optimized {
+		jobs = make(chan gradJob, len(groups))
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for j := range jobs {
+				j.errCh <- e.optimizer.UpdateGroup(j.group)
+			}
+		}()
+	}
+	submit := func(g nn.ParamGroup) error {
+		if e.cfg.DelayedUpdate {
+			return nil // handled after backward, one step late
+		}
+		switch e.cfg.GradMode {
+		case agoffload.Optimized:
+			errCh := make(chan error, 1)
+			jobs <- gradJob{group: g, errCh: errCh}
+			pending = append(pending, errCh)
+			return nil
+		case agoffload.Naive:
+			return e.optimizer.UpdateGroup(g)
+		default:
+			deferred = append(deferred, g)
+			return nil
+		}
+	}
+	finish := func() error {
+		if jobs != nil {
+			close(jobs)
+			workerWG.Wait()
+			for _, ch := range pending {
+				if err := <-ch; err != nil {
+					return err
+				}
+			}
+		}
+		// Dynamic loss scaling: every gradient is resident now (serialized
+		// mode); skip the whole update on overflow.
+		if e.scaler != nil && gradsOverflow(deferred) {
+			e.scaler.OnOverflow()
+			if err := e.optimizer.CancelStep(); err != nil {
+				return err
+			}
+			e.mu.Lock()
+			e.stats.SkippedSteps++
+			e.mu.Unlock()
+			deferred = nil
+			return nil
+		}
+		for _, g := range deferred {
+			if err := e.optimizer.UpdateGroup(g); err != nil {
+				return err
+			}
+		}
+		if e.scaler != nil {
+			e.scaler.OnGoodStep()
+		}
+		return nil
+	}
+	fail := func(err error) (float64, error) {
+		// Don't apply a partial serialized update for a failed step; the
+		// already-submitted Optimized handlers are drained either way.
+		deferred = nil
+		ferr := finish()
+		if ferr != nil {
+			return 0, fmt.Errorf("%w (and optimizer drain failed: %v)", err, ferr)
+		}
+		return 0, err
+	}
+
+	loss, err := e.runBatch(tokens, targets, groups, submit)
+	if err != nil {
+		return fail(err)
+	}
+
+	if err := finish(); err != nil {
+		return 0, err
+	}
+	if e.cfg.DelayedUpdate {
+		if err := e.applyDelayed(groups); err != nil {
+			return 0, err
+		}
+	}
+	e.mu.Lock()
+	e.stats.Steps++
+	e.mu.Unlock()
+	return loss, nil
+}
+
+// Batch is one micro-batch for TrainStepAccum.
+type Batch struct {
+	Tokens, Targets [][]int
+}
+
+// TrainStepAccum runs one optimizer step over several micro-batches
+// (gradient accumulation): gradients accumulate across micro-batches and
+// are averaged, and each group's mean gradient is consumed by the active
+// gradient offloading pipeline as it completes during the *last*
+// micro-batch's backward — the overlap of §IV-C is preserved. The returned
+// loss is the micro-batch mean. Incompatible with DelayedUpdate.
+func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
+	if len(micro) == 0 {
+		return 0, fmt.Errorf("engine: no micro-batches")
+	}
+	if e.cfg.DelayedUpdate {
+		return 0, fmt.Errorf("engine: gradient accumulation with delayed update is unsupported")
+	}
+	if e.scaler != nil {
+		return 0, fmt.Errorf("engine: gradient accumulation with dynamic loss scaling is unsupported (use a static LossScale)")
+	}
+	m := e.model
+	m.ZeroGrads()
+	e.beginStep()
+	groups := m.ParamGroups()
+
+	var totalLoss float64
+	noop := func(nn.ParamGroup) error { return nil }
+	for _, b := range micro[:len(micro)-1] {
+		loss, err := e.runBatch(b.Tokens, b.Targets, groups, noop)
+		if err != nil {
+			return 0, err
+		}
+		totalLoss += loss
+	}
+
+	// Final micro-batch: hand each completed group to the optimizer with
+	// its gradients averaged over the micro-batches.
+	var (
+		jobs     chan gradJob
+		pending  []chan error
+		deferred []nn.ParamGroup
+		workerWG sync.WaitGroup
+	)
+	if e.cfg.GradMode == agoffload.Optimized {
+		jobs = make(chan gradJob, len(groups))
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for j := range jobs {
+				j.errCh <- e.optimizer.UpdateGroup(j.group)
+			}
+		}()
+	}
+	scale := float32(1) / float32(len(micro))
+	submit := func(g nn.ParamGroup) error {
+		for _, p := range g.Params {
+			p.G.Scale(scale)
+		}
+		switch e.cfg.GradMode {
+		case agoffload.Optimized:
+			errCh := make(chan error, 1)
+			jobs <- gradJob{group: g, errCh: errCh}
+			pending = append(pending, errCh)
+			return nil
+		case agoffload.Naive:
+			return e.optimizer.UpdateGroup(g)
+		default:
+			deferred = append(deferred, g)
+			return nil
+		}
+	}
+	finish := func() error {
+		if jobs != nil {
+			close(jobs)
+			workerWG.Wait()
+			for _, ch := range pending {
+				if err := <-ch; err != nil {
+					return err
+				}
+			}
+		}
+		for _, g := range deferred {
+			if err := e.optimizer.UpdateGroup(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	last := micro[len(micro)-1]
+	loss, err := e.runBatch(last.Tokens, last.Targets, groups, submit)
+	if err != nil {
+		if ferr := finish(); ferr != nil {
+			return 0, fmt.Errorf("%w (and optimizer drain failed: %v)", err, ferr)
+		}
+		return 0, err
+	}
+	totalLoss += loss
+	if err := finish(); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.stats.Steps++
+	e.mu.Unlock()
+	return totalLoss / float64(len(micro)), nil
+}
+
+// beginStep advances the optimizer, applies the learning-rate schedule and
+// the current gradient unscale factor.
+func (e *Engine) beginStep() {
+	e.optimizer.BeginStep()
+	if e.cfg.LRSchedule != nil {
+		e.optimizer.SetLR(e.cfg.LRSchedule(e.optimizer.Step()))
+	}
+	if s := e.currentScale(); s != 1 {
+		// The scale is validated at construction; ignore the impossible
+		// error to keep the hot path clean.
+		_ = e.optimizer.SetGradScale(s)
+	}
+}
+
+// runBatch executes one forward/backward pass, accumulating gradients and
+// handing each completed group to submit in gradient-arrival order.
+func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submit func(nn.ParamGroup) error) (float64, error) {
+	m := e.model
+	m.NextStep() // fresh dropout masks; recomputation below replays them
+	groupOf := func(block int) nn.ParamGroup { return groups[block+1] }
+	fail := func(err error) (float64, error) { return 0, err }
+
+	// ---------- Forward ----------
+	x, err := m.Embed(tokens)
+	if err != nil {
+		return fail(err)
+	}
+	inputs := make([]*tensor.Tensor, len(m.Blocks))
+	h := x
+	for i, b := range m.Blocks {
+		inputs[i] = h
+		y, c, err := b.Forward(h)
+		if err != nil {
+			return fail(err)
+		}
+		switch e.cfg.Swap[i] {
+		case SwapSSD:
+			// Offload the cache: host staging, then the NVMe store.
+			blob := encodeCache(c, e.geom)
+			res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
+			if err != nil {
+				return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
+			}
+			if err := e.array.Put(actKey(i), blob); err != nil {
+				res.Release()
+				return fail(fmt.Errorf("engine: offload block %d activations: %w", i, err))
+			}
+			res.Release() // staged through, now resident on SSD
+			e.mu.Lock()
+			e.stats.ActBytesOffload += units.Bytes(len(blob))
+			e.mu.Unlock()
+		case SwapHost:
+			// Pin the cache in main memory until backward consumes it.
+			blob := encodeCache(c, e.geom)
+			res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
+			if err != nil {
+				return fail(fmt.Errorf("engine: host tier for block %d: %w", i, err))
+			}
+			e.hostActs[i] = &hostAct{blob: blob, res: res}
+			e.mu.Lock()
+			e.stats.ActBytesHost += units.Bytes(len(blob))
+			e.mu.Unlock()
+		}
+		// The live cache is dropped either way: swapped blocks restore it
+		// from their tier, the rest recompute from the saved block input.
+		h = y
+	}
+	lnOut, logits, err := m.HeadForward(h)
+	if err != nil {
+		return fail(err)
+	}
+	loss, dlogits, err := nn.CrossEntropy(logits, targets)
+	if err != nil {
+		return fail(err)
+	}
+	if s := e.currentScale(); s != 1 {
+		dlogits.Scale(float32(s))
+	}
+
+	// ---------- Backward with active gradient offloading ----------
+	dh, err := m.HeadBackward(h, lnOut, dlogits)
+	if err != nil {
+		return fail(err)
+	}
+	dh.RoundFP16InPlace()
+	// The head group's gradients are complete: its handler fires first
+	// (gradients arrive with decreasing block index, §IV-C).
+	if err := submit(groups[len(groups)-1]); err != nil {
+		return fail(err)
+	}
+
+	// Pipelined data transfer (the Ratel_hook prefetching of Fig. 4): the
+	// SSD read for block i-1's activations overlaps block i's backward
+	// computation. Prefetching changes only timing, never values.
+	type fetchResult struct {
+		blob []byte
+		err  error
+	}
+	prefetch := make(map[int]chan fetchResult)
+	launch := func(i int) {
+		if i < 0 || e.cfg.Swap[i] != SwapSSD || e.cfg.DisablePrefetch {
+			return
+		}
+		ch := make(chan fetchResult, 1)
+		prefetch[i] = ch
+		go func() {
+			blob, err := e.array.Get(actKey(i))
+			ch <- fetchResult{blob: blob, err: err}
+		}()
+	}
+	// On any exit, wait out in-flight prefetches (consumed entries are
+	// deleted, so this only drains leftovers after an error).
+	defer func() {
+		for _, ch := range prefetch {
+			<-ch
+		}
+	}()
+	launch(len(m.Blocks) - 1)
+
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		launch(i - 1) // overlap the next fetch with this block's backward
+		var c *nn.BlockCache
+		switch e.cfg.Swap[i] {
+		case SwapSSD:
+			var blob []byte
+			if ch, ok := prefetch[i]; ok {
+				res := <-ch
+				delete(prefetch, i)
+				blob, err = res.blob, res.err
+			} else {
+				blob, err = e.array.Get(actKey(i))
+			}
+			if err != nil {
+				return fail(fmt.Errorf("engine: fetch block %d activations: %w", i, err))
+			}
+			if c, err = decodeCache(blob, inputs[i], e.geom); err != nil {
+				return fail(err)
+			}
+			e.mu.Lock()
+			e.stats.ActBytesFetched += units.Bytes(len(blob))
+			e.mu.Unlock()
+		case SwapHost:
+			ha := e.hostActs[i]
+			if ha == nil {
+				return fail(fmt.Errorf("engine: block %d host-tier cache missing", i))
+			}
+			if c, err = decodeCache(ha.blob, inputs[i], e.geom); err != nil {
+				return fail(err)
+			}
+			ha.res.Release()
+			delete(e.hostActs, i)
+			e.mu.Lock()
+			e.stats.ActBytesFetched += units.Bytes(len(ha.blob))
+			e.mu.Unlock()
+		default:
+			if c, err = m.Blocks[i].Recompute(inputs[i]); err != nil {
+				return fail(err)
+			}
+			e.mu.Lock()
+			e.stats.RecomputedBlocks++
+			e.mu.Unlock()
+		}
+		dx, err := m.Blocks[i].Backward(c, dh)
+		if err != nil {
+			return fail(err)
+		}
+		dx.RoundFP16InPlace()
+		dh = dx
+		if err := submit(groupOf(i)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := m.EmbedBackward(tokens, dh); err != nil {
+		return fail(err)
+	}
+	if err := submit(groups[0]); err != nil {
+		return fail(err)
+	}
+	return loss, nil
+}
+
+// applyDelayed implements the one-step delayed update: apply last
+// iteration's pending gradients, then stash this iteration's for the next
+// call. The current iteration therefore computed with parameters one update
+// behind — the staleness footnote 4 warns about.
+func (e *Engine) applyDelayed(groups []nn.ParamGroup) error {
+	current := make(map[string][]float32, len(groups))
+	for _, g := range groups {
+		flat := make([]float32, 0, g.NumParams())
+		for _, p := range g.Params {
+			flat = append(flat, p.G.Data...)
+		}
+		current[g.Name] = flat
+	}
+	if e.prevGrads != nil {
+		e.optimizer.BeginStep()
+		for _, g := range groups {
+			installGrads(g, e.prevGrads[g.Name])
+			if err := e.optimizer.UpdateGroup(g); err != nil {
+				return err
+			}
+		}
+	}
+	e.prevGrads = current
+	return nil
+}
+
+// FlushDelayed applies the pending gradients of DelayedUpdate mode (e.g. at
+// the end of training). A no-op otherwise.
+func (e *Engine) FlushDelayed() error {
+	if !e.cfg.DelayedUpdate || e.prevGrads == nil {
+		return nil
+	}
+	e.optimizer.BeginStep()
+	for _, g := range e.model.ParamGroups() {
+		installGrads(g, e.prevGrads[g.Name])
+		if err := e.optimizer.UpdateGroup(g); err != nil {
+			return err
+		}
+	}
+	e.prevGrads = nil
+	return nil
+}
+
+func installGrads(g nn.ParamGroup, flat []float32) {
+	off := 0
+	for _, p := range g.Params {
+		copy(p.G.Data, flat[off:off+p.G.Numel()])
+		off += p.G.Numel()
+	}
+}
+
+// gradsOverflow scans parameter-group gradients for values the fp16 (G16)
+// representation cannot carry: NaN, Inf, or magnitudes beyond the binary16
+// maximum (they would round to Inf at the offloading boundary).
+func gradsOverflow(groups []nn.ParamGroup) bool {
+	const fp16Max = 65504
+	for _, g := range groups {
+		for _, p := range g.Params {
+			for _, v := range p.G.Data {
+				f := float64(v)
+				if math.IsNaN(f) || math.Abs(f) > fp16Max {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func actKey(block int) string { return fmt.Sprintf("act/block%d", block) }
+
+// EvalLoss computes a validation loss: forward-only, no gradients, no
+// optimizer step, dropout disabled.
+func (e *Engine) EvalLoss(tokens, targets [][]int) (float64, error) {
+	return e.model.EvalLoss(tokens, targets)
+}

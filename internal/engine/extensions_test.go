@@ -1,0 +1,587 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ratel/internal/agoffload"
+	"ratel/internal/nn"
+	"ratel/internal/units"
+)
+
+// TestHostTierTransparency: pinning caches in main memory (SwapHost) is
+// bit-identical to the SSD tier and to recomputation.
+func TestHostTierTransparency(t *testing.T) {
+	ref := newEngine(t, Config{GradMode: agoffload.Optimized})
+	refLoss := trainK(t, ref, 3)
+
+	host := newEngine(t, Config{
+		GradMode: agoffload.Optimized,
+		Swap:     map[int]Tier{0: SwapHost, 1: SwapHost, 2: SwapHost},
+	})
+	hostLoss := trainK(t, host, 3)
+	for i := range refLoss {
+		if refLoss[i] != hostLoss[i] {
+			t.Fatalf("loss[%d]: recompute %v vs host tier %v", i, refLoss[i], hostLoss[i])
+		}
+	}
+	a, b := paramsSnapshot(ref.Model()), paramsSnapshot(host.Model())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("host-tier training diverged")
+		}
+	}
+	st := host.Stats()
+	if st.ActBytesHost == 0 {
+		t.Error("host tier saw no traffic")
+	}
+	if st.ActBytesOffload != 0 {
+		t.Error("host tier should not write the SSD")
+	}
+	if st.ActBytesFetched != st.ActBytesHost {
+		t.Errorf("fetched %v != pinned %v", st.ActBytesFetched, st.ActBytesHost)
+	}
+}
+
+// TestMixedTiers: host, SSD and recompute blocks interleave transparently
+// (the α split of Eq. 3 at engine granularity).
+func TestMixedTiers(t *testing.T) {
+	ref := newEngine(t, Config{GradMode: agoffload.Serialized})
+	refLoss := trainK(t, ref, 2)
+
+	mixed := newEngine(t, Config{
+		GradMode: agoffload.Optimized,
+		Swap:     map[int]Tier{0: SwapHost, 2: SwapSSD}, // block 1 recomputes
+	})
+	got := trainK(t, mixed, 2)
+	for i := range refLoss {
+		if refLoss[i] != got[i] {
+			t.Fatalf("loss[%d] differs under mixed tiers", i)
+		}
+	}
+	st := mixed.Stats()
+	if st.ActBytesHost == 0 || st.ActBytesOffload == 0 || st.RecomputedBlocks != 2 {
+		t.Errorf("mixed-tier traffic wrong: %+v", st)
+	}
+}
+
+// TestHostTierReleasesMemory: after backward, host-tier reservations are
+// freed, so a pool sized for one step suffices indefinitely.
+func TestHostTierReleasesMemory(t *testing.T) {
+	e := newEngine(t, Config{
+		GradMode:   agoffload.Optimized,
+		Swap:       map[int]Tier{0: SwapHost, 1: SwapHost, 2: SwapHost},
+		HostMemory: 64 * units.KiB, // roughly one step's caches
+	})
+	for s := 0; s < 4; s++ {
+		tokens, targets := data(e.cfg.Model, int64(s))
+		if _, err := e.TrainStep(tokens, targets); err != nil {
+			t.Fatalf("step %d: %v (host tier leaking?)", s, err)
+		}
+	}
+	if used := e.hostPool.Used(); used != 0 {
+		t.Errorf("host pool retains %v after steps", used)
+	}
+}
+
+// TestDelayedUpdateStaleness demonstrates footnote 4: the one-step delayed
+// update produces *different* parameters than synchronous training — the
+// staleness Ratel's active gradient offloading avoids.
+func TestDelayedUpdateStaleness(t *testing.T) {
+	sync := newEngine(t, Config{GradMode: agoffload.Optimized})
+	trainK(t, sync, 4)
+
+	delayed := newEngine(t, Config{GradMode: agoffload.Optimized, DelayedUpdate: true})
+	trainK(t, delayed, 4)
+	if err := delayed.FlushDelayed(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := paramsSnapshot(sync.Model()), paramsSnapshot(delayed.Model())
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("delayed update produced identical parameters; staleness not modeled")
+	}
+	// Both applied the same number of optimizer steps after the flush.
+	if sync.optimizer.Step() != delayed.optimizer.Step() {
+		t.Errorf("steps: sync %d vs delayed %d", sync.optimizer.Step(), delayed.optimizer.Step())
+	}
+}
+
+// TestDelayedUpdateStillLearns: staleness changes the trajectory but the
+// loss still decreases on a fixed batch (why ZeRO-Offload ships it as an
+// option).
+func TestDelayedUpdateStillLearns(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Optimized, DelayedUpdate: true})
+	tokens, targets := data(e.cfg.Model, 11)
+	var first, last float64
+	for s := 0; s < 10; s++ {
+		loss, err := e.TrainStep(tokens, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("delayed update never learned: %.4f -> %.4f", first, last)
+	}
+	if err := e.FlushDelayed(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FlushDelayed(); err != nil { // second flush is a no-op
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointResume: save after k steps, restore into a fresh engine,
+// continue — bit-identical to an uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	straight := newEngine(t, Config{GradMode: agoffload.Optimized})
+	trainK(t, straight, 5)
+	want := paramsSnapshot(straight.Model())
+
+	first := newEngine(t, Config{GradMode: agoffload.Optimized})
+	trainK(t, first, 3)
+	var buf bytes.Buffer
+	if err := first.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := newEngine(t, Config{GradMode: agoffload.Optimized})
+	if err := resumed.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Continue with the same batches 3 and 4.
+	for s := 3; s < 5; s++ {
+		tokens, targets := data(resumed.cfg.Model, int64(s))
+		if _, err := resumed.TrainStep(tokens, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := paramsSnapshot(resumed.Model())
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("resumed run diverged from uninterrupted run")
+		}
+	}
+}
+
+// TestCheckpointErrors covers the failure paths.
+func TestCheckpointErrors(t *testing.T) {
+	e := newEngine(t, Config{})
+	if err := e.LoadCheckpoint(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	// A checkpoint from a differently-shaped model is rejected.
+	small := newEngine(t, Config{Model: miniConfigWith(2)})
+	var buf bytes.Buffer
+	if err := small.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCheckpoint(&buf); err == nil {
+		t.Error("mismatched checkpoint accepted")
+	}
+}
+
+// TestTierString covers the enum.
+func TestTierString(t *testing.T) {
+	for _, tier := range []Tier{Recompute, SwapHost, SwapSSD} {
+		if tier.String() == "" {
+			t.Error("empty tier string")
+		}
+	}
+	if Tier(99).String() == "" {
+		t.Error("unknown tier should still render")
+	}
+}
+
+// TestGradientAccumulation: micro-batched steps approximate one big-batch
+// step — each micro-batch's samples contribute the same per-sample
+// gradients (no cross-sample interaction in the model), so the averaged
+// accumulation matches the same data trained sample-parallel, up to fp32
+// summation order.
+func TestGradientAccumulation(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Optimized})
+	cfg := e.cfg.Model
+	t1, g1 := data(cfg, 21)
+	t2, g2 := data(cfg, 22)
+	loss, err := e.TrainStepAccum([]Batch{{t1, g1}, {t2, g2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if e.optimizer.Step() != 1 {
+		t.Errorf("accumulated step count = %d, want 1", e.optimizer.Step())
+	}
+	if e.Stats().Steps != 1 {
+		t.Errorf("stats steps = %d, want 1", e.Stats().Steps)
+	}
+
+	// The accumulated update differs from two separate steps (one vs two
+	// optimizer applications) but not wildly: parameters stay finite and
+	// close to a reference single step on t1.
+	for _, p := range e.Model().Params() {
+		for _, v := range p.W.Data {
+			if v != v || v > 1e3 || v < -1e3 { // NaN or blowup
+				t.Fatalf("parameter %s diverged: %v", p.Name, v)
+			}
+		}
+	}
+}
+
+// TestGradientAccumulationLearns: accumulation still reduces loss on a
+// fixed pair of micro-batches.
+func TestGradientAccumulationLearns(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Serialized})
+	cfg := e.cfg.Model
+	t1, g1 := data(cfg, 31)
+	t2, g2 := data(cfg, 31) // identical: a fixed effective batch
+	var first, last float64
+	for s := 0; s < 8; s++ {
+		loss, err := e.TrainStepAccum([]Batch{{t1, g1}, {t2, g2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("accumulated training did not learn: %.4f -> %.4f", first, last)
+	}
+}
+
+// TestGradientAccumulationMatchesScaledStep: accumulating the SAME
+// micro-batch twice equals a single step on it (mean of two identical
+// gradients), bit-for-bit.
+func TestGradientAccumulationMatchesScaledStep(t *testing.T) {
+	cfg := miniConfig()
+	tokens, targets := data(cfg, 41)
+
+	accum := newEngine(t, Config{GradMode: agoffload.Optimized})
+	if _, err := accum.TrainStepAccum([]Batch{{tokens, targets}, {tokens, targets}}); err != nil {
+		t.Fatal(err)
+	}
+	single := newEngine(t, Config{GradMode: agoffload.Optimized})
+	if _, err := single.TrainStep(tokens, targets); err != nil {
+		t.Fatal(err)
+	}
+	a, b := paramsSnapshot(accum.Model()), paramsSnapshot(single.Model())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("duplicate-micro-batch accumulation diverged from single step")
+		}
+	}
+}
+
+// TestTrainStepAccumErrors covers the guard rails.
+func TestTrainStepAccumErrors(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Optimized})
+	if _, err := e.TrainStepAccum(nil); err == nil {
+		t.Error("empty micro-batch list accepted")
+	}
+	d := newEngine(t, Config{GradMode: agoffload.Optimized, DelayedUpdate: true})
+	cfg := d.cfg.Model
+	tokens, targets := data(cfg, 1)
+	if _, err := d.TrainStepAccum([]Batch{{tokens, targets}}); err == nil {
+		t.Error("accumulation with delayed update accepted")
+	}
+}
+
+// TestLRSchedule: the schedule drives the optimizer's learning rate; with a
+// zero-LR schedule parameters never move.
+func TestLRSchedule(t *testing.T) {
+	frozen := newEngine(t, Config{
+		GradMode:   agoffload.Optimized,
+		LRSchedule: func(int) float64 { return 0 },
+	})
+	before := paramsSnapshot(frozen.Model())
+	trainK(t, frozen, 2)
+	after := paramsSnapshot(frozen.Model())
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("zero learning rate still moved parameters")
+		}
+	}
+}
+
+// TestDropoutOffloadTransparency: with dropout enabled, offloaded training
+// still matches recompute training bit-for-bit — the counter-based masks
+// replay identically on both paths.
+func TestDropoutOffloadTransparency(t *testing.T) {
+	cfg := miniConfig()
+	cfg.Dropout = 0.15
+	ref := newEngine(t, Config{Model: cfg, GradMode: agoffload.Optimized})
+	refLoss := trainK(t, ref, 3)
+
+	off := newEngine(t, Config{
+		Model: cfg, GradMode: agoffload.Optimized,
+		Swap: map[int]Tier{0: SwapSSD, 1: SwapHost, 2: SwapSSD},
+	})
+	offLoss := trainK(t, off, 3)
+	for i := range refLoss {
+		if refLoss[i] != offLoss[i] {
+			t.Fatalf("loss[%d] differs with dropout + offload: %v vs %v", i, refLoss[i], offLoss[i])
+		}
+	}
+	a, b := paramsSnapshot(ref.Model()), paramsSnapshot(off.Model())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("dropout + offload training diverged from recompute")
+		}
+	}
+}
+
+// TestDropoutCheckpointResume: the model's forward-pass counter rides in
+// the checkpoint, so dropout masks line up after resume.
+func TestDropoutCheckpointResume(t *testing.T) {
+	cfg := miniConfig()
+	cfg.Dropout = 0.2
+	straight := newEngine(t, Config{Model: cfg, GradMode: agoffload.Optimized})
+	trainK(t, straight, 4)
+	want := paramsSnapshot(straight.Model())
+
+	first := newEngine(t, Config{Model: cfg, GradMode: agoffload.Optimized})
+	trainK(t, first, 2)
+	var buf bytes.Buffer
+	if err := first.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed := newEngine(t, Config{Model: cfg, GradMode: agoffload.Optimized})
+	if err := resumed.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for s := 2; s < 4; s++ {
+		tokens, targets := data(cfg, int64(s))
+		if _, err := resumed.TrainStep(tokens, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := paramsSnapshot(resumed.Model())
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("dropout resume diverged (forward-pass counter not restored?)")
+		}
+	}
+}
+
+// TestStaticLossScaling: gradients travel at scale x and the optimizer
+// unscales, so training still converges; the scale is visible via
+// LossScale.
+func TestStaticLossScaling(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Optimized, LossScale: 1024})
+	if e.LossScale() != 1024 {
+		t.Fatalf("LossScale = %v", e.LossScale())
+	}
+	tokens, targets := data(e.cfg.Model, 51)
+	var first, last float64
+	for s := 0; s < 10; s++ {
+		loss, err := e.TrainStep(tokens, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("scaled training did not learn: %.4f -> %.4f", first, last)
+	}
+	for _, p := range e.Model().Params() {
+		for _, v := range p.W.Data {
+			if v != v {
+				t.Fatal("NaN parameter under static scaling")
+			}
+		}
+	}
+}
+
+// TestDynamicLossScalingRecovers: an absurd initial scale overflows the
+// fp16 gradients; the scaler halves until steps apply, and the skipped
+// steps do not advance the optimizer.
+func TestDynamicLossScalingRecovers(t *testing.T) {
+	e := newEngine(t, Config{
+		GradMode:         agoffload.Serialized,
+		LossScale:        1 << 24, // guaranteed overflow at first
+		DynamicLossScale: true,
+	})
+	tokens, targets := data(e.cfg.Model, 52)
+	for s := 0; s < 20; s++ {
+		if _, err := e.TrainStep(tokens, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.SkippedSteps == 0 {
+		t.Error("no overflow skips despite a 2^24 initial scale")
+	}
+	if e.LossScale() >= 1<<24 {
+		t.Errorf("scale did not shrink: %v", e.LossScale())
+	}
+	if applied := e.optimizer.Step(); applied != 20-st.SkippedSteps {
+		t.Errorf("optimizer applied %d steps, want %d (20 - %d skipped)",
+			applied, 20-st.SkippedSteps, st.SkippedSteps)
+	}
+	// Parameters stay finite through the overflow storm.
+	for _, p := range e.Model().Params() {
+		for _, v := range p.W.Data {
+			if v != v {
+				t.Fatal("NaN parameter after recovery")
+			}
+		}
+	}
+}
+
+// TestDynamicScalingRequiresSerialized: the guard rails hold.
+func TestDynamicScalingRequiresSerialized(t *testing.T) {
+	_, err := New(Config{Model: miniConfig(), GradMode: agoffload.Optimized, DynamicLossScale: true})
+	if err == nil {
+		t.Error("dynamic scaling with overlapped handlers accepted")
+	}
+	d := newEngine(t, Config{GradMode: agoffload.Serialized, DynamicLossScale: true})
+	t1, g1 := data(d.cfg.Model, 1)
+	if _, err := d.TrainStepAccum([]Batch{{t1, g1}}); err == nil {
+		t.Error("accumulation with dynamic scaling accepted")
+	}
+}
+
+// TestEvalLoss: evaluation neither updates parameters nor advances the
+// dropout counter, and matches the training loss at the same parameters.
+func TestEvalLoss(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Optimized})
+	tokens, targets := data(e.cfg.Model, 61)
+	before := paramsSnapshot(e.Model())
+	evalLoss, err := e.EvalLoss(tokens, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := paramsSnapshot(e.Model())
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("EvalLoss changed parameters")
+		}
+	}
+	trainLoss, err := e.TrainStep(tokens, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evalLoss != trainLoss {
+		t.Fatalf("eval loss %v != training loss %v at identical parameters", evalLoss, trainLoss)
+	}
+}
+
+// TestEngineConfigFuzz: random valid configurations train one step without
+// error and produce a finite loss.
+func TestEngineConfigFuzz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		heads := 1 + rng.Intn(3)
+		cfg := Config{
+			Model: nn.Config{
+				Vocab:   8 + rng.Intn(40),
+				Seq:     2 + rng.Intn(8),
+				Hidden:  heads * (4 + 4*rng.Intn(3)),
+				Heads:   heads,
+				Layers:  1 + rng.Intn(4),
+				Batch:   1 + rng.Intn(3),
+				Seed:    seed,
+				Dropout: []float64{0, 0, 0.1}[rng.Intn(3)],
+			},
+			GradMode:  []agoffload.Mode{agoffload.Serialized, agoffload.Naive, agoffload.Optimized}[rng.Intn(3)],
+			Devices:   1 + rng.Intn(4),
+			LossScale: []float64{0, 0, 256}[rng.Intn(3)],
+		}
+		swap := map[int]Tier{}
+		for b := 0; b < cfg.Model.Layers; b++ {
+			swap[b] = Tier(rng.Intn(3))
+		}
+		cfg.Swap = swap
+		e, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		defer e.Close()
+		tokens, targets := data(cfg.Model, seed)
+		loss, err := e.TrainStep(tokens, targets)
+		if err != nil {
+			return false
+		}
+		return loss > 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClipGroupNorm: a tiny clip norm shrinks the optimizer moments and
+// therefore the realized update, relative to unclipped training on the
+// same data.
+func TestClipGroupNorm(t *testing.T) {
+	run := func(clip float64) []float32 {
+		e := newEngine(t, Config{GradMode: agoffload.Optimized, ClipGroupNorm: clip})
+		tokens, targets := data(e.cfg.Model, 71)
+		if _, err := e.TrainStep(tokens, targets); err != nil {
+			t.Fatal(err)
+		}
+		return paramsSnapshot(e.Model())
+	}
+	init := func() []float32 {
+		e := newEngine(t, Config{GradMode: agoffload.Optimized})
+		return paramsSnapshot(e.Model())
+	}
+	start := init()
+	unclipped := run(0)
+	clipped := run(1e-4)
+	move := func(after []float32) float64 {
+		var sq float64
+		for i := range after {
+			d := float64(after[i] - start[i])
+			sq += d * d
+		}
+		return sq
+	}
+	if move(clipped) >= move(unclipped) {
+		t.Errorf("clipping did not shrink the update: %v vs %v", move(clipped), move(unclipped))
+	}
+	if move(clipped) == 0 {
+		t.Error("clipping zeroed the update entirely")
+	}
+}
+
+// TestPrefetchEquivalence: the prefetch pipeline changes timing only —
+// training with and without it is bit-identical.
+func TestPrefetchEquivalence(t *testing.T) {
+	swap := map[int]Tier{0: SwapSSD, 1: SwapSSD, 2: SwapSSD}
+	with := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: swap})
+	without := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: swap, DisablePrefetch: true})
+	a := trainK(t, with, 3)
+	b := trainK(t, without, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loss[%d] differs with prefetch: %v vs %v", i, a[i], b[i])
+		}
+	}
+	pa, pb := paramsSnapshot(with.Model()), paramsSnapshot(without.Model())
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("prefetch changed training values")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ratel/internal/capacity"
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/plan"
+	"ratel/internal/strategy"
+	"ratel/internal/units"
+)
+
+func init() {
+	register("fig9a", "Throughput of activation-management strategies, 70B (Fig. 9a)", fig9a)
+	register("tableV", "Batch sizes adopted by activation-management strategies, 70B (Table V)", tableV)
+	register("fig9b", "Iteration time vs swapped activation size, 13B (Fig. 9b)", fig9b)
+}
+
+var actMgmtSystems = []strategy.Policy{strategy.RatelDS, strategy.RatelCap,
+	strategy.RatelG10, strategy.RatelCM, strategy.Ratel}
+
+var tableVBatchGrid = []int{8, 16, 24, 32}
+
+func fig9a(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprint(tw, "strategy\\mainmem(GiB)")
+	mems := []int{128, 256, 512}
+	for _, m := range mems {
+		fmt.Fprintf(tw, "\t%d", m)
+	}
+	fmt.Fprintln(tw, "\t(tokens/s at adopted batch)")
+	for _, p := range actMgmtSystems {
+		fmt.Fprintf(tw, "%s", p.Name)
+		for _, mem := range mems {
+			srv := evalServer(hw.RTX4090, mem, 12)
+			b, ok := capacity.MaxBatch(p, mustModel("70B"), srv, tableVBatchGrid)
+			if !ok {
+				fmt.Fprint(tw, "\tFailed")
+				continue
+			}
+			rep, err := itersim.Simulate(p, mustModel("70B"), b, srv)
+			if err != nil {
+				fmt.Fprint(tw, "\tFailed")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.0f", rep.TokensPerSec)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func tableV(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "strategy\\mainmem(GiB)\t128\t256\t512")
+	for _, p := range actMgmtSystems {
+		fmt.Fprintf(tw, "%s", p.Name)
+		for _, mem := range []int{128, 256, 512} {
+			srv := evalServer(hw.RTX4090, mem, 12)
+			b, ok := capacity.MaxBatch(p, mustModel("70B"), srv, tableVBatchGrid)
+			if !ok {
+				fmt.Fprint(tw, "\tFailed")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%d", b)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// fig9b sweeps the swapped-activation amount for the 13B model at several
+// batch sizes and marks the planner's predicted optimum (the stars of
+// Fig. 9b).
+func fig9b(w io.Writer) error {
+	srv := evalServer(hw.RTX4090, 768, 12)
+	for _, batch := range []int{24, 36, 48, 60} {
+		profile := capacity.PlannerProfile(strategy.Ratel, mustModel("13B"), batch, srv)
+		curve, err := plan.Curve(profile)
+		if err != nil {
+			return err
+		}
+		opt, err := plan.Optimize(profile)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- batch %d (case %v, predicted optimum at %.0f GiB, %.1f s) --\n",
+			batch, opt.Case, opt.AG2M.GiBf(), opt.Predicted.Titer)
+		tw := table(w)
+		fmt.Fprintln(tw, "swapped(GiB)\titeration(s)")
+		step := len(curve) / 12
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(curve); i += step {
+			pt := curve[i]
+			marker := ""
+			if near(pt.AG2M, opt.AG2M) {
+				marker = "  <- predicted optimum"
+			}
+			fmt.Fprintf(tw, "%.0f\t%.1f%s\n", pt.AG2M.GiBf(), pt.Times.Titer, marker)
+		}
+		last := curve[len(curve)-1]
+		fmt.Fprintf(tw, "%.0f\t%.1f\n", last.AG2M.GiBf(), last.Times.Titer)
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func near(a, b units.Bytes) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 4*units.GiB
+}

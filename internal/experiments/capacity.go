@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ratel/internal/capacity"
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/strategy"
+)
+
+func init() {
+	register("fig2a", "Max trainable model size of prior systems vs main memory (Fig. 2a)", fig2a)
+	register("fig6", "Max trainable model size, all systems, 4090/3090 and 4080 (Fig. 6)", fig6)
+	register("fig8", "Effect of swapping activations to SSDs on trainable size (Fig. 8)", fig8)
+}
+
+func mustModel(name string) model.Config { return model.MustByName(name) }
+
+var memSweepGiB = []int{128, 256, 384, 512, 640, 768}
+
+func maxSizeRow(w io.Writer, p strategy.Policy, gpu hw.GPU, batch int) {
+	fmt.Fprintf(w, "%s", p.Name)
+	for _, mem := range memSweepGiB {
+		srv := evalServer(gpu, mem, 12)
+		cfg, ok := capacity.MaxModel(p, srv, batch, lmCandidates())
+		if !ok {
+			fmt.Fprint(w, "\t-")
+			continue
+		}
+		fmt.Fprintf(w, "\t%s", cfg.Name)
+	}
+	fmt.Fprintln(w)
+}
+
+func fig2a(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprint(tw, "system\\mainmem(GiB)")
+	for _, m := range memSweepGiB {
+		fmt.Fprintf(tw, "\t%d", m)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range []strategy.Policy{strategy.FlashNeuron, strategy.ColossalAI, strategy.ZeROInfinity} {
+		maxSizeRow(tw, p, hw.RTX4090, 1)
+	}
+	return tw.Flush()
+}
+
+func fig6(w io.Writer) error {
+	systems := []strategy.Policy{strategy.FlashNeuron, strategy.ColossalAI,
+		strategy.ZeROInfinity, strategy.ZeROOffload, strategy.Ratel}
+	for _, gpu := range []hw.GPU{hw.RTX4090, hw.RTX4080} {
+		fmt.Fprintf(w, "-- %s --\n", gpu.Name)
+		tw := table(w)
+		fmt.Fprint(tw, "system\\mainmem(GiB)")
+		for _, m := range memSweepGiB {
+			fmt.Fprintf(tw, "\t%d", m)
+		}
+		fmt.Fprintln(tw)
+		for _, p := range systems {
+			maxSizeRow(tw, p, gpu, 1)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig8(w io.Writer) error {
+	batches := []int{12, 24, 36, 60}
+	for _, mem := range []int{128, 256} {
+		fmt.Fprintf(w, "-- %d GiB main memory --\n", mem)
+		tw := table(w)
+		fmt.Fprint(tw, "variant\\batch")
+		for _, b := range batches {
+			fmt.Fprintf(tw, "\t%d", b)
+		}
+		fmt.Fprintln(tw)
+		for _, p := range []strategy.Policy{strategy.RatelCpuAct, strategy.Ratel} {
+			fmt.Fprintf(tw, "%s", p.Name)
+			for _, b := range batches {
+				srv := evalServer(hw.RTX4090, mem, 12)
+				cfg, ok := capacity.MaxModel(p, srv, b, lmCandidates())
+				if !ok {
+					fmt.Fprint(tw, "\t-")
+					continue
+				}
+				fmt.Fprintf(tw, "\t%s", cfg.Name)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) from the calibrated simulator, one function per artifact.
+// Both cmd/ratelbench and the top-level benchmarks drive this package, so
+// the numbers in EXPERIMENTS.md, the CLI and `go test -bench` agree.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/units"
+)
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(w io.Writer) error) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All lists the registered experiments in a stable order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, w io.Writer) error {
+	for _, e := range registry {
+		if e.ID == id {
+			fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+			return e.Run(w)
+		}
+	}
+	return fmt.Errorf("experiments: unknown id %q (try: %v)", id, IDs())
+}
+
+// IDs lists the available experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// evalServer is the Table III machine with the given GPU, memory and SSDs.
+func evalServer(gpu hw.GPU, memGiB int, ssds int) hw.Server {
+	return hw.EvalServer(gpu, units.Bytes(memGiB)*units.GiB, ssds)
+}
+
+// lmCandidates is the model list capacity experiments search.
+func lmCandidates() []model.Config {
+	return append(append([]model.Config{}, model.SmallLMs...), model.TableIV...)
+}
+
+// table starts an aligned writer.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}

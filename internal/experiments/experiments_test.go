@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment and checks the
+// output is substantive: these are the exact code paths cmd/ratelbench and
+// the top-level benchmarks exercise.
+func TestAllExperimentsRun(t *testing.T) {
+	if len(All()) < 17 {
+		t.Fatalf("only %d experiments registered; every paper artifact needs one", len(All()))
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(e.ID, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() < 80 {
+				t.Errorf("%s produced only %d bytes of output", e.ID, buf.Len())
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := Run("fig999", io.Discard); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestIDsSortedAndUnique(t *testing.T) {
+	ids := IDs()
+	seen := map[string]bool{}
+	for i, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+		if i > 0 && ids[i-1] >= id {
+			t.Errorf("ids not sorted: %q before %q", ids[i-1], id)
+		}
+	}
+}
+
+// TestKeyArtifactsContainHeadlines spot-checks that the rendered experiments
+// carry the paper's headline content.
+func TestKeyArtifactsContainHeadlines(t *testing.T) {
+	checks := map[string][]string{
+		"fig1":   {"ZeRO-Infinity", "G10", "Ratel", "optimizer tail"},
+		"fig5a":  {"Ratel", "ZeRO-Offload", "Colossal-AI"},
+		"fig6":   {"276B", "175B", "135B"},
+		"fig9b":  {"predicted optimum"},
+		"fig13":  {"Megatron DGX-A100", "advantage"},
+		"tableV": {"Failed"},
+	}
+	for id, wants := range checks {
+		var buf bytes.Buffer
+		if err := Run(id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", id, w, out)
+			}
+		}
+	}
+}

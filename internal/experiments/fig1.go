@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/strategy"
+	"ratel/internal/trace"
+)
+
+func init() {
+	register("fig1", "Stage breakdown of ZeRO-Infinity, G10 and Ratel (13B, batch 32, 12 SSDs)", fig1)
+	register("fig2b", "ZeRO-Infinity GPU busy time vs batch size (Fig. 2b)", fig2b)
+	register("fig2c", "ZeRO-Infinity optimizer-stage proportion vs batch size (Fig. 2c)", fig2c)
+}
+
+// fig1 reproduces the Fig. 1 breakdowns: per-stage durations and per-stage
+// link utilizations for the three archetypes.
+func fig1(w io.Writer) error {
+	srv := evalServer(hw.RTX4090, 768, 12)
+	for _, p := range []strategy.Policy{strategy.ZeROInfinity, strategy.G10, strategy.Ratel} {
+		rep, err := itersim.Simulate(p, mustModel("13B"), 32, srv)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: forward %.1fs, backward %.1fs, optimizer tail %.1fs, iteration %.1fs\n",
+			p.Name, rep.ForwardEnd, rep.BackwardEnd-rep.ForwardEnd, rep.OptimizerTail, rep.Makespan)
+		fmt.Fprintf(w, "  GPU busy %.0f%%, swapped activations %v (alpha %v), recompute %.0f TFLOP\n",
+			100*rep.GPUBusyFrac, rep.AG2M, rep.AlphaBytes, rep.FLOPr.TFLOPf())
+		fmt.Fprint(w, trace.FormatStageUtilization(rep.Result, trace.StageWindows{
+			ForwardEnd: rep.ForwardEnd, BackwardEnd: rep.BackwardEnd, End: rep.Makespan,
+		}))
+		fmt.Fprint(w, trace.Gantt(rep.Result, 72))
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func fig2b(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprint(tw, "model\\batch")
+	batches := []int{8, 16, 32, 64}
+	for _, b := range batches {
+		fmt.Fprintf(tw, "\t%d", b)
+	}
+	fmt.Fprintln(tw)
+	srv := evalServer(hw.RTX4090, 768, 12)
+	for _, name := range []string{"13B", "30B", "70B"} {
+		fmt.Fprintf(tw, "%s", name)
+		for _, b := range batches {
+			rep, err := itersim.Simulate(strategy.ZeROInfinity, mustModel(name), b, srv)
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.0f%%", 100*rep.GPUBusyFrac)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func fig2c(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprint(tw, "model\\batch")
+	batches := []int{8, 16, 32, 64}
+	for _, b := range batches {
+		fmt.Fprintf(tw, "\t%d", b)
+	}
+	fmt.Fprintln(tw)
+	srv := evalServer(hw.RTX4090, 768, 12)
+	for _, name := range []string{"13B", "30B", "70B"} {
+		fmt.Fprintf(tw, "%s", name)
+		for _, b := range batches {
+			rep, err := itersim.Simulate(strategy.ZeROInfinity, mustModel(name), b, srv)
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.0f%%", 100*rep.OptimizerShare)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

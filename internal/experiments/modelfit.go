@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ratel/internal/capacity"
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/plan"
+	"ratel/internal/strategy"
+)
+
+func init() {
+	register("modelfit", "Analytical iteration-time model (Eqs. 1-5) vs discrete-event simulation", modelfit)
+}
+
+// modelfit cross-validates the paper's closed-form iteration-time model
+// against the discrete-event simulator for Ratel across models and batch
+// sizes. The analytical model assumes perfect overlap (pure max()), so the
+// simulated time — which pays pipeline fill/drain and scheduling slack —
+// should sit slightly above it, never far.
+func modelfit(w io.Writer) error {
+	srv := evalServer(hw.RTX4090, 768, 12)
+	tw := table(w)
+	fmt.Fprintln(tw, "model\tbatch\tanalytical(s)\tsimulated(s)\tsim/analytical")
+	worst := 0.0
+	for _, name := range []string{"6B", "13B", "30B", "70B"} {
+		for _, batch := range []int{8, 32} {
+			profile := capacity.PlannerProfile(strategy.Ratel, mustModel(name), batch, srv)
+			pl, err := plan.Optimize(profile)
+			if err != nil {
+				return err
+			}
+			rep, err := itersim.Simulate(strategy.Ratel, mustModel(name), batch, srv)
+			if err != nil {
+				return err
+			}
+			ratio := float64(rep.Makespan) / float64(pl.Predicted.Titer)
+			if r := math.Abs(ratio - 1); r > worst {
+				worst = r
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.2fx\n",
+				name, batch, pl.Predicted.Titer, rep.Makespan, ratio)
+		}
+	}
+	fmt.Fprintf(tw, "worst deviation: %.0f%%\n", 100*worst)
+	return tw.Flush()
+}

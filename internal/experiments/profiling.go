@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/profile"
+	"ratel/internal/strategy"
+)
+
+func init() {
+	register("profiling", "Hardware-aware profiling iteration overhead (§IV-B)", profilingExperiment)
+}
+
+// profilingExperiment quantifies §IV-B's claim: the first (profiling)
+// iteration costs 2-3x a steady one, which amortizes to nothing over a
+// fine-tuning run of thousands of iterations.
+func profilingExperiment(w io.Writer) error {
+	srv := evalServer(hw.RTX4090, 768, 12)
+	tw := table(w)
+	fmt.Fprintln(tw, "model\tbatch\tprofiling(s)\tsteady(s)\tratio\tamortized over 1000 iters")
+	for _, name := range []string{"13B", "30B", "70B"} {
+		prof, err := itersim.SimulateProfiling(mustModel(name), 32, srv)
+		if err != nil {
+			return err
+		}
+		steady, err := itersim.Simulate(strategy.Ratel, mustModel(name), 32, srv)
+		if err != nil {
+			return err
+		}
+		ratio := float64(prof.Makespan) / float64(steady.Makespan)
+		overhead := profile.Overhead(prof.Makespan, steady.Makespan, 1000)
+		fmt.Fprintf(tw, "%s\t32\t%.1f\t%.1f\t%.2fx\t+%.2f%%\n",
+			name, prof.Makespan, steady.Makespan, ratio, 100*overhead)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ratel/internal/cost"
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/strategy"
+)
+
+func init() {
+	register("fig10a", "Max throughput vs number of SSDs, 135B (Fig. 10a)", fig10a)
+	register("fig10b", "Ratel TFLOPS vs number of SSDs, 13B (Fig. 10b)", fig10b)
+	register("fig11", "Multi-GPU throughput, 13B and 70B on 2/4 GPUs (Fig. 11)", fig11)
+	register("fig12", "Diffusion-model throughput: Ratel vs Fast-DiT (Fig. 12 / Table VI)", fig12)
+	register("fig13", "Cost-effectiveness: Ratel 4x4090 vs Megatron DGX-A100 (Fig. 13 / Table VII)", fig13)
+}
+
+var ssdSweep = []int{1, 2, 3, 6, 12}
+
+func fig10a(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprint(tw, "system\\ssds")
+	for _, n := range ssdSweep {
+		fmt.Fprintf(tw, "\t%d", n)
+	}
+	fmt.Fprintln(tw, "\t(tokens/s at best batch)")
+	for _, p := range []strategy.Policy{strategy.ZeROInfinity, strategy.Ratel} {
+		fmt.Fprintf(tw, "%s", p.Name)
+		for _, n := range ssdSweep {
+			srv := evalServer(hw.RTX4090, 768, n)
+			rep, err := itersim.BestThroughput(p, mustModel("135B"), srv, feasibleBatchGrid)
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.1f", rep.TokensPerSec)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func fig10b(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprint(tw, "batch\\ssds")
+	for _, n := range ssdSweep {
+		fmt.Fprintf(tw, "\t%d", n)
+	}
+	fmt.Fprintln(tw, "\t(TFLOPS)")
+	for _, b := range []int{32, 48, 64} {
+		fmt.Fprintf(tw, "%d", b)
+		for _, n := range ssdSweep {
+			rep, err := itersim.Simulate(strategy.Ratel, mustModel("13B"), b, evalServer(hw.RTX4090, 768, n))
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.0f", rep.TFLOPS)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func fig11(w io.Writer) error {
+	cases := []struct {
+		model   string
+		gpus    int
+		batches []int
+	}{
+		{"13B", 2, []int{16, 32, 64, 128, 256}},
+		{"70B", 2, []int{16, 32, 48, 64}},
+		{"13B", 4, []int{32, 64, 128, 256, 512}},
+		{"70B", 4, []int{32, 64, 96, 128}},
+	}
+	for _, c := range cases {
+		fmt.Fprintf(w, "-- %s on %d GPUs --\n", c.model, c.gpus)
+		tw := table(w)
+		fmt.Fprint(tw, "system\\global batch")
+		for _, b := range c.batches {
+			fmt.Fprintf(tw, "\t%d", b)
+		}
+		fmt.Fprintln(tw, "\t(tokens/s)")
+		srv := evalServer(hw.RTX4090, 768, 12).WithGPUs(c.gpus)
+		for _, p := range []strategy.Policy{strategy.ZeROInfinity, strategy.Ratel} {
+			fmt.Fprintf(tw, "%s", p.Name)
+			for _, b := range c.batches {
+				rep, err := itersim.SimulateMultiGPU(p, mustModel(c.model), b, srv)
+				if err != nil {
+					fmt.Fprint(tw, "\t-")
+					continue
+				}
+				fmt.Fprintf(tw, "\t%.0f", rep.TokensPerSec)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig12(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "model\tFast-DiT(img/s)\tRatel(img/s)")
+	for _, name := range []string{"DiT-0.67B", "DiT-0.90B", "DiT-1.4B", "DiT-10B", "DiT-20B", "DiT-40B"} {
+		fmt.Fprintf(tw, "%s", name)
+		srv := evalServer(hw.RTX4090, 768, 12)
+		for _, p := range []strategy.Policy{strategy.FastDiT, strategy.Ratel} {
+			rep, err := itersim.BestThroughput(p, mustModel(name), srv, feasibleBatchGrid)
+			if err != nil {
+				fmt.Fprint(tw, "\tOOM")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.1f(b%d)", rep.ImagesPerSec, rep.Batch)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func fig13(w io.Writer) error {
+	base, err := cost.MegatronBaseline(mustModel("30B"), 32)
+	if err != nil {
+		return err
+	}
+	srv := evalServer(hw.RTX4090, 768, 12).WithGPUs(4)
+	sweep, err := cost.RatelSweep(mustModel("30B"), srv, 64, ssdSweep)
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "configuration\tprice($)\ttokens/s\ttok/s per $1k")
+	fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.1f\n", base.Label, base.PriceUSD, base.TokensPerSec, base.TokensPerSecPer1kUSD)
+	for _, p := range sweep {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.1f\n", p.Label, p.PriceUSD, p.TokensPerSec, p.TokensPerSecPer1kUSD)
+	}
+	fmt.Fprintf(tw, "best Ratel advantage over DGX: %.2fx (paper: up to 2.17x)\n", cost.BestAdvantage(sweep, base))
+	return tw.Flush()
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/strategy"
+)
+
+func init() {
+	register("fig5a", "End-to-end throughput vs batch size, 13B on RTX 4090 (Fig. 5a)", fig5a)
+	register("fig5b", "End-to-end throughput vs batch size, 13B on RTX 3090 (Fig. 5b)", fig5b)
+	register("fig5c", "Achieved TFLOPS vs model size on RTX 4090 (Fig. 5c)", fig5c)
+	register("fig7", "Effect of active gradient offloading, 13B and 175B (Fig. 7)", fig7)
+}
+
+var fig5Systems = []strategy.Policy{strategy.ColossalAI, strategy.ZeROInfinity,
+	strategy.ZeROOffload, strategy.Ratel}
+
+func throughputSweep(w io.Writer, gpu hw.GPU, modelName string, batches []int) error {
+	srv := evalServer(gpu, 768, 12)
+	tw := table(w)
+	fmt.Fprint(tw, "system\\batch")
+	for _, b := range batches {
+		fmt.Fprintf(tw, "\t%d", b)
+	}
+	fmt.Fprintln(tw, "\t(tokens/s)")
+	for _, p := range fig5Systems {
+		fmt.Fprintf(tw, "%s", p.Name)
+		for _, b := range batches {
+			rep, err := itersim.Simulate(p, mustModel(modelName), b, srv)
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.0f", rep.TokensPerSec)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func fig5a(w io.Writer) error {
+	return throughputSweep(w, hw.RTX4090, "13B", []int{8, 16, 32, 64, 128})
+}
+
+func fig5b(w io.Writer) error {
+	return throughputSweep(w, hw.RTX3090, "13B", []int{8, 16, 32, 64})
+}
+
+var feasibleBatchGrid = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+func fig5c(w io.Writer) error {
+	srv := evalServer(hw.RTX4090, 768, 12)
+	tw := table(w)
+	fmt.Fprintf(tw, "measured peak: %.0f TFLOPS\n", hw.RTX4090.PeakFP16.TFLOPSf())
+	fmt.Fprint(tw, "system\\model")
+	models := []string{"13B", "30B", "70B", "135B", "175B"}
+	for _, m := range models {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw, "\t(TFLOPS at best batch)")
+	for _, p := range []strategy.Policy{strategy.ZeROInfinity, strategy.ZeROOffload, strategy.Ratel} {
+		fmt.Fprintf(tw, "%s", p.Name)
+		for _, m := range models {
+			rep, err := itersim.BestThroughput(p, mustModel(m), srv, feasibleBatchGrid)
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.0f(b%d)", rep.TFLOPS, rep.Batch)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func fig7(w io.Writer) error {
+	variants := []strategy.Policy{strategy.RatelZeRO, strategy.RatelNaive, strategy.Ratel}
+	cases := []struct {
+		model   string
+		batches []int
+	}{
+		{"13B", []int{8, 16, 32, 64}},
+		{"175B", []int{8, 16}},
+	}
+	srv := evalServer(hw.RTX4090, 768, 12)
+	for _, c := range cases {
+		fmt.Fprintf(w, "-- %s --\n", c.model)
+		tw := table(w)
+		fmt.Fprint(tw, "variant\\batch")
+		for _, b := range c.batches {
+			fmt.Fprintf(tw, "\t%d", b)
+		}
+		fmt.Fprintln(tw, "\t(tokens/s)")
+		for _, p := range variants {
+			fmt.Fprintf(tw, "%s", p.Name)
+			for _, b := range c.batches {
+				rep, err := itersim.Simulate(p, mustModel(c.model), b, srv)
+				if err != nil {
+					fmt.Fprint(tw, "\t-")
+					continue
+				}
+				fmt.Fprintf(tw, "\t%.0f", rep.TokensPerSec)
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

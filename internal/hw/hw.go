@@ -1,0 +1,145 @@
+// Package hw describes the hardware the paper evaluates on: consumer GPUs,
+// the PCIe fabric, NVMe SSDs, the CPU that runs the out-of-core Adam
+// optimizer, and whole servers (the Table III evaluation server and the
+// DGX-A100 baseline). All calibration constants of the reproduction live
+// here so that every experiment draws from a single source.
+package hw
+
+import (
+	"fmt"
+
+	"ratel/internal/units"
+)
+
+// GPU describes a training accelerator.
+type GPU struct {
+	Name string
+	// Memory is the device memory capacity.
+	Memory units.Bytes
+	// PeakFP16 is the *measured* peak mixed-precision throughput, i.e. the
+	// green "Measured Peak TFLOPS" line of Fig. 5c: what a transformer block
+	// achieves inside the GPU with no PCIe traffic. It is below the vendor
+	// datasheet number.
+	PeakFP16 units.FLOPsPerSecond
+	// HasGPUDirect reports whether the GPU supports GPUDirect Storage.
+	// Consumer GPUs do not (§III-C), which disqualifies G10's design.
+	HasGPUDirect bool
+	// NVLink is the per-GPU interconnect bandwidth for multi-GPU servers
+	// (zero for consumer GPUs, which communicate over PCIe).
+	NVLink units.BytesPerSecond
+	// PriceUSD is the unit price used by the cost-effectiveness model.
+	PriceUSD float64
+}
+
+// SSD describes one NVMe device.
+type SSD struct {
+	Name     string
+	Capacity units.Bytes
+	ReadBW   units.BytesPerSecond
+	WriteBW  units.BytesPerSecond
+	PriceUSD float64
+}
+
+// CPU describes the host processor that executes the out-of-core Adam.
+type CPU struct {
+	Name string
+	// AdamParamsPerSec is the mixed-precision Adam update throughput in
+	// parameters per second: for each parameter the CPU reads m, v, p32 and
+	// the fp16 gradient, and writes m, v, p32 and the fp16 parameter copy.
+	AdamParamsPerSec float64
+	Cores            int
+}
+
+// Link describes the PCIe fabric of a server.
+type Link struct {
+	// GPUPerDirection is the effective GPU<->host bandwidth per direction.
+	// The GPU link is duplex: both directions run concurrently (Eq. 2/5
+	// account G2M and M2G separately).
+	GPUPerDirection units.BytesPerSecond
+	// HostSSDAggregate caps the total host<->SSD-array bandwidth regardless
+	// of how many SSDs are attached. The SSD path is treated as simplex:
+	// reads and writes share it (Eq. 2/5 sum SSD terms).
+	HostSSDAggregate units.BytesPerSecond
+}
+
+// Server is a complete machine configuration.
+type Server struct {
+	Name       string
+	GPU        GPU
+	GPUCount   int
+	MainMemory units.Bytes
+	CPU        CPU
+	SSD        SSD
+	SSDCount   int
+	Link       Link
+	// BasePriceUSD is the chassis price without GPUs and SSDs (Table VII).
+	BasePriceUSD float64
+	// FixedPriceUSD, when non-zero, overrides component pricing entirely
+	// (the DGX-A100 is priced as a unit).
+	FixedPriceUSD float64
+}
+
+// Validate reports a descriptive error for physically meaningless
+// configurations so experiment code can fail fast.
+func (s Server) Validate() error {
+	switch {
+	case s.GPUCount <= 0:
+		return fmt.Errorf("hw: server %q has %d GPUs", s.Name, s.GPUCount)
+	case s.MainMemory <= 0:
+		return fmt.Errorf("hw: server %q has no main memory", s.Name)
+	case s.SSDCount < 0:
+		return fmt.Errorf("hw: server %q has negative SSD count", s.Name)
+	case s.GPU.PeakFP16 <= 0:
+		return fmt.Errorf("hw: server %q GPU %q has no compute throughput", s.Name, s.GPU.Name)
+	case s.Link.GPUPerDirection <= 0:
+		return fmt.Errorf("hw: server %q has no GPU PCIe bandwidth", s.Name)
+	}
+	return nil
+}
+
+// BWS2M is the aggregate SSD-to-main-memory read bandwidth: per-device reads
+// summed across the array, capped by the host link (Table I's BW_S2M).
+func (s Server) BWS2M() units.BytesPerSecond {
+	return capBW(units.BytesPerSecond(float64(s.SSD.ReadBW)*float64(s.SSDCount)), s.Link.HostSSDAggregate)
+}
+
+// BWM2S is the aggregate main-memory-to-SSD write bandwidth (Table I's BW_M2S).
+func (s Server) BWM2S() units.BytesPerSecond {
+	return capBW(units.BytesPerSecond(float64(s.SSD.WriteBW)*float64(s.SSDCount)), s.Link.HostSSDAggregate)
+}
+
+// SSDCapacity is the total capacity of the SSD array.
+func (s Server) SSDCapacity() units.Bytes {
+	return s.SSD.Capacity * units.Bytes(s.SSDCount)
+}
+
+// PriceUSD is the full server price under the Table VII component model.
+func (s Server) PriceUSD() float64 {
+	if s.FixedPriceUSD > 0 {
+		return s.FixedPriceUSD
+	}
+	return s.BasePriceUSD + float64(s.GPUCount)*s.GPU.PriceUSD + float64(s.SSDCount)*s.SSD.PriceUSD
+}
+
+// WithSSDs returns a copy of s with n SSDs (for the Fig. 10/13 sweeps).
+func (s Server) WithSSDs(n int) Server { s.SSDCount = n; return s }
+
+// WithMainMemory returns a copy of s with the given main-memory capacity
+// (for the Fig. 2a/6/8/9a sweeps, where memory is pinned away).
+func (s Server) WithMainMemory(b units.Bytes) Server { s.MainMemory = b; return s }
+
+// WithGPUs returns a copy of s with n GPUs (for the Fig. 11 sweeps).
+func (s Server) WithGPUs(n int) Server { s.GPUCount = n; return s }
+
+func capBW(v, limit units.BytesPerSecond) units.BytesPerSecond {
+	if limit > 0 && v > limit {
+		return limit
+	}
+	return v
+}
+
+// gib, gb, gbps and tflops are construction helpers for the JSON loader.
+func gib(v float64) units.Bytes             { return units.Bytes(v * float64(units.GiB)) }
+func gb(v float64) units.Bytes              { return units.Bytes(v * 1e9) }
+func gbps(v float64) units.BytesPerSecond   { return units.GBps(v) }
+func tflops(v float64) units.FLOPsPerSecond { return units.TFLOPS(v) }

@@ -1,0 +1,167 @@
+package hw
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ratel/internal/units"
+)
+
+func TestEvalServerMatchesTableIII(t *testing.T) {
+	s := EvalServer(RTX4090, 768*units.GiB, 12)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("evaluation server invalid: %v", err)
+	}
+	if s.GPU.Memory != 24*units.GiB {
+		t.Errorf("4090 memory = %v, want 24 GiB", s.GPU.Memory)
+	}
+	if got := s.SSDCapacity().GBf(); math.Abs(got-12*3840) > 1 {
+		t.Errorf("SSD capacity = %.0f GB, want %d GB", got, 12*3840)
+	}
+	if s.GPU.HasGPUDirect {
+		t.Error("consumer GPU should not report GPUDirect (§III-C)")
+	}
+}
+
+func TestSSDBandwidthAggregation(t *testing.T) {
+	// Reads scale linearly until the 32 GB/s host cap: 6.5 GB/s per SSD
+	// means 1→6.5, 3→19.5, 12→32 (capped).
+	cases := []struct {
+		n    int
+		want float64
+	}{{1, 6.5}, {3, 19.5}, {4, 26}, {12, 32}}
+	for _, c := range cases {
+		s := EvalServer(RTX4090, 768*units.GiB, c.n)
+		if got := s.BWS2M().GBpsf(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("BWS2M(%d SSDs) = %.1f GB/s, want %.1f", c.n, got, c.want)
+		}
+	}
+	// Writes: 3.8 GB/s per SSD, capped at 32.
+	s := EvalServer(RTX4090, 768*units.GiB, 12)
+	if got := s.BWM2S().GBpsf(); math.Abs(got-32) > 1e-9 {
+		t.Errorf("BWM2S(12 SSDs) = %.1f GB/s, want 32 (capped)", got)
+	}
+	s = s.WithSSDs(2)
+	if got := s.BWM2S().GBpsf(); math.Abs(got-7.6) > 1e-9 {
+		t.Errorf("BWM2S(2 SSDs) = %.1f GB/s, want 7.6", got)
+	}
+}
+
+func TestServerPricing(t *testing.T) {
+	// Table VII: commodity 4U $14098 + 4x4090 ($1600) + 6 SSDs ($308).
+	s := EvalServer(RTX4090, 768*units.GiB, 6).WithGPUs(4)
+	want := 14098.0 + 4*1600 + 6*308
+	if got := s.PriceUSD(); got != want {
+		t.Errorf("PriceUSD = %.0f, want %.0f", got, want)
+	}
+	if got := DGXA100().PriceUSD(); got != 200000 {
+		t.Errorf("DGX price = %.0f, want 200000", got)
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	s := EvalServer(RTX4090, 768*units.GiB, 12)
+	if got := s.WithMainMemory(128 * units.GiB).MainMemory; got != 128*units.GiB {
+		t.Errorf("WithMainMemory = %v", got)
+	}
+	if got := s.WithSSDs(3).SSDCount; got != 3 {
+		t.Errorf("WithSSDs = %d", got)
+	}
+	if got := s.WithGPUs(2).GPUCount; got != 2 {
+		t.Errorf("WithGPUs = %d", got)
+	}
+	// The originals are unchanged (value semantics).
+	if s.SSDCount != 12 || s.GPUCount != 1 {
+		t.Error("With* helpers mutated the receiver")
+	}
+}
+
+func TestValidateCatchesBadServers(t *testing.T) {
+	good := EvalServer(RTX4090, 768*units.GiB, 12)
+	bad := []Server{
+		func() Server { s := good; s.GPUCount = 0; return s }(),
+		func() Server { s := good; s.MainMemory = 0; return s }(),
+		func() Server { s := good; s.SSDCount = -1; return s }(),
+		func() Server { s := good; s.GPU.PeakFP16 = 0; return s }(),
+		func() Server { s := good; s.Link.GPUPerDirection = 0; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad server %d validated", i)
+		}
+	}
+}
+
+func TestZeroInfinityOptimizerStageCalibration(t *testing.T) {
+	// DESIGN.md §3: the CPU Adam rate is calibrated so ZeRO-Infinity's
+	// serialized 13B optimizer stage is ~23 s: 28 bytes/param of SSD I/O at
+	// 32 GB/s plus Adam at 1.1 G params/s.
+	const params13B = 12.84e9
+	io := 28 * params13B / 32e9
+	adam := params13B / XeonGold5320x2.AdamParamsPerSec
+	if total := io + adam; total < 21 || total > 25 {
+		t.Errorf("calibrated ZeRO-Infinity optimizer stage = %.1f s, want ~23 s", total)
+	}
+}
+
+// TestServerJSONRoundTrip: a server survives serialization, and the loaded
+// description drives the same bandwidth math.
+func TestServerJSONRoundTrip(t *testing.T) {
+	orig := EvalServer(RTX4090, 768*units.GiB, 12)
+	var buf bytes.Buffer
+	if err := WriteServer(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GPU.Name != orig.GPU.Name || got.SSDCount != 12 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if math.Abs(got.BWS2M().GBpsf()-orig.BWS2M().GBpsf()) > 1e-6 {
+		t.Errorf("BWS2M differs after round trip")
+	}
+	if got.PriceUSD() != orig.PriceUSD() {
+		t.Errorf("price differs: %v vs %v", got.PriceUSD(), orig.PriceUSD())
+	}
+}
+
+func TestReadServerRejectsBadInput(t *testing.T) {
+	if _, err := ReadServer(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadServer(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Physically invalid configurations are rejected by Validate.
+	if _, err := ReadServer(strings.NewReader(`{"gpu":{"peak_tflops":0},"gpu_count":1,"main_memory_gib":64,"ssd_count":1,"gpu_link_gbps":21,"host_ssd_cap_gbps":32}`)); err == nil {
+		t.Error("zero-throughput GPU accepted")
+	}
+}
+
+func TestLoadServerFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "server.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteServer(f, DGXA100()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s, err := LoadServer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FixedPriceUSD != 200000 {
+		t.Errorf("loaded DGX price = %v", s.FixedPriceUSD)
+	}
+	if _, err := LoadServer(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

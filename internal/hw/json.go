@@ -1,0 +1,127 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// serverJSON is the on-disk server description, in the units a user would
+// write by hand (GiB, GB/s, TFLOPS, USD).
+type serverJSON struct {
+	Name string `json:"name"`
+	GPU  struct {
+		Name         string  `json:"name"`
+		MemoryGiB    float64 `json:"memory_gib"`
+		PeakTFLOPS   float64 `json:"peak_tflops"`
+		HasGPUDirect bool    `json:"has_gpudirect,omitempty"`
+		NVLinkGBps   float64 `json:"nvlink_gbps,omitempty"`
+		PriceUSD     float64 `json:"price_usd,omitempty"`
+	} `json:"gpu"`
+	GPUCount      int     `json:"gpu_count"`
+	MainMemoryGiB float64 `json:"main_memory_gib"`
+	CPU           struct {
+		Name            string  `json:"name"`
+		AdamGParamsPerS float64 `json:"adam_gparams_per_s"`
+		Cores           int     `json:"cores,omitempty"`
+	} `json:"cpu"`
+	SSD struct {
+		Name       string  `json:"name"`
+		CapacityGB float64 `json:"capacity_gb"`
+		ReadGBps   float64 `json:"read_gbps"`
+		WriteGBps  float64 `json:"write_gbps"`
+		PriceUSD   float64 `json:"price_usd,omitempty"`
+	} `json:"ssd"`
+	SSDCount       int     `json:"ssd_count"`
+	GPULinkGBps    float64 `json:"gpu_link_gbps"`
+	HostSSDCapGBps float64 `json:"host_ssd_cap_gbps"`
+	BasePriceUSD   float64 `json:"base_price_usd,omitempty"`
+	FixedPriceUSD  float64 `json:"fixed_price_usd,omitempty"`
+}
+
+// WriteServer serializes a server description as JSON.
+func WriteServer(w io.Writer, s Server) error {
+	var j serverJSON
+	j.Name = s.Name
+	j.GPU.Name = s.GPU.Name
+	j.GPU.MemoryGiB = s.GPU.Memory.GiBf()
+	j.GPU.PeakTFLOPS = s.GPU.PeakFP16.TFLOPSf()
+	j.GPU.HasGPUDirect = s.GPU.HasGPUDirect
+	j.GPU.NVLinkGBps = s.GPU.NVLink.GBpsf()
+	j.GPU.PriceUSD = s.GPU.PriceUSD
+	j.GPUCount = s.GPUCount
+	j.MainMemoryGiB = s.MainMemory.GiBf()
+	j.CPU.Name = s.CPU.Name
+	j.CPU.AdamGParamsPerS = s.CPU.AdamParamsPerSec / 1e9
+	j.CPU.Cores = s.CPU.Cores
+	j.SSD.Name = s.SSD.Name
+	j.SSD.CapacityGB = s.SSD.Capacity.GBf()
+	j.SSD.ReadGBps = s.SSD.ReadBW.GBpsf()
+	j.SSD.WriteGBps = s.SSD.WriteBW.GBpsf()
+	j.SSD.PriceUSD = s.SSD.PriceUSD
+	j.SSDCount = s.SSDCount
+	j.GPULinkGBps = s.Link.GPUPerDirection.GBpsf()
+	j.HostSSDCapGBps = s.Link.HostSSDAggregate.GBpsf()
+	j.BasePriceUSD = s.BasePriceUSD
+	j.FixedPriceUSD = s.FixedPriceUSD
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadServer parses a JSON server description and validates it.
+func ReadServer(r io.Reader) (Server, error) {
+	var j serverJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Server{}, fmt.Errorf("hw: parse server: %w", err)
+	}
+	s := Server{
+		Name: j.Name,
+		GPU: GPU{
+			Name:         j.GPU.Name,
+			Memory:       gib(j.GPU.MemoryGiB),
+			PeakFP16:     tflops(j.GPU.PeakTFLOPS),
+			HasGPUDirect: j.GPU.HasGPUDirect,
+			NVLink:       gbps(j.GPU.NVLinkGBps),
+			PriceUSD:     j.GPU.PriceUSD,
+		},
+		GPUCount:   j.GPUCount,
+		MainMemory: gib(j.MainMemoryGiB),
+		CPU: CPU{
+			Name:             j.CPU.Name,
+			AdamParamsPerSec: j.CPU.AdamGParamsPerS * 1e9,
+			Cores:            j.CPU.Cores,
+		},
+		SSD: SSD{
+			Name:     j.SSD.Name,
+			Capacity: gb(j.SSD.CapacityGB),
+			ReadBW:   gbps(j.SSD.ReadGBps),
+			WriteBW:  gbps(j.SSD.WriteGBps),
+			PriceUSD: j.SSD.PriceUSD,
+		},
+		SSDCount: j.SSDCount,
+		Link: Link{
+			GPUPerDirection:  gbps(j.GPULinkGBps),
+			HostSSDAggregate: gbps(j.HostSSDCapGBps),
+		},
+		BasePriceUSD:  j.BasePriceUSD,
+		FixedPriceUSD: j.FixedPriceUSD,
+	}
+	if err := s.Validate(); err != nil {
+		return Server{}, err
+	}
+	return s, nil
+}
+
+// LoadServer reads a server description from a file.
+func LoadServer(path string) (Server, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Server{}, fmt.Errorf("hw: %w", err)
+	}
+	defer f.Close()
+	return ReadServer(f)
+}

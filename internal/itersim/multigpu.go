@@ -1,0 +1,104 @@
+package itersim
+
+import (
+	"fmt"
+
+	"ratel/internal/capacity"
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/strategy"
+	"ratel/internal/units"
+)
+
+// SimulateMultiGPU models data-parallel training on a server with several
+// GPUs (Fig. 11): each GPU processes globalBatch/N samples against its own
+// replica of the schedule; the SSD array and host link are shared, so each
+// rank sees 1/N of the SSD bandwidth; gradient synchronization adds one
+// ring-allreduce of the fp16 gradients (~2·2P/N per direction per rank)
+// over the PCIe link, and the shared CPU optimizer updates each shard once.
+func SimulateMultiGPU(p strategy.Policy, cfg model.Config, globalBatch int, srv hw.Server) (Report, error) {
+	n := srv.GPUCount
+	if n < 1 {
+		return Report{}, fmt.Errorf("itersim: server has no GPUs")
+	}
+	if n == 1 {
+		return Simulate(p, cfg, globalBatch, srv)
+	}
+	if globalBatch%n != 0 {
+		return Report{}, fmt.Errorf("itersim: global batch %d not divisible by %d GPUs", globalBatch, n)
+	}
+	perGPU := globalBatch / n
+
+	rep, err := simulate(p, cfg, perGPU, srv, n)
+	if err != nil {
+		return Report{}, err
+	}
+	// Ring allreduce of fp16 gradients across PCIe, serialized after the
+	// rank's own backward traffic: 2·(N-1)/N ≈ 2 volumes of 2P bytes per
+	// direction, degraded by the policy's link efficiency.
+	bwG := units.BytesPerSecond(float64(srv.Link.GPUPerDirection) * p.LinkEff)
+	allreduce := units.TransferTime(units.Bytes(4*cfg.Params()*int64(n-1)/int64(n)), bwG)
+	rep.Makespan += allreduce
+	rep.BackwardEnd += allreduce
+
+	rep.GPUs = n
+	iter := float64(rep.Makespan)
+	rep.TokensPerSec = float64(cfg.TokensPerIteration(globalBatch)) / iter
+	rep.ImagesPerSec = float64(cfg.ImagesPerIteration(globalBatch)) / iter
+	rep.TFLOPS = 3 * float64(cfg.ForwardFLOPs(globalBatch)) / iter / 1e12
+	rep.Batch = globalBatch
+	rep.OptimizerShare = float64(rep.OptimizerTail) / iter
+	return rep, nil
+}
+
+// SimulateTensorParallel models Megatron-LM on an NVLink machine (Fig. 13):
+// the model is sharded across all GPUs, activations stay resident, and the
+// iteration is compute-bound at the policy's effective efficiency, with the
+// in-core optimizer adding a small GPU pass.
+func SimulateTensorParallel(p strategy.Policy, cfg model.Config, batch int, srv hw.Server) (Report, error) {
+	if !p.TensorParallel {
+		return Report{}, fmt.Errorf("itersim: %s is not a tensor-parallel policy", p.Name)
+	}
+	if err := capacity.Check(p, cfg, batch, srv); err != nil {
+		return Report{}, err
+	}
+	thp := units.FLOPsPerSecond(float64(srv.GPU.PeakFP16) * p.ComputeEff * float64(srv.GPUCount))
+	compute := units.ComputeTime(3*cfg.ForwardFLOPs(batch), thp)
+	opt := units.ComputeTime(units.FLOPs(20*float64(cfg.Params())), thp)
+	iter := compute + opt
+	rep := Report{
+		Policy: p.Name, Model: cfg.Name, Batch: batch, GPUs: srv.GPUCount,
+		ForwardEnd:  compute / 3,
+		BackwardEnd: compute,
+		Makespan:    iter,
+		GPUBusyFrac: 1,
+	}
+	rep.OptimizerTail = opt
+	rep.TokensPerSec = float64(cfg.TokensPerIteration(batch)) / float64(iter)
+	rep.ImagesPerSec = float64(cfg.ImagesPerIteration(batch)) / float64(iter)
+	rep.TFLOPS = 3 * float64(cfg.ForwardFLOPs(batch)) / float64(iter) / 1e12
+	rep.OptimizerShare = float64(opt) / float64(iter)
+	return rep, nil
+}
+
+// BestThroughput sweeps the batch grid and returns the report with the
+// highest token throughput among feasible batches (how the paper picks "the
+// largest batch size the system can fine-tune").
+func BestThroughput(p strategy.Policy, cfg model.Config, srv hw.Server, grid []int) (Report, error) {
+	var best Report
+	found := false
+	for _, b := range grid {
+		rep, err := Simulate(p, cfg, b, srv)
+		if err != nil {
+			continue
+		}
+		if !found || rep.TokensPerSec > best.TokensPerSec {
+			best = rep
+			found = true
+		}
+	}
+	if !found {
+		return Report{}, fmt.Errorf("itersim: %s cannot train %s at any batch in %v", p.Name, cfg.Name, grid)
+	}
+	return best, nil
+}

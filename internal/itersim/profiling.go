@@ -1,0 +1,27 @@
+package itersim
+
+import (
+	"ratel/internal/agoffload"
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/strategy"
+)
+
+// SimulateProfiling models Ratel's first, hardware-aware profiling
+// iteration (§IV-B): it swaps only inter-layer activations (recomputing the
+// rest, "just like ZeRO-Infinity"), offloads all model states to the SSDs
+// without the overlap optimizations, and serializes the optimizer so the
+// computation and communication costs can be broken down cleanly. The paper
+// reports this iteration costs 2–3× a steady one; the SimulateProfiling/
+// Simulate ratio reproduces that.
+func SimulateProfiling(cfg model.Config, batch int, srv hw.Server) (Report, error) {
+	p := strategy.Ratel
+	p.Name = "Ratel-profiling"
+	p.Act = strategy.ActInterBlockHost
+	p.GradMode = agoffload.Serialized
+	// Instrumented transfers run at reduced efficiency: each is timed
+	// individually rather than pipelined through pinned double buffers.
+	p.LinkEff = 0.6
+	p.SSDEff = 0.6
+	return Simulate(p, cfg, batch, srv)
+}

@@ -1,0 +1,77 @@
+package model
+
+import "fmt"
+
+// DefaultSeqLen and DefaultVocab are the paper's workload constants (§V-A).
+const (
+	DefaultSeqLen = 1024
+	DefaultVocab  = 50257
+)
+
+// lm builds a Table IV decoder-only config.
+func lm(name string, layers, heads, hidden int) Config {
+	return Config{Name: name, Kind: DecoderLM, Layers: layers, Heads: heads,
+		Hidden: hidden, SeqLen: DefaultSeqLen, Vocab: DefaultVocab}
+}
+
+// dit builds a Table VI diffusion-transformer config. 512×512 images with
+// an 8× VAE and patch size 2 give 64×64/4 = 1024 patch tokens.
+func dit(name string, layers, heads, hidden int) Config {
+	return Config{Name: name, Kind: DiT, Layers: layers, Heads: heads,
+		Hidden: hidden, SeqLen: 1024}
+}
+
+// SmallLMs extends the catalog below the 6B entry with GPT-style sizes, so
+// capacity experiments can resolve the maximum trainable size of systems
+// that keep model states on the GPU (FlashNeuron tops out near 1.55B on an
+// RTX 4090, §III-A).
+var SmallLMs = []Config{
+	lm("0.35B", 24, 16, 1024),
+	lm("0.76B", 24, 16, 1536),
+	lm("1.3B", 24, 32, 2048),
+	lm("2.7B", 32, 32, 2560),
+}
+
+// TableIV lists the decoder-only LLMs evaluated in the paper.
+var TableIV = []Config{
+	lm("6B", 28, 32, 4096),
+	lm("13B", 40, 40, 5120),
+	lm("30B", 48, 56, 7168),
+	lm("70B", 80, 64, 8192),
+	lm("135B", 88, 88, 11264),
+	lm("175B", 96, 96, 12288),
+	lm("276B", 112, 112, 14336),
+	lm("412B", 128, 128, 16384),
+}
+
+// TableVI lists the DiT diffusion models of Fig. 12.
+var TableVI = []Config{
+	dit("DiT-0.67B", 28, 16, 1152),
+	dit("DiT-0.90B", 30, 16, 1280),
+	dit("DiT-1.4B", 32, 16, 1536),
+	dit("DiT-10B", 28, 32, 4096),
+	dit("DiT-20B", 40, 40, 5120),
+	dit("DiT-40B", 48, 56, 7168),
+}
+
+// ByName returns the catalog config with the given name.
+func ByName(name string) (Config, error) {
+	for _, list := range [][]Config{SmallLMs, TableIV, TableVI} {
+		for _, c := range list {
+			if c.Name == name {
+				return c, nil
+			}
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown config %q", name)
+}
+
+// MustByName is ByName for static experiment tables; it panics on unknown
+// names, which indicates a bug in the experiment definition itself.
+func MustByName(name string) Config {
+	c, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

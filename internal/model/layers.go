@@ -1,0 +1,157 @@
+package model
+
+import (
+	"fmt"
+
+	"ratel/internal/units"
+)
+
+// LayerProfile is the per-layer record Algorithm 1 operates on: the fp16
+// activation bytes the layer saves for backward, and the forward FLOPs
+// needed to recompute them. OffloadingBenefit is the paper's OB (Eq. 6).
+type LayerProfile struct {
+	// Name identifies the operator, e.g. "block17/mlp-fc2".
+	Name string
+	// Block is the transformer block index the layer belongs to, or -1 for
+	// the embedding/head layers.
+	Block int
+	// ActBytes is the fp16 activation footprint saved for backward.
+	ActBytes units.Bytes
+	// FwdFLOPs is the forward (= recomputation) cost of the layer.
+	FwdFLOPs units.FLOPs
+	// Boundary marks the inter-block activation (the tensors systems like
+	// ZeRO-Infinity always swap).
+	Boundary bool
+}
+
+// OffloadingBenefit is OB_layer = FLOP_layer / A_layer (Eq. 6): layers with
+// high OB are expensive to recompute per byte and should be swapped first.
+func (l LayerProfile) OffloadingBenefit() float64 {
+	if l.ActBytes <= 0 {
+		return 0
+	}
+	return float64(l.FwdFLOPs) / float64(l.ActBytes)
+}
+
+// sublayer is an operator template within one transformer block, with
+// activation bytes and FLOPs expressed per (token × hidden).
+type sublayer struct {
+	name     string
+	actBytes units.Bytes
+	flops    units.FLOPs
+	boundary bool
+}
+
+// blockSublayers decomposes one transformer block into its operators. With
+// t = batch·seq tokens and hidden h:
+//
+//	operator    saved activations   forward FLOPs    OB
+//	ln1         2·t·h (boundary)    8·t·h            ~4
+//	qkv         6·t·h               6·t·h²           h
+//	attn-core   4·t·h               4·t·s·h          s
+//	attn-out    2·t·h               2·t·h²           h
+//	ln2         2·t·h               8·t·h            ~4
+//	mlp-fc1     16·t·h              8·t·h²           h/2
+//	mlp-fc2     2·t·h               8·t·h²           4h
+//
+// Totals: 34·t·h activation bytes and (24·h + 4·s + 16)·t·h FLOPs per block,
+// which reproduce the paper's §III numbers (see package doc). The attention
+// core stores only its output and softmax statistics (no s×s maps),
+// matching the memory-efficient attention the 24 GB GPU requires.
+// DiT blocks append an adaLN modulation operator (+6·t·h bytes, +12·t·h²
+// FLOPs).
+func (c Config) blockSublayers(batch int) []sublayer {
+	t := c.tokens(batch)
+	h := int64(c.Hidden)
+	s := int64(c.SeqLen)
+	th := units.Bytes(t * h)
+	fth := func(mult int64) units.FLOPs { return units.FLOPs(mult * t * h) }
+	fthh := func(mult int64) units.FLOPs { return units.FLOPs(mult * t * h * h) }
+
+	subs := []sublayer{
+		{name: "ln1", actBytes: 2 * th, flops: fth(8), boundary: true},
+		{name: "qkv", actBytes: 6 * th, flops: fthh(6)},
+		{name: "attn-core", actBytes: 4 * th, flops: units.FLOPs(4 * t * s * h)},
+		{name: "attn-out", actBytes: 2 * th, flops: fthh(2)},
+		{name: "ln2", actBytes: 2 * th, flops: fth(8)},
+		{name: "mlp-fc1", actBytes: 16 * th, flops: fthh(8)},
+		{name: "mlp-fc2", actBytes: 2 * th, flops: fthh(8)},
+	}
+	if c.Kind == DiT {
+		subs = append(subs, sublayer{name: "adaln", actBytes: 6 * th, flops: fthh(12)})
+	}
+	return subs
+}
+
+// LayerProfiles flattens the model into the per-operator records the
+// planner, the capacity model and the simulator consume: an embedding (or
+// patch-embedding) layer, Layers transformer blocks of sublayers, and the
+// LM head (or DiT final layer).
+func (c Config) LayerProfiles(batch int) []LayerProfile {
+	t := c.tokens(batch)
+	h := int64(c.Hidden)
+	th := units.Bytes(t * h)
+
+	out := make([]LayerProfile, 0, c.Layers*8+2)
+	// Embedding: a lookup (LM) or conv patchify (DiT); negligible FLOPs for
+	// the LM, 2·t·h² for DiT's linear patch embedding.
+	emb := LayerProfile{Name: "embedding", Block: -1, ActBytes: 2 * th, Boundary: true}
+	if c.Kind == DiT {
+		emb.FwdFLOPs = units.FLOPs(2 * t * h * h)
+	} else {
+		emb.FwdFLOPs = units.FLOPs(2 * t * h)
+	}
+	out = append(out, emb)
+
+	for b := 0; b < c.Layers; b++ {
+		for _, s := range c.blockSublayers(batch) {
+			out = append(out, LayerProfile{
+				Name:     fmt.Sprintf("block%d/%s", b, s.name),
+				Block:    b,
+				ActBytes: s.actBytes,
+				FwdFLOPs: s.flops,
+				Boundary: s.boundary,
+			})
+		}
+	}
+
+	head := LayerProfile{Name: "head", Block: -1, ActBytes: 2 * th, Boundary: true}
+	if c.Kind == DecoderLM {
+		head.FwdFLOPs = units.FLOPs(2 * t * h * int64(c.Vocab))
+	} else {
+		head.FwdFLOPs = units.FLOPs(2 * t * h * h)
+	}
+	out = append(out, head)
+	return out
+}
+
+// GPUActWorkingSet is the transient device-memory footprint of activation
+// tensors during streamed execution: the block being executed holds most of
+// its ~34·t·h activation bytes until the trailing offload DMA drains them,
+// so ~24·t·h stay resident on average — except at the LM head, whose fp16
+// logits must materialize and dominate at large batch. This coefficient
+// reproduces the paper's batch ceilings: the 175B model trains at batch 16
+// but not 32 on the RTX 4090 (Fig. 5c's throughput knee) and the 135B model
+// keeps batch 36 under Fig. 8a's settings.
+func (c Config) GPUActWorkingSet(batch int) units.Bytes {
+	t := c.tokens(batch)
+	h := int64(c.Hidden)
+	working := units.Bytes(24 * t * h)
+	if c.Kind == DecoderLM {
+		if logits := units.Bytes(2 * t * int64(c.Vocab)); logits > working {
+			return logits
+		}
+	}
+	return working
+}
+
+// ResidentActWorkingSet is the device footprint when a system keeps a whole
+// block's activations resident while recomputing (the working set of
+// recomputation-based baselines).
+func (c Config) ResidentActWorkingSet(batch int) units.Bytes {
+	w := c.PerBlockActBytes(batch)
+	if g := c.GPUActWorkingSet(batch); g > w {
+		return g
+	}
+	return w
+}

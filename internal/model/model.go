@@ -1,0 +1,165 @@
+// Package model implements the paper's quantitative accounting of LLM
+// fine-tuning: parameter counts, activation footprints, FLOP counts and the
+// tensor lifecycle of Table II, for the decoder-only language models of
+// Table IV and the DiT diffusion models of Table VI.
+//
+// Calibration (verified by tests against the paper's §III numbers):
+//
+//   - a transformer block saves ≈34·s·b·h bytes of fp16 activations, of
+//     which 2·s·b·h is the inter-block boundary activation; for the 13B
+//     model at batch 32 this yields ≈213 GiB total and ≈12.5 GiB inter-block
+//     (Fig. 1 / §III-B),
+//   - forward FLOPs per block ≈ 24·s·b·h² + 4·b·s²·h, so a 13B forward pass
+//     at batch 32 is ≈870 TFLOP, ≈5.8 s at the RTX 4090's measured peak
+//     (Fig. 1c),
+//   - model states occupy 16 bytes/param (Table II), so a 175B model needs
+//     ≈2.6 TB of persistent state plus activations (§I).
+package model
+
+import (
+	"fmt"
+
+	"ratel/internal/units"
+)
+
+// Kind selects the model family.
+type Kind int
+
+// Model families evaluated in the paper.
+const (
+	// DecoderLM is a GPT-style decoder-only language model (Table IV).
+	DecoderLM Kind = iota
+	// DiT is a diffusion transformer (Table VI), DiT-XL/2-style with
+	// adaLN-Zero conditioning.
+	DiT
+)
+
+// String names the model family.
+func (k Kind) String() string {
+	switch k {
+	case DecoderLM:
+		return "decoder-lm"
+	case DiT:
+		return "dit"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config describes one model from Table IV or Table VI.
+type Config struct {
+	Name   string
+	Kind   Kind
+	Layers int
+	Heads  int
+	Hidden int
+	// SeqLen is tokens per sample: 1024 text tokens for LMs (§V-A), and
+	// 1024 patch tokens for DiT at 512×512 (64×64 latent, patch size 2).
+	SeqLen int
+	// Vocab is the vocabulary size for LMs (50257, §V-A); zero for DiT.
+	Vocab int
+}
+
+// Validate reports an error for configurations the accounting model cannot
+// describe.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0 || c.Hidden <= 0 || c.Heads <= 0 || c.SeqLen <= 0:
+		return fmt.Errorf("model %q: non-positive dimension", c.Name)
+	case c.Hidden%c.Heads != 0:
+		return fmt.Errorf("model %q: hidden %d not divisible by heads %d", c.Name, c.Hidden, c.Heads)
+	case c.Kind == DecoderLM && c.Vocab <= 0:
+		return fmt.Errorf("model %q: decoder LM needs a vocabulary", c.Name)
+	}
+	return nil
+}
+
+// Params is the trainable parameter count P (Table I).
+//
+// Decoder LM: 12·L·h² per block (QKV, output projection, two MLP matrices)
+// plus V·h token embeddings (tied with the LM head) and s·h positions.
+// DiT: 18·L·h² per block (the adaLN-Zero modulation MLP adds 6·h²) plus
+// small patch/timestep embedders.
+func (c Config) Params() int64 {
+	h := int64(c.Hidden)
+	l := int64(c.Layers)
+	switch c.Kind {
+	case DiT:
+		return 18*l*h*h + 8*h*h // blocks + patch-embed/final-layer/cond MLPs
+	default:
+		return 12*l*h*h + int64(c.Vocab)*h + int64(c.SeqLen)*h
+	}
+}
+
+// blockParams is the parameter count of one transformer block.
+func (c Config) blockParams() int64 {
+	h := int64(c.Hidden)
+	if c.Kind == DiT {
+		return 18 * h * h
+	}
+	return 12 * h * h
+}
+
+// tokens is the number of sequence positions processed per iteration at the
+// given batch size.
+func (c Config) tokens(batch int) int64 {
+	return int64(batch) * int64(c.SeqLen)
+}
+
+// TokensPerIteration is the throughput unit of Figs. 5/7/9-11 (text tokens)
+// — for DiT use ImagesPerIteration instead.
+func (c Config) TokensPerIteration(batch int) int64 { return c.tokens(batch) }
+
+// ImagesPerIteration is the throughput unit of Fig. 12.
+func (c Config) ImagesPerIteration(batch int) int64 { return int64(batch) }
+
+// ForwardFLOPs is FLOP_f (Table I): the forward-pass floating point
+// operations at the given batch size. Backward is 2×FLOP_f (§II).
+func (c Config) ForwardFLOPs(batch int) units.FLOPs {
+	var total units.FLOPs
+	for _, l := range c.LayerProfiles(batch) {
+		total += l.FwdFLOPs
+	}
+	return total
+}
+
+// BackwardFLOPs is the backward-pass operation count, 2·FLOP_f.
+func (c Config) BackwardFLOPs(batch int) units.FLOPs { return 2 * c.ForwardFLOPs(batch) }
+
+// Aall is the total fp16 activation footprint at the given batch size
+// (Table I).
+func (c Config) Aall(batch int) units.Bytes {
+	var total units.Bytes
+	for _, l := range c.LayerProfiles(batch) {
+		total += l.ActBytes
+	}
+	return total
+}
+
+// AinterBlock is the inter-transformer-block activation footprint: one
+// boundary tensor of 2·s·b·h bytes per block (Table I). It is the minimum
+// safe swap amount of Algorithm 1 and what ZeRO-Infinity/Colossal-AI keep.
+func (c Config) AinterBlock(batch int) units.Bytes {
+	return units.Bytes(2*c.tokens(batch)*int64(c.Hidden)) * units.Bytes(c.Layers)
+}
+
+// LargestLayerParamBytesFP16 is the fp16 footprint of the largest layer's
+// parameters, which bounds the GPU pipeline working set.
+func (c Config) LargestLayerParamBytesFP16() units.Bytes {
+	largest := c.blockParams()
+	if c.Kind == DecoderLM {
+		if emb := int64(c.Vocab) * int64(c.Hidden); emb > largest {
+			largest = emb
+		}
+	}
+	return units.Bytes(2 * largest)
+}
+
+// PerBlockActBytes is the fp16 activation footprint one transformer block
+// saves for backward, ≈34·s·b·h (≈40·s·b·h for DiT's extra modulations).
+func (c Config) PerBlockActBytes(batch int) units.Bytes {
+	var total units.Bytes
+	for _, s := range c.blockSublayers(batch) {
+		total += s.actBytes
+	}
+	return total
+}

@@ -1,0 +1,271 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"ratel/internal/units"
+)
+
+func TestTableIVParamCounts(t *testing.T) {
+	// Table IV labels models by nominal size; the accounting formula should
+	// land within 10% of the label (the 70B entry is the loosest, as in
+	// GPT-3-style sizing).
+	want := map[string]float64{
+		"6B": 6e9, "13B": 13e9, "30B": 30e9, "70B": 70e9,
+		"135B": 135e9, "175B": 175e9, "276B": 276e9, "412B": 412e9,
+	}
+	for _, c := range TableIV {
+		got := float64(c.Params())
+		rel := math.Abs(got-want[c.Name]) / want[c.Name]
+		if rel > 0.10 {
+			t.Errorf("%s: params = %.3g, want within 10%% of %.3g (off by %.1f%%)",
+				c.Name, got, want[c.Name], 100*rel)
+		}
+	}
+}
+
+func TestValidateCatalog(t *testing.T) {
+	for _, c := range append(append([]Config{}, TableIV...), TableVI...) {
+		if err := c.Validate(); err != nil {
+			t.Errorf("catalog config %s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Name: "no-dims"},
+		{Name: "indivisible", Kind: DecoderLM, Layers: 2, Heads: 3, Hidden: 8, SeqLen: 4, Vocab: 10},
+		{Name: "no-vocab", Kind: DecoderLM, Layers: 2, Heads: 2, Hidden: 8, SeqLen: 4},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%s) = nil, want error", c.Name)
+		}
+	}
+}
+
+// Test13BActivationFootprint checks the paper's §III-B / Fig. 1 numbers:
+// fine-tuning the 13B model at batch 32 stores ~213 GiB of activations, of
+// which ~12.5 GiB are inter-block.
+func Test13BActivationFootprint(t *testing.T) {
+	c := MustByName("13B")
+	aall := c.Aall(32).GiBf()
+	if aall < 200 || aall > 230 {
+		t.Errorf("13B/b32 Aall = %.1f GiB, want ~213 GiB", aall)
+	}
+	inter := c.AinterBlock(32).GiBf()
+	if inter < 11.5 || inter > 13.5 {
+		t.Errorf("13B/b32 AinterBlock = %.1f GiB, want ~12.5 GiB", inter)
+	}
+}
+
+// Test13BForwardTime checks that the 13B forward pass at batch 32 is ~870
+// TFLOP, ~5.8 s at the RTX 4090's 150 TFLOPS measured peak (Fig. 1c shows a
+// 5 s forward stage; G10's analysis uses 5.96 s of GPU compute).
+func Test13BForwardFLOPs(t *testing.T) {
+	c := MustByName("13B")
+	tf := c.ForwardFLOPs(32).TFLOPf()
+	if tf < 820 || tf < 0 || tf > 920 {
+		t.Errorf("13B/b32 forward = %.0f TFLOP, want ~870", tf)
+	}
+	if bw := c.BackwardFLOPs(32); bw != 2*c.ForwardFLOPs(32) {
+		t.Errorf("backward FLOPs = %v, want 2x forward", bw)
+	}
+}
+
+// Test175BStateFootprint checks §I: a 175B model needs ~2.6 TB of tensors at
+// peak (16 bytes/param of model states plus activations), and §III-A: the
+// model states alone (~2.45 TB claimed for "GPU memory needed") far exceed
+// any GPU.
+func Test175BStateFootprint(t *testing.T) {
+	c := MustByName("175B")
+	states := ModelStateBytes(c.Params())
+	if got := float64(states) / 1e12; got < 2.5 || got > 3.0 {
+		t.Errorf("175B model states = %.2f TB, want ~2.8 TB (16 bytes/param)", got)
+	}
+}
+
+func TestG10OptimizerTraffic(t *testing.T) {
+	// §III-C: G10 moves ~182 GB per direction for the 13B model.
+	c := MustByName("13B")
+	got := OptimizerTrafficBytesPerDirection(c.Params()).GBf()
+	if got < 170 || got > 195 {
+		t.Errorf("13B optimizer traffic per direction = %.0f GB, want ~182 GB", got)
+	}
+}
+
+func TestLifecycleTableII(t *testing.T) {
+	cases := []struct {
+		kind               TensorKind
+		produced, consumed Stage
+		bytesPerParam      int64
+	}{
+		{P32, Optimizer, Optimizer, 4},
+		{OS32, Optimizer, Optimizer, 8},
+		{G16, Backward, Optimizer, 2},
+		{P16, Optimizer, Backward, 2},
+		{A16, Forward, Backward, 0},
+	}
+	for _, tc := range cases {
+		p, cons := tc.kind.Lifecycle()
+		if p != tc.produced || cons != tc.consumed {
+			t.Errorf("%v lifecycle = (%v,%v), want (%v,%v)", tc.kind, p, cons, tc.produced, tc.consumed)
+		}
+		if got := tc.kind.BytesPerParam(); got != tc.bytesPerParam {
+			t.Errorf("%v bytes/param = %d, want %d", tc.kind, got, tc.bytesPerParam)
+		}
+	}
+}
+
+func TestLayerProfilesConsistency(t *testing.T) {
+	c := MustByName("13B")
+	layers := c.LayerProfiles(8)
+	var act units.Bytes
+	var flops units.FLOPs
+	boundaries := 0
+	for _, l := range layers {
+		if l.ActBytes < 0 || l.FwdFLOPs < 0 {
+			t.Fatalf("layer %s has negative accounting", l.Name)
+		}
+		act += l.ActBytes
+		flops += l.FwdFLOPs
+		if l.Boundary {
+			boundaries++
+		}
+	}
+	if act != c.Aall(8) {
+		t.Errorf("sum of layer ActBytes = %v, want Aall = %v", act, c.Aall(8))
+	}
+	if flops != c.ForwardFLOPs(8) {
+		t.Errorf("sum of layer FLOPs = %v, want ForwardFLOPs = %v", flops, c.ForwardFLOPs(8))
+	}
+	// One boundary per block plus embedding and head.
+	if want := c.Layers + 2; boundaries != want {
+		t.Errorf("boundary layers = %d, want %d", boundaries, want)
+	}
+}
+
+func TestActivationsScaleLinearlyWithBatch(t *testing.T) {
+	c := MustByName("6B")
+	if got, want := c.Aall(64), 8*c.Aall(8); got != want {
+		t.Errorf("Aall(64) = %v, want 8x Aall(8) = %v", got, want)
+	}
+}
+
+func TestOffloadingBenefitOrdering(t *testing.T) {
+	// §IV-D: mlp-fc2 has the highest OB in a block (8·t·h² FLOPs per
+	// 2·t·h bytes), layer norms the lowest.
+	c := MustByName("13B")
+	var fc2, ln1 LayerProfile
+	for _, l := range c.LayerProfiles(32) {
+		switch l.Name {
+		case "block0/mlp-fc2":
+			fc2 = l
+		case "block0/ln1":
+			ln1 = l
+		}
+	}
+	if fc2.Name == "" || ln1.Name == "" {
+		t.Fatal("expected block0 sublayers in profile")
+	}
+	if fc2.OffloadingBenefit() <= ln1.OffloadingBenefit() {
+		t.Errorf("OB(fc2)=%.1f should exceed OB(ln1)=%.1f",
+			fc2.OffloadingBenefit(), ln1.OffloadingBenefit())
+	}
+}
+
+func TestDiTParamCounts(t *testing.T) {
+	// DiT-XL/2 (28 layers, hidden 1152) is 675M params; the catalog's
+	// smallest entry models it.
+	c := MustByName("DiT-0.67B")
+	got := float64(c.Params())
+	if got < 0.6e9 || got > 0.75e9 {
+		t.Errorf("DiT-0.67B params = %.3g, want ~0.67e9", got)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("999B"); err == nil {
+		t.Error("ByName(999B) = nil error, want error")
+	}
+}
+
+func TestStageAndKindStrings(t *testing.T) {
+	if Forward.String() != "forward" || Optimizer.String() != "optimizer" {
+		t.Error("unexpected Stage strings")
+	}
+	if P32.String() != "P32" || A16.String() != "A16" {
+		t.Error("unexpected TensorKind strings")
+	}
+	if DecoderLM.String() != "decoder-lm" || DiT.String() != "dit" {
+		t.Error("unexpected Kind strings")
+	}
+}
+
+func TestAccountingHelpers(t *testing.T) {
+	c := MustByName("13B")
+	if got := c.TokensPerIteration(32); got != 32*1024 {
+		t.Errorf("TokensPerIteration = %d", got)
+	}
+	if got := c.ImagesPerIteration(8); got != 8 {
+		t.Errorf("ImagesPerIteration = %d", got)
+	}
+	// Largest layer: a 13B block's 12h^2 parameters outweigh the embedding.
+	block := units.Bytes(2 * 12 * 5120 * 5120)
+	if got := c.LargestLayerParamBytesFP16(); got != block {
+		t.Errorf("LargestLayerParamBytesFP16 = %v, want block %v", got, block)
+	}
+	// For the narrow 0.35B model the 50257x1024 embedding wins instead.
+	small := MustByName("0.35B")
+	emb := units.Bytes(2 * 50257 * 1024)
+	if got := small.LargestLayerParamBytesFP16(); got != emb {
+		t.Errorf("0.35B largest layer = %v, want embedding %v", got, emb)
+	}
+	if got := c.PerBlockActBytes(32); got != units.Bytes(34*32*1024*5120) {
+		t.Errorf("PerBlockActBytes = %v", got)
+	}
+	// GPU working sets: logits dominate the streamed set for LMs at large
+	// batch; the resident set is at least a block's activations.
+	if c.GPUActWorkingSet(64) <= 0 || c.ResidentActWorkingSet(64) < c.PerBlockActBytes(64) {
+		t.Error("working-set accounting inconsistent")
+	}
+	dit := MustByName("DiT-10B")
+	if dit.GPUActWorkingSet(8) != units.Bytes(24*8*1024*4096) {
+		t.Errorf("DiT working set = %v", dit.GPUActWorkingSet(8))
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName(unknown) did not panic")
+		}
+	}()
+	MustByName("definitely-not-a-model")
+}
+
+func TestZeroBenefitLayer(t *testing.T) {
+	l := LayerProfile{ActBytes: 0, FwdFLOPs: 100}
+	if l.OffloadingBenefit() != 0 {
+		t.Error("zero-byte layer should have zero benefit")
+	}
+}
+
+func TestEnumStringsExhaustive(t *testing.T) {
+	if Backward.String() != "backward" || Stage(99).String() != "unknown" {
+		t.Error("stage strings")
+	}
+	for _, k := range []TensorKind{P32, OS32, G16, P16, A16} {
+		if k.String() == "" {
+			t.Error("tensor kind string empty")
+		}
+	}
+	if TensorKind(99).String() != "T?" {
+		t.Error("unknown tensor kind string")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind string")
+	}
+}

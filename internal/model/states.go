@@ -1,0 +1,106 @@
+package model
+
+import "ratel/internal/units"
+
+// Stage is a phase of a training iteration (§II).
+type Stage int
+
+// The three stages of an iteration.
+const (
+	Forward Stage = iota
+	Backward
+	Optimizer
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	case Optimizer:
+		return "optimizer"
+	}
+	return "unknown"
+}
+
+// TensorKind enumerates the tensor classes of Table II.
+type TensorKind int
+
+// Tensor classes stored during an iteration (Table II).
+const (
+	P32  TensorKind = iota // fp32 master parameters
+	OS32                   // fp32 Adam moments (m, v)
+	G16                    // fp16 gradients
+	P16                    // fp16 parameter copy for GPU compute
+	A16                    // fp16 activations
+)
+
+// String names the tensor kind with the paper's notation.
+func (k TensorKind) String() string {
+	switch k {
+	case P32:
+		return "P32"
+	case OS32:
+		return "OS32"
+	case G16:
+		return "G16"
+	case P16:
+		return "P16"
+	case A16:
+		return "A16"
+	}
+	return "T?"
+}
+
+// BytesPerParam is the per-parameter footprint of the tensor kind; zero for
+// A16, whose size is activation- rather than parameter-proportional.
+func (k TensorKind) BytesPerParam() int64 {
+	switch k {
+	case P32:
+		return 4
+	case OS32:
+		return 8
+	case G16, P16:
+		return 2
+	}
+	return 0
+}
+
+// Lifecycle reports when a tensor kind is produced and consumed (Table II).
+// P32/OS32/P16 are produced by the previous iteration's optimizer.
+func (k TensorKind) Lifecycle() (produced, consumed Stage) {
+	switch k {
+	case P32, OS32:
+		return Optimizer, Optimizer
+	case G16:
+		return Backward, Optimizer
+	case P16:
+		return Optimizer, Backward // consumed during forward and backward
+	case A16:
+		return Forward, Backward
+	}
+	return Forward, Backward
+}
+
+// StateBytes returns the footprint of a parameter-proportional tensor kind
+// for a model with P parameters.
+func StateBytes(k TensorKind, params int64) units.Bytes {
+	return units.Bytes(k.BytesPerParam() * params)
+}
+
+// ModelStateBytes is the total persistent model-state footprint
+// P32+OS32+G16+P16 = 16 bytes/param (Table II).
+func ModelStateBytes(params int64) units.Bytes {
+	return StateBytes(P32, params) + StateBytes(OS32, params) + StateBytes(G16, params) + StateBytes(P16, params)
+}
+
+// OptimizerTrafficBytesPerDirection is the model-state traffic an in-GPU
+// optimizer moves across PCIe per direction per iteration: P32+OS32+P16 out
+// plus G16... — concretely the paper reports 14 bytes/param per direction
+// for G10 on a 13B model ("182 GB per direction", §III-C): read
+// P32+OS32+G16 (14P) in, write P32+OS32+P16 (14P) out.
+func OptimizerTrafficBytesPerDirection(params int64) units.Bytes {
+	return units.Bytes(14 * params)
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ratel/internal/tensor"
+)
+
+// Attention is multi-head causal self-attention.
+type Attention struct {
+	Name  string
+	Heads int
+	Dim   int
+	QKV   *Linear // [d, 3d]
+	Out   *Linear // [d, d]
+}
+
+// NewAttention builds a causal multi-head attention layer.
+func NewAttention(name string, dim, heads int, rng *rand.Rand) (*Attention, error) {
+	if dim%heads != 0 {
+		return nil, fmt.Errorf("nn: %s: dim %d not divisible by %d heads", name, dim, heads)
+	}
+	return &Attention{
+		Name:  name,
+		Heads: heads,
+		Dim:   dim,
+		QKV:   NewLinear(name+".qkv", dim, 3*dim, rng),
+		Out:   NewLinear(name+".out", dim, dim, rng),
+	}, nil
+}
+
+// AttnCache holds the intermediates attention saves for backward (or
+// recomputes when the planner chose recomputation).
+type AttnCache struct {
+	QKV *tensor.Tensor // [b*s, 3d]
+	// Probs[b][h] is the post-softmax causal attention matrix [s, s].
+	Probs [][]*tensor.Tensor
+	Ctx   *tensor.Tensor // [b*s, d] pre-projection context
+}
+
+// Forward runs attention over x [b*s, d] with the given batch and sequence
+// lengths.
+func (a *Attention) Forward(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *AttnCache, error) {
+	n, d, err := x.Dims2()
+	if err != nil || d != a.Dim || n != batch*seq {
+		return nil, nil, fmt.Errorf("nn: %s: input %dx%d for batch %d seq %d dim %d", a.Name, n, d, batch, seq, a.Dim)
+	}
+	qkv, err := a.QKV.Forward(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	dh := d / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	cache := &AttnCache{QKV: qkv, Probs: make([][]*tensor.Tensor, batch)}
+	ctx := tensor.New(n, d)
+	for bi := 0; bi < batch; bi++ {
+		cache.Probs[bi] = make([]*tensor.Tensor, a.Heads)
+		for h := 0; h < a.Heads; h++ {
+			q := tensor.New(seq, dh)
+			k := tensor.New(seq, dh)
+			v := tensor.New(seq, dh)
+			for s := 0; s < seq; s++ {
+				row := qkv.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
+				copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
+				copy(k.Data[s*dh:(s+1)*dh], row[d+h*dh:d+(h+1)*dh])
+				copy(v.Data[s*dh:(s+1)*dh], row[2*d+h*dh:2*d+(h+1)*dh])
+			}
+			scores, err := tensor.MatMulT(q, k)
+			if err != nil {
+				return nil, nil, err
+			}
+			scores.Scale(scale)
+			applyCausalMask(scores, seq)
+			if err := tensor.SoftmaxRows(scores); err != nil {
+				return nil, nil, err
+			}
+			roundGrid(scores)
+			cache.Probs[bi][h] = scores
+			out, err := tensor.MatMul(scores, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			for s := 0; s < seq; s++ {
+				copy(ctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh], out.Data[s*dh:(s+1)*dh])
+			}
+		}
+	}
+	roundGrid(ctx)
+	cache.Ctx = ctx
+	y, err := a.Out.Forward(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return y, cache, nil
+}
+
+func applyCausalMask(scores *tensor.Tensor, seq int) {
+	negInf := float32(math.Inf(-1))
+	for i := 0; i < seq; i++ {
+		for j := i + 1; j < seq; j++ {
+			scores.Data[i*seq+j] = negInf
+		}
+	}
+}
+
+// Backward propagates dy through attention given the layer input x and the
+// forward cache, returning dx.
+func (a *Attention) Backward(x *tensor.Tensor, cache *AttnCache, dy *tensor.Tensor, batch, seq int) (*tensor.Tensor, error) {
+	d := a.Dim
+	dh := d / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	dctx, err := a.Out.Backward(cache.Ctx, dy)
+	if err != nil {
+		return nil, err
+	}
+	dqkv := tensor.New(batch*seq, 3*d)
+	for bi := 0; bi < batch; bi++ {
+		for h := 0; h < a.Heads; h++ {
+			// Re-slice q, k, v for this head.
+			q := tensor.New(seq, dh)
+			k := tensor.New(seq, dh)
+			v := tensor.New(seq, dh)
+			for s := 0; s < seq; s++ {
+				row := cache.QKV.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
+				copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
+				copy(k.Data[s*dh:(s+1)*dh], row[d+h*dh:d+(h+1)*dh])
+				copy(v.Data[s*dh:(s+1)*dh], row[2*d+h*dh:2*d+(h+1)*dh])
+			}
+			probs := cache.Probs[bi][h]
+
+			dout := tensor.New(seq, dh)
+			for s := 0; s < seq; s++ {
+				copy(dout.Data[s*dh:(s+1)*dh], dctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh])
+			}
+			// dV = probsᵀ·dout, dprobs = dout·vᵀ.
+			dv, err := tensor.TMatMul(probs, dout)
+			if err != nil {
+				return nil, err
+			}
+			dprobs, err := tensor.MatMulT(dout, v)
+			if err != nil {
+				return nil, err
+			}
+			// Softmax backward per row: ds = (dp - Σ dp∘p) ∘ p, then the
+			// 1/sqrt(dh) scale.
+			dscores := tensor.New(seq, seq)
+			for i := 0; i < seq; i++ {
+				var dot float64
+				for j := 0; j <= i; j++ {
+					dot += float64(dprobs.Data[i*seq+j]) * float64(probs.Data[i*seq+j])
+				}
+				for j := 0; j <= i; j++ {
+					p := probs.Data[i*seq+j]
+					dscores.Data[i*seq+j] = (dprobs.Data[i*seq+j] - float32(dot)) * p * scale
+				}
+			}
+			// dQ = dscores·k, dK = dscoresᵀ·q.
+			dq, err := tensor.MatMul(dscores, k)
+			if err != nil {
+				return nil, err
+			}
+			dk, err := tensor.TMatMul(dscores, q)
+			if err != nil {
+				return nil, err
+			}
+			for s := 0; s < seq; s++ {
+				row := dqkv.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
+				copy(row[h*dh:(h+1)*dh], dq.Data[s*dh:(s+1)*dh])
+				copy(row[d+h*dh:d+(h+1)*dh], dk.Data[s*dh:(s+1)*dh])
+				copy(row[2*d+h*dh:2*d+(h+1)*dh], dv.Data[s*dh:(s+1)*dh])
+			}
+		}
+	}
+	return a.QKV.Backward(x, dqkv)
+}
+
+// Params lists attention's parameters.
+func (a *Attention) Params() []Param {
+	return append(a.QKV.Params(), a.Out.Params()...)
+}

@@ -1,0 +1,74 @@
+package nn
+
+import "ratel/internal/tensor"
+
+// Dropout is counter-based (Philox-style) dropout: the mask for element i
+// of a given site at a given training step is a pure function of
+// (seed, step, site, i). Recomputing a discarded activation therefore
+// regenerates exactly the masks the original forward pass used — the
+// classic requirement for combining dropout with activation recomputation,
+// which frameworks solve with replayable RNG states.
+type Dropout struct {
+	// P is the drop probability; zero disables dropout entirely.
+	P float32
+	// Seed namespaces the whole model's randomness.
+	Seed uint64
+	// Step points at the model's forward-pass counter; each training step
+	// gets fresh masks, while recomputation within a step replays them.
+	Step *uint64
+}
+
+// Active reports whether dropout does anything.
+func (d *Dropout) Active() bool { return d != nil && d.P > 0 }
+
+// Apply drops elements of x in place with probability P (inverted dropout:
+// survivors are scaled by 1/(1-P)), using the site tag to decorrelate
+// different dropout locations. The result is rounded onto the fp16 grid.
+func (d *Dropout) Apply(x *tensor.Tensor, site uint64) {
+	if !d.Active() {
+		return
+	}
+	scale := 1 / (1 - d.P)
+	for i := range x.Data {
+		if d.dropped(site, i) {
+			x.Data[i] = 0
+		} else {
+			x.Data[i] = tensor.RoundFP16(x.Data[i] * scale)
+		}
+	}
+}
+
+// Backward masks dy in place with the same pattern Apply used.
+func (d *Dropout) Backward(dy *tensor.Tensor, site uint64) {
+	if !d.Active() {
+		return
+	}
+	scale := 1 / (1 - d.P)
+	for i := range dy.Data {
+		if d.dropped(site, i) {
+			dy.Data[i] = 0
+		} else {
+			dy.Data[i] *= scale
+		}
+	}
+}
+
+// dropped decides element i's fate from the counter hash.
+func (d *Dropout) dropped(site uint64, i int) bool {
+	h := counterHash(d.Seed, *d.Step, site, uint64(i))
+	// Map the top 24 bits to [0,1).
+	u := float32(h>>40) * (1.0 / (1 << 24))
+	return u < d.P
+}
+
+// counterHash is a SplitMix64-style mix of the four counters; it is the
+// reproduction's stand-in for Philox.
+func counterHash(seed, step, site, i uint64) uint64 {
+	x := seed ^ step*0x9e3779b97f4a7c15 ^ site*0xbf58476d1ce4e5b9 ^ i*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,150 @@
+package nn
+
+import "testing"
+
+// TestGenerateLearnsCopyTask: after fine-tuning on "next token = current+1",
+// greedy generation continues the pattern far above chance.
+func TestGenerateLearnsCopyTask(t *testing.T) {
+	cfg := Config{Vocab: 24, Seq: 8, Hidden: 16, Heads: 2, Layers: 2, Batch: 4, Seed: 19}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := make([][]int, cfg.Batch)
+	targets := make([][]int, cfg.Batch)
+	for b := range tokens {
+		tokens[b] = make([]int, cfg.Seq)
+		targets[b] = make([]int, cfg.Seq)
+		for s := 0; s < cfg.Seq; s++ {
+			tokens[b][s] = (b*3 + s) % cfg.Vocab
+			targets[b][s] = (b*3 + s + 1) % cfg.Vocab
+		}
+	}
+	for step := 0; step < 220; step++ {
+		m.ZeroGrads()
+		if _, err := m.ForwardBackward(tokens, targets, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Params() {
+			for i := range p.W.Data {
+				p.W.Data[i] -= 0.01 * p.G.Data[i]
+			}
+		}
+	}
+
+	out, err := m.Generate([]int{5, 6, 7}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 3; i < len(out); i++ {
+		if out[i] == (5+i)%cfg.Vocab {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Errorf("generation got %d/6 progression tokens right: %v", correct, out)
+	}
+}
+
+func TestLogitsValidation(t *testing.T) {
+	cfg := tinyConfig()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Logits(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := m.Logits(make([]int, cfg.Seq+1)); err == nil {
+		t.Error("over-length sequence accepted")
+	}
+	if _, err := m.Logits([]int{cfg.Vocab + 1}); err == nil {
+		t.Error("out-of-vocab token accepted")
+	}
+	logits, err := m.Logits([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logits) != cfg.Vocab {
+		t.Errorf("logits length = %d, want %d", len(logits), cfg.Vocab)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	m, err := NewModel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Generate(nil, 3); err == nil {
+		t.Error("empty prompt accepted")
+	}
+	// Long prompts are truncated to the context window, not rejected.
+	long := make([]int, 20)
+	out, err := m.Generate(long, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 22 {
+		t.Errorf("generated %d tokens, want 22", len(out))
+	}
+}
+
+// TestGenerationIgnoresDropout: inference output is deterministic even with
+// dropout configured, and the training-time drop rate is restored after.
+func TestGenerationIgnoresDropout(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Dropout = 0.5
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Logits([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.NextStep() // would change masks if dropout were active
+	b, err := m.Logits([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("inference is nondeterministic under dropout")
+		}
+	}
+	if m.drop.P != 0.5 {
+		t.Error("drop probability not restored after inference")
+	}
+}
+
+// TestEvalLossMatchesTrainingLoss: at identical parameters the inference
+// loss equals the training loss (no dropout in either when configured off).
+func TestEvalLossMatchesTrainingLoss(t *testing.T) {
+	cfg := tinyConfig()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens, targets := randomData(cfg, 31)
+	eval, err := m.EvalLoss(tokens, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ZeroGrads()
+	train, err := m.ForwardBackward(tokens, targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval != train {
+		t.Fatalf("eval %v != train %v", eval, train)
+	}
+	if _, err := m.EvalLoss([][]int{{0}}, targets); err == nil {
+		t.Error("bad batch accepted")
+	}
+	// SetStep round-trips for checkpoint restore.
+	m.SetStep(42)
+	if m.Step() != 42 {
+		t.Error("SetStep failed")
+	}
+}

@@ -1,0 +1,190 @@
+// Package nn implements a small but real decoder-only transformer with
+// hand-written backward passes, used by the engine to run the paper's
+// algorithms end-to-end at laptop scale.
+//
+// Mixed-precision discipline: every forward tensor is rounded onto the fp16
+// grid when produced (the engine's P16/A16 tensors), so serializing an
+// activation to binary16 bytes and restoring it is lossless, and
+// recomputing a discarded activation reproduces it bit-for-bit. Gradients
+// are computed in fp32 and rounded to fp16 (G16) at the offloading
+// boundary. All kernels are deterministic.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ratel/internal/tensor"
+)
+
+// Linear is a dense layer y = x·W + b with gradient accumulators.
+type Linear struct {
+	Name   string
+	W      *tensor.Tensor // [in, out]
+	B      *tensor.Tensor // [out]
+	DW, DB *tensor.Tensor
+}
+
+// NewLinear initializes a linear layer with scaled-normal weights.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		Name: name,
+		W:    tensor.New(in, out),
+		B:    tensor.New(out),
+		DW:   tensor.New(in, out),
+		DB:   tensor.New(out),
+	}
+	l.W.RandInit(rng, 0.02)
+	return l
+}
+
+// Forward computes y = x·W + b, rounded to the fp16 grid.
+func (l *Linear) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, err := tensor.MatMul(x, l.W)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", l.Name, err)
+	}
+	if err := tensor.AddBias(y, l.B); err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", l.Name, err)
+	}
+	roundGrid(y)
+	return y, nil
+}
+
+// Backward accumulates DW += xᵀ·dy and DB += Σrows(dy), returning
+// dx = dy·Wᵀ.
+func (l *Linear) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	dw, err := tensor.TMatMul(x, dy)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s backward: %w", l.Name, err)
+	}
+	if err := tensor.AddInPlace(l.DW, dw); err != nil {
+		return nil, err
+	}
+	rows, cols, err := dy.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		row := dy.Data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			l.DB.Data[j] += v
+		}
+	}
+	dx, err := tensor.MatMulT(dy, l.W)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s backward: %w", l.Name, err)
+	}
+	return dx, nil
+}
+
+// Params lists the layer's parameter tensors paired with their gradients.
+func (l *Linear) Params() []Param {
+	return []Param{{l.Name + ".w", l.W, l.DW}, {l.Name + ".b", l.B, l.DB}}
+}
+
+// Param pairs a parameter tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+// LayerNorm normalizes the last dimension with learnable scale and shift.
+type LayerNorm struct {
+	Name          string
+	Gamma, Beta   *tensor.Tensor
+	DGamma, DBeta *tensor.Tensor
+	dim           int
+	eps           float64
+}
+
+// NewLayerNorm initializes gamma=1, beta=0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{
+		Name:  name,
+		Gamma: tensor.New(dim), Beta: tensor.New(dim),
+		DGamma: tensor.New(dim), DBeta: tensor.New(dim),
+		dim: dim, eps: 1e-5,
+	}
+	for i := range ln.Gamma.Data {
+		ln.Gamma.Data[i] = 1
+	}
+	return ln
+}
+
+// Forward normalizes each row of x [n, dim].
+func (ln *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	n, d, err := x.Dims2()
+	if err != nil || d != ln.dim {
+		return nil, fmt.Errorf("nn: %s: got %dx%d, want dim %d (%v)", ln.Name, n, d, ln.dim, err)
+	}
+	y := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varsum float64
+		for _, v := range row {
+			diff := float64(v) - mean
+			varsum += diff * diff
+		}
+		inv := 1 / math.Sqrt(varsum/float64(d)+ln.eps)
+		out := y.Data[i*d : (i+1)*d]
+		for j, v := range row {
+			out[j] = float32((float64(v)-mean)*inv)*ln.Gamma.Data[j] + ln.Beta.Data[j]
+		}
+	}
+	roundGrid(y)
+	return y, nil
+}
+
+// Backward recomputes the row statistics from x (deterministically) and
+// returns dx while accumulating DGamma/DBeta.
+func (ln *LayerNorm) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	n, d, err := x.Dims2()
+	if err != nil || d != ln.dim {
+		return nil, fmt.Errorf("nn: %s backward: bad shape", ln.Name)
+	}
+	dx := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		dyr := dy.Data[i*d : (i+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varsum float64
+		for _, v := range row {
+			diff := float64(v) - mean
+			varsum += diff * diff
+		}
+		inv := 1 / math.Sqrt(varsum/float64(d)+ln.eps)
+
+		var sumDyG, sumDyGX float64
+		xhat := make([]float64, d)
+		for j := range row {
+			xhat[j] = (float64(row[j]) - mean) * inv
+			dg := float64(dyr[j]) * float64(ln.Gamma.Data[j])
+			sumDyG += dg
+			sumDyGX += dg * xhat[j]
+			ln.DGamma.Data[j] += dyr[j] * float32(xhat[j])
+			ln.DBeta.Data[j] += dyr[j]
+		}
+		for j := range row {
+			dg := float64(dyr[j]) * float64(ln.Gamma.Data[j])
+			dx.Data[i*d+j] = float32(inv * (dg - sumDyG/float64(d) - xhat[j]*sumDyGX/float64(d)))
+		}
+	}
+	return dx, nil
+}
+
+// Params lists the layer's parameters.
+func (ln *LayerNorm) Params() []Param {
+	return []Param{{ln.Name + ".gamma", ln.Gamma, ln.DGamma}, {ln.Name + ".beta", ln.Beta, ln.DBeta}}
+}

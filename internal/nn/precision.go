@@ -1,0 +1,22 @@
+package nn
+
+import "ratel/internal/tensor"
+
+// fp16Grid controls whether forward tensors are rounded onto the fp16 grid
+// (the engine's mixed-precision discipline, on by default). The numerical
+// gradient checks disable it: finite differences need a locally smooth loss.
+var fp16Grid = true
+
+// SetFP16Grid toggles fp16-grid rounding and returns the previous setting.
+// Intended for tests; production code leaves the grid on.
+func SetFP16Grid(on bool) (previous bool) {
+	previous = fp16Grid
+	fp16Grid = on
+	return previous
+}
+
+func roundGrid(t *tensor.Tensor) {
+	if fp16Grid {
+		t.RoundFP16InPlace()
+	}
+}

@@ -1,0 +1,581 @@
+// Package nvme implements the SSD-array substrate: a striped object store
+// over N devices, each backed by a file or by memory. It is the storage
+// layer the real training engine and the out-of-core CPU optimizer spill
+// tensors through, standing in for the evaluation server's 12× Intel P5510
+// array.
+//
+// The store is deliberately faithful to the properties the paper depends
+// on: chunks of an object are striped round-robin across devices and read/
+// written by per-device workers, so aggregate bandwidth scales with device
+// count (Fig. 10); an optional throttle enforces per-device and host-link
+// bandwidth so that scaling is observable in wall-clock benchmarks; and
+// device faults can be injected to test error propagation.
+package nvme
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ratel/internal/units"
+)
+
+// DefaultStripeSize is the chunk size objects are striped at.
+const DefaultStripeSize = 1 << 20
+
+// ErrNotFound is returned when reading a key that was never written.
+var ErrNotFound = errors.New("nvme: object not found")
+
+// Config describes an array.
+type Config struct {
+	// Devices is the number of SSDs; must be >= 1.
+	Devices int
+	// StripeSize is the striping chunk in bytes; DefaultStripeSize if zero.
+	StripeSize int
+	// Dir, when non-empty, backs each device with a file under this
+	// directory; otherwise devices live in memory.
+	Dir string
+	// ReadBW / WriteBW, when non-zero, throttle each device to the given
+	// bandwidth by sleeping, so that wall-clock behaviour matches the
+	// device model.
+	ReadBW, WriteBW units.BytesPerSecond
+	// HostCap, when non-zero, throttles the aggregate of all devices.
+	HostCap units.BytesPerSecond
+	// OpLatency, when non-zero, adds a fixed per-chunk access latency on
+	// top of the bandwidth throttle (NVMe reads cost tens of microseconds
+	// before the first byte arrives).
+	OpLatency time.Duration
+	// Checksums, when true, stores a CRC-32C per object and verifies it on
+	// every read, failing with ErrCorrupt on mismatch.
+	Checksums bool
+	// Mirror, when true, writes every chunk to a second device (RAID-1
+	// style); reads fall back to the mirror when the primary fails.
+	// Requires at least two devices and halves usable capacity.
+	Mirror bool
+	// DeviceCapacity, when > 0, caps each device's allocated bytes; Put
+	// fails with ErrNoSpace when a chunk cannot be placed.
+	DeviceCapacity units.Bytes
+}
+
+// ErrCorrupt is returned when a checksummed object fails verification.
+var ErrCorrupt = errors.New("nvme: object corrupted")
+
+// ErrNoSpace is returned when a device's capacity is exhausted.
+var ErrNoSpace = errors.New("nvme: device full")
+
+// device is one SSD: a backing store plus a chunk allocator. Chunks are
+// fixed-size so freeing is a free-list push.
+type device struct {
+	mu       sync.Mutex
+	back     backend
+	next     int64 // next fresh chunk offset
+	free     []int64
+	fault    error
+	busySlot time.Time // throttle bookkeeping
+}
+
+// backend is the byte-addressed storage under a device.
+type backend interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Close() error
+}
+
+// chunkRef locates one stripe chunk (and its mirror when enabled).
+type chunkRef struct {
+	dev int
+	off int64
+	n   int
+	// mirrorDev/mirrorOff locate the RAID-1 copy; mirrorDev is -1 when
+	// mirroring is off.
+	mirrorDev int
+	mirrorOff int64
+}
+
+type object struct {
+	size   int
+	chunks []chunkRef
+	crc    uint32
+}
+
+// Array is a striped object store. All methods are safe for concurrent use.
+type Array struct {
+	cfg    Config
+	devs   []*device
+	mu     sync.RWMutex
+	objs   map[string]object
+	nextRR int // round-robin start device for the next object
+
+	hostMu sync.Mutex // serializes host-link throttle accounting
+
+	statMu       sync.Mutex
+	bytesRead    int64
+	bytesWritten int64
+	perDevBytes  []int64
+}
+
+// Stats reports cumulative traffic through the array.
+type Stats struct {
+	BytesRead    units.Bytes
+	BytesWritten units.Bytes
+	// PerDeviceBytes is total traffic (read+write) per device, exposing the
+	// stripe balance.
+	PerDeviceBytes []units.Bytes
+	// Objects is the number of stored objects.
+	Objects int
+	// StoredBytes is the logical size of all stored objects.
+	StoredBytes units.Bytes
+}
+
+// Open creates an array.
+func Open(cfg Config) (*Array, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("nvme: need at least one device, got %d", cfg.Devices)
+	}
+	if cfg.StripeSize == 0 {
+		cfg.StripeSize = DefaultStripeSize
+	}
+	if cfg.StripeSize < 1 {
+		return nil, fmt.Errorf("nvme: stripe size %d invalid", cfg.StripeSize)
+	}
+	if cfg.Mirror && cfg.Devices < 2 {
+		return nil, fmt.Errorf("nvme: mirroring needs at least two devices, got %d", cfg.Devices)
+	}
+	a := &Array{
+		cfg:         cfg,
+		objs:        make(map[string]object),
+		perDevBytes: make([]int64, cfg.Devices),
+	}
+	for i := 0; i < cfg.Devices; i++ {
+		var b backend
+		if cfg.Dir == "" {
+			b = &memBackend{}
+		} else {
+			f, err := os.OpenFile(filepath.Join(cfg.Dir, fmt.Sprintf("ssd%02d.dat", i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("nvme: open device %d: %w", i, err)
+			}
+			b = fileBackend{f}
+		}
+		a.devs = append(a.devs, &device{back: b})
+	}
+	return a, nil
+}
+
+// Close releases the backing stores.
+func (a *Array) Close() error {
+	var first error
+	for i, d := range a.devs {
+		if err := d.back.Close(); err != nil && first == nil {
+			first = fmt.Errorf("nvme: close device %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// InjectFault makes device dev fail all subsequent I/O with err (nil clears
+// the fault). It exists for failure-injection tests.
+func (a *Array) InjectFault(dev int, err error) {
+	if dev < 0 || dev >= len(a.devs) {
+		return
+	}
+	d := a.devs[dev]
+	d.mu.Lock()
+	d.fault = err
+	d.mu.Unlock()
+}
+
+// Put stores data under key, replacing any previous object.
+func (a *Array) Put(key string, data []byte) error {
+	if err := a.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	stripe := a.cfg.StripeSize
+	n := (len(data) + stripe - 1) / stripe
+	obj := object{size: len(data), chunks: make([]chunkRef, 0, n)}
+	if a.cfg.Checksums {
+		obj.crc = crc32.Checksum(data, crcTable)
+	}
+
+	a.mu.Lock()
+	start := a.nextRR
+	a.nextRR = (a.nextRR + n) % len(a.devs)
+	a.mu.Unlock()
+
+	// Allocate chunks round-robin, then write them with one worker per
+	// device so striping yields real parallel bandwidth.
+	for i := 0; i < n; i++ {
+		dev := (start + i) % len(a.devs)
+		lo := i * stripe
+		hi := lo + stripe
+		if hi > len(data) {
+			hi = len(data)
+		}
+		off, err := a.allocChunk(dev)
+		if err != nil {
+			a.releaseChunks(obj)
+			return fmt.Errorf("nvme: put %q: %w", key, err)
+		}
+		ref := chunkRef{dev: dev, off: off, n: hi - lo, mirrorDev: -1}
+		if a.cfg.Mirror {
+			mdev := (dev + 1) % len(a.devs)
+			moff, err := a.allocChunk(mdev)
+			if err != nil {
+				a.releaseChunks(obj)
+				a.devs[dev].release(off)
+				return fmt.Errorf("nvme: put %q mirror: %w", key, err)
+			}
+			ref.mirrorDev, ref.mirrorOff = mdev, moff
+		}
+		obj.chunks = append(obj.chunks, ref)
+	}
+
+	if err := a.transfer(obj, data, true); err != nil {
+		a.releaseChunks(obj)
+		return err
+	}
+	a.mu.Lock()
+	a.objs[key] = obj
+	a.mu.Unlock()
+
+	a.statMu.Lock()
+	a.bytesWritten += int64(len(data))
+	a.statMu.Unlock()
+	return nil
+}
+
+// Size reports the stored size of key.
+func (a *Array) Size(key string) (units.Bytes, error) {
+	a.mu.RLock()
+	obj, ok := a.objs[key]
+	a.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return units.Bytes(obj.size), nil
+}
+
+// Has reports whether key is stored.
+func (a *Array) Has(key string) bool {
+	a.mu.RLock()
+	_, ok := a.objs[key]
+	a.mu.RUnlock()
+	return ok
+}
+
+// Get reads the object stored under key.
+func (a *Array) Get(key string) ([]byte, error) {
+	a.mu.RLock()
+	obj, ok := a.objs[key]
+	a.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	dst := make([]byte, obj.size)
+	if err := a.transfer(obj, dst, false); err != nil {
+		return nil, err
+	}
+	if err := a.verify(key, obj, dst); err != nil {
+		return nil, err
+	}
+	a.statMu.Lock()
+	a.bytesRead += int64(obj.size)
+	a.statMu.Unlock()
+	return dst, nil
+}
+
+// verify checks an object's checksum when enabled.
+func (a *Array) verify(key string, obj object, data []byte) error {
+	if !a.cfg.Checksums {
+		return nil
+	}
+	if got := crc32.Checksum(data, crcTable); got != obj.crc {
+		return fmt.Errorf("%w: %q (crc %08x, want %08x)", ErrCorrupt, key, got, obj.crc)
+	}
+	return nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ReadInto reads key into dst, which must have the object's exact size. It
+// avoids allocation on the engine's hot swap-in path.
+func (a *Array) ReadInto(key string, dst []byte) error {
+	a.mu.RLock()
+	obj, ok := a.objs[key]
+	a.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if len(dst) != obj.size {
+		return fmt.Errorf("nvme: ReadInto %q: dst %d bytes, object %d", key, len(dst), obj.size)
+	}
+	if err := a.transfer(obj, dst, false); err != nil {
+		return err
+	}
+	if err := a.verify(key, obj, dst); err != nil {
+		return err
+	}
+	a.statMu.Lock()
+	a.bytesRead += int64(obj.size)
+	a.statMu.Unlock()
+	return nil
+}
+
+// Delete removes key and frees its chunks.
+func (a *Array) Delete(key string) error {
+	a.mu.Lock()
+	obj, ok := a.objs[key]
+	if ok {
+		delete(a.objs, key)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	a.releaseChunks(obj)
+	return nil
+}
+
+// Keys returns the stored keys in sorted order.
+func (a *Array) Keys() []string {
+	a.mu.RLock()
+	keys := make([]string, 0, len(a.objs))
+	for k := range a.objs {
+		keys = append(keys, k)
+	}
+	a.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats reports cumulative traffic.
+func (a *Array) Stats() Stats {
+	a.statMu.Lock()
+	s := Stats{
+		BytesRead:      units.Bytes(a.bytesRead),
+		BytesWritten:   units.Bytes(a.bytesWritten),
+		PerDeviceBytes: make([]units.Bytes, len(a.perDevBytes)),
+	}
+	for i, b := range a.perDevBytes {
+		s.PerDeviceBytes[i] = units.Bytes(b)
+	}
+	a.statMu.Unlock()
+	a.mu.RLock()
+	s.Objects = len(a.objs)
+	for _, o := range a.objs {
+		s.StoredBytes += units.Bytes(o.size)
+	}
+	a.mu.RUnlock()
+	return s
+}
+
+func (a *Array) releaseChunks(obj object) {
+	for _, c := range obj.chunks {
+		a.devs[c.dev].release(c.off)
+		if c.mirrorDev >= 0 {
+			a.devs[c.mirrorDev].release(c.mirrorOff)
+		}
+	}
+}
+
+// allocChunk reserves one stripe-sized chunk on a device, honoring the
+// capacity cap.
+func (a *Array) allocChunk(dev int) (int64, error) {
+	d := a.devs[dev]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m := len(d.free); m > 0 {
+		off := d.free[m-1]
+		d.free = d.free[:m-1]
+		return off, nil
+	}
+	if cap := int64(a.cfg.DeviceCapacity); cap > 0 && d.next+int64(a.cfg.StripeSize) > cap {
+		return 0, fmt.Errorf("%w: device %d at %d of %d bytes", ErrNoSpace, dev, d.next, cap)
+	}
+	off := d.next
+	d.next += int64(a.cfg.StripeSize)
+	return off, nil
+}
+
+// release returns a chunk to the device's free list.
+func (d *device) release(off int64) {
+	d.mu.Lock()
+	d.free = append(d.free, off)
+	d.mu.Unlock()
+}
+
+// chunkIO performs one chunk's read or write on a device, honoring faults.
+func (a *Array) chunkIO(dev int, off int64, p []byte, write bool) error {
+	d := a.devs[dev]
+	d.mu.Lock()
+	err := d.fault
+	if err == nil {
+		if write {
+			err = d.back.WriteAt(p, off)
+		} else {
+			err = d.back.ReadAt(p, off)
+		}
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("nvme: device %d: %w", dev, err)
+	}
+	return nil
+}
+
+// transfer moves all chunks of obj between buf and the devices, one worker
+// per device, applying the configured throttles.
+func (a *Array) transfer(obj object, buf []byte, write bool) error {
+	perDev := make(map[int][]int) // device -> chunk indexes
+	for i, c := range obj.chunks {
+		perDev[c.dev] = append(perDev[c.dev], i)
+	}
+	bw := a.cfg.ReadBW
+	if write {
+		bw = a.cfg.WriteBW
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(perDev))
+	stripe := a.cfg.StripeSize
+	for dev, idxs := range perDev {
+		wg.Add(1)
+		go func(dev int, idxs []int) {
+			defer wg.Done()
+			d := a.devs[dev]
+			var devBytes int64
+			for _, i := range idxs {
+				c := obj.chunks[i]
+				p := buf[i*stripe : i*stripe+c.n]
+				err := a.chunkIO(dev, c.off, p, write)
+				switch {
+				case err != nil && !write && c.mirrorDev >= 0:
+					// RAID-1 read fallback.
+					if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, false); merr != nil {
+						errCh <- fmt.Errorf("nvme: primary failed (%v) and mirror failed: %w", err, merr)
+						return
+					}
+				case err != nil:
+					errCh <- err
+					return
+				case write && c.mirrorDev >= 0:
+					if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, true); merr != nil {
+						errCh <- fmt.Errorf("nvme: mirror write: %w", merr)
+						return
+					}
+				}
+				devBytes += int64(c.n)
+				a.throttleDevice(d, c.n, bw)
+			}
+			a.statMu.Lock()
+			a.perDevBytes[dev] += devBytes
+			a.statMu.Unlock()
+		}(dev, idxs)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	a.throttleHost(obj.size)
+	return nil
+}
+
+// throttleDevice sleeps so a device sustains at most bw, plus the per-op
+// access latency.
+func (a *Array) throttleDevice(d *device, n int, bw units.BytesPerSecond) {
+	if bw <= 0 && a.cfg.OpLatency <= 0 {
+		return
+	}
+	var dur time.Duration
+	if bw > 0 {
+		dur = time.Duration(float64(n) / float64(bw) * float64(time.Second))
+	}
+	dur += a.cfg.OpLatency
+	d.mu.Lock()
+	now := time.Now()
+	if d.busySlot.Before(now) {
+		d.busySlot = now
+	}
+	d.busySlot = d.busySlot.Add(dur)
+	wait := time.Until(d.busySlot)
+	d.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// throttleHost enforces the aggregate host-link cap.
+func (a *Array) throttleHost(n int) {
+	if a.cfg.HostCap <= 0 {
+		return
+	}
+	dur := time.Duration(float64(n) / float64(a.cfg.HostCap) * float64(time.Second))
+	a.hostMu.Lock()
+	time.Sleep(dur)
+	a.hostMu.Unlock()
+}
+
+// memBackend is a growable in-memory device.
+type memBackend struct {
+	data []byte
+}
+
+func (m *memBackend) ensure(n int64) {
+	if int64(len(m.data)) < n {
+		grown := make([]byte, n)
+		copy(grown, m.data)
+		m.data = grown
+	}
+}
+
+func (m *memBackend) ReadAt(p []byte, off int64) error {
+	m.ensure(off + int64(len(p)))
+	copy(p, m.data[off:])
+	return nil
+}
+
+func (m *memBackend) WriteAt(p []byte, off int64) error {
+	m.ensure(off + int64(len(p)))
+	copy(m.data[off:], p)
+	return nil
+}
+
+func (m *memBackend) Close() error { return nil }
+
+// fileBackend is a device backed by one file.
+type fileBackend struct{ f *os.File }
+
+func (fb fileBackend) ReadAt(p []byte, off int64) error {
+	_, err := fb.f.ReadAt(p, off)
+	return err
+}
+
+func (fb fileBackend) WriteAt(p []byte, off int64) error {
+	_, err := fb.f.WriteAt(p, off)
+	return err
+}
+
+func (fb fileBackend) Close() error { return fb.f.Close() }
+
+// Scrub reads and verifies every stored object, returning the keys that
+// fail checksum verification or cannot be read. It requires Checksums to be
+// enabled for corruption (as opposed to hard I/O errors) to be detectable.
+func (a *Array) Scrub() (bad []string, err error) {
+	if !a.cfg.Checksums {
+		return nil, fmt.Errorf("nvme: scrub requires checksums")
+	}
+	for _, key := range a.Keys() {
+		if _, rerr := a.Get(key); rerr != nil {
+			bad = append(bad, key)
+		}
+	}
+	return bad, nil
+}

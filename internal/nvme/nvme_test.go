@@ -1,0 +1,447 @@
+package nvme
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ratel/internal/units"
+)
+
+func openMem(t *testing.T, devices int) *Array {
+	t.Helper()
+	a, err := Open(Config{Devices: devices, StripeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	a := openMem(t, 4)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := a.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted data")
+	}
+	if sz, err := a.Size("k"); err != nil || sz != units.Bytes(len(data)) {
+		t.Errorf("Size = %v, %v", sz, err)
+	}
+}
+
+func TestReadInto(t *testing.T) {
+	a := openMem(t, 2)
+	data := []byte("hello nvme array")
+	if err := a.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(data))
+	if err := a.ReadInto("k", dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data) {
+		t.Fatal("ReadInto corrupted data")
+	}
+	if err := a.ReadInto("k", make([]byte, 3)); err == nil {
+		t.Error("ReadInto with wrong size should fail")
+	}
+	if err := a.ReadInto("missing", dst); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReadInto(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	a := openMem(t, 3)
+	if err := a.Put("k", bytes.Repeat([]byte{1}, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("k", bytes.Repeat([]byte{2}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || got[0] != 2 {
+		t.Fatal("overwrite did not replace object")
+	}
+	if st := a.Stats(); st.Objects != 1 {
+		t.Errorf("objects = %d, want 1", st.Objects)
+	}
+}
+
+func TestDeleteAndChunkReuse(t *testing.T) {
+	a := openMem(t, 2)
+	if err := a.Put("k", make([]byte, 640)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Has("k") {
+		t.Error("Has after Delete")
+	}
+	if err := a.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second delete = %v, want ErrNotFound", err)
+	}
+	// Freed chunks are reused: device high-water mark should not grow.
+	before := a.devs[0].next + a.devs[1].next
+	if err := a.Put("k2", make([]byte, 640)); err != nil {
+		t.Fatal(err)
+	}
+	after := a.devs[0].next + a.devs[1].next
+	if after != before {
+		t.Errorf("chunk reuse failed: high-water %d -> %d", before, after)
+	}
+}
+
+func TestStripingBalancesDevices(t *testing.T) {
+	a := openMem(t, 4)
+	for i := 0; i < 8; i++ {
+		if err := a.Put(fmt.Sprintf("k%d", i), make([]byte, 64*16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	for i, b := range st.PerDeviceBytes {
+		if b == 0 {
+			t.Errorf("device %d received no traffic", i)
+		}
+	}
+	if st.BytesWritten != units.Bytes(8*64*16) {
+		t.Errorf("bytes written = %v", st.BytesWritten)
+	}
+}
+
+func TestEmptyObject(t *testing.T) {
+	a := openMem(t, 2)
+	if err := a.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty object read back %d bytes", len(got))
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	a := openMem(t, 2)
+	data := make([]byte, 1024)
+	if err := a.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("media error")
+	a.InjectFault(1, boom)
+	if _, err := a.Get("k"); err == nil || !errors.Is(err, boom) {
+		t.Errorf("Get with faulty device = %v, want media error", err)
+	}
+	if err := a.Put("k2", data); err == nil {
+		t.Error("Put with faulty device should fail")
+	}
+	a.InjectFault(1, nil)
+	if _, err := a.Get("k"); err != nil {
+		t.Errorf("Get after fault cleared = %v", err)
+	}
+	// Out-of-range device indexes are ignored.
+	a.InjectFault(99, boom)
+	a.InjectFault(-1, boom)
+}
+
+func TestFileBackend(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(Config{Devices: 3, StripeSize: 128, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := a.Put("weights", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get("weights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file backend round trip corrupted data")
+	}
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	if _, err := Open(Config{Devices: 0}); err == nil {
+		t.Error("Open with 0 devices should fail")
+	}
+	if _, err := Open(Config{Devices: 1, StripeSize: -5}); err == nil {
+		t.Error("Open with negative stripe should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	a := openMem(t, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("w%d", w)
+			payload := bytes.Repeat([]byte{byte(w)}, 777)
+			for i := 0; i < 20; i++ {
+				if err := a.Put(key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := a.Get(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Error("concurrent corruption")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestKeysSorted(t *testing.T) {
+	a := openMem(t, 1)
+	for _, k := range []string{"c", "a", "b"} {
+		if err := a.Put(k, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := a.Keys()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRoundTripProperty: any payload, any device count 1..8, any stripe size
+// round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, devs, stripe uint8, size uint16) bool {
+		d := int(devs)%8 + 1
+		s := int(stripe)%512 + 1
+		a, err := Open(Config{Devices: d, StripeSize: s})
+		if err != nil {
+			return false
+		}
+		defer a.Close()
+		data := make([]byte, int(size))
+		rand.New(rand.NewSource(seed)).Read(data)
+		if err := a.Put("k", data); err != nil {
+			return false
+		}
+		got, err := a.Get("k")
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThrottleScalesWithDevices: with per-device throttling, 4 devices move
+// data materially faster than 1 device (the Fig. 10 effect, in wall-clock).
+func TestThrottleScalesWithDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throttle test")
+	}
+	const size = 4 << 20
+	elapsed := func(devs int) time.Duration {
+		a, err := Open(Config{Devices: devs, ReadBW: units.GBps(0.2), WriteBW: units.GBps(0.2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		data := make([]byte, size)
+		start := time.Now()
+		if err := a.Put("k", data); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	t1 := elapsed(1)
+	t4 := elapsed(4)
+	if t4 >= t1 {
+		t.Errorf("4 devices (%v) not faster than 1 device (%v)", t4, t1)
+	}
+}
+
+// TestChecksumsDetectCorruption: flipping a stored byte surfaces as
+// ErrCorrupt on read.
+func TestChecksumsDetectCorruption(t *testing.T) {
+	a, err := Open(Config{Devices: 1, StripeSize: 64, Checksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	data := bytes.Repeat([]byte{7}, 200)
+	if err := a.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get("k"); err != nil {
+		t.Fatalf("clean read failed: %v", err)
+	}
+	// Corrupt the backing store directly.
+	a.devs[0].back.(*memBackend).data[10] ^= 0xff
+	if _, err := a.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted read = %v, want ErrCorrupt", err)
+	}
+	if err := a.ReadInto("k", make([]byte, 200)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted ReadInto = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestOpLatencyApplied: per-op latency makes many small reads measurably
+// slower than one large read of the same volume.
+func TestOpLatencyApplied(t *testing.T) {
+	a, err := Open(Config{Devices: 1, StripeSize: 1 << 20, OpLatency: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Put("k", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := a.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("5 reads with 2ms latency took %v, want >= 10ms", elapsed)
+	}
+}
+
+// TestMirrorSurvivesDeviceFailure: RAID-1 reads fall back to the mirror
+// when the primary device fails.
+func TestMirrorSurvivesDeviceFailure(t *testing.T) {
+	a, err := Open(Config{Devices: 3, StripeSize: 64, Mirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	data := bytes.Repeat([]byte{42}, 500)
+	if err := a.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("dead device")
+	for dev := 0; dev < 3; dev++ {
+		a.InjectFault(dev, boom)
+		got, err := a.Get("k")
+		if err != nil {
+			t.Fatalf("read with device %d down: %v", dev, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("mirror fallback corrupted data with device %d down", dev)
+		}
+		a.InjectFault(dev, nil)
+	}
+	// Two adjacent failures kill both primary and mirror of some chunk.
+	a.InjectFault(0, boom)
+	a.InjectFault(1, boom)
+	if _, err := a.Get("k"); err == nil {
+		t.Error("read survived loss of both replicas")
+	}
+}
+
+func TestMirrorRequiresTwoDevices(t *testing.T) {
+	if _, err := Open(Config{Devices: 1, Mirror: true}); err == nil {
+		t.Error("single-device mirror accepted")
+	}
+}
+
+// TestDeviceCapacity: Put fails with ErrNoSpace when the array is full, and
+// freed space is reusable.
+func TestDeviceCapacity(t *testing.T) {
+	a, err := Open(Config{Devices: 2, StripeSize: 64, DeviceCapacity: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Four chunks total fit (2 devices x 128 bytes / 64-byte chunks).
+	if err := a.Put("a", make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("b", make([]byte, 64)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-capacity Put = %v, want ErrNoSpace", err)
+	}
+	if err := a.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("b", make([]byte, 256)); err != nil {
+		t.Fatalf("Put after freeing space: %v", err)
+	}
+}
+
+// TestMirrorCapacityAccounting: mirroring halves usable capacity.
+func TestMirrorCapacityAccounting(t *testing.T) {
+	a, err := Open(Config{Devices: 2, StripeSize: 64, DeviceCapacity: 128, Mirror: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Put("a", make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("b", make([]byte, 128)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("mirrored over-capacity Put = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestScrub(t *testing.T) {
+	a, err := Open(Config{Devices: 2, StripeSize: 64, Checksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for _, k := range []string{"a", "b", "c"} {
+		if err := a.Put(k, bytes.Repeat([]byte{k[0]}, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad, err := a.Scrub()
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("clean scrub = %v, %v", bad, err)
+	}
+	// Corrupt one object's first chunk on device 0.
+	obj := a.objs["b"]
+	a.devs[obj.chunks[0].dev].back.(*memBackend).data[obj.chunks[0].off] ^= 0xff
+	bad, err = a.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != "b" {
+		t.Errorf("scrub found %v, want [b]", bad)
+	}
+	// Without checksums, scrubbing is refused.
+	plain := openMem(t, 1)
+	if _, err := plain.Scrub(); err == nil {
+		t.Error("scrub without checksums accepted")
+	}
+}

@@ -1,0 +1,306 @@
+// Package opt implements the optimizer side of the paper's model-state
+// management: mixed-precision Adam with fp32 master weights and moments
+// (P32 + OS32, Table II), and an out-of-core variant that streams each
+// parameter group's state through a storage backend — the CPU optimizer
+// that active gradient offloading (§IV-C) drives.
+//
+// The out-of-core optimizer is exactly equivalent to the in-memory one for
+// any chunking: state round-trips through storage as raw little-endian
+// float32, and gradients are consumed in fp16 (G16) in both paths.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"ratel/internal/nn"
+	"ratel/internal/tensor"
+)
+
+// AdamConfig holds the Adam hyperparameters. A non-zero WeightDecay selects
+// decoupled weight decay (AdamW), the variant commonly used for LLM
+// fine-tuning.
+type AdamConfig struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+}
+
+// DefaultAdam is the conventional Adam configuration used for LLM
+// fine-tuning.
+func DefaultAdam() AdamConfig {
+	return AdamConfig{LR: 1e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// AdamStep applies one bias-corrected Adam update to p32 in place, with
+// step t (1-based) and moments m, v. The gradient is consumed as given
+// (the engine rounds it to fp16 before handing it over: G16).
+func AdamStep(cfg AdamConfig, t int, p32, m, v, grad []float32) error {
+	if len(p32) != len(m) || len(p32) != len(v) || len(p32) != len(grad) {
+		return fmt.Errorf("opt: mismatched state sizes %d/%d/%d/%d", len(p32), len(m), len(v), len(grad))
+	}
+	if t < 1 {
+		return fmt.Errorf("opt: step %d, want >= 1", t)
+	}
+	b1c := 1 - math.Pow(cfg.Beta1, float64(t))
+	b2c := 1 - math.Pow(cfg.Beta2, float64(t))
+	for i := range p32 {
+		g := float64(grad[i])
+		mi := cfg.Beta1*float64(m[i]) + (1-cfg.Beta1)*g
+		vi := cfg.Beta2*float64(v[i]) + (1-cfg.Beta2)*g*g
+		m[i], v[i] = float32(mi), float32(vi)
+		mhat := mi / b1c
+		vhat := vi / b2c
+		p := float64(p32[i])
+		p -= cfg.LR * mhat / (math.Sqrt(vhat) + cfg.Eps)
+		if cfg.WeightDecay != 0 {
+			p -= cfg.LR * cfg.WeightDecay * float64(p32[i])
+		}
+		p32[i] = float32(p)
+	}
+	return nil
+}
+
+// Store is the storage the out-of-core optimizer streams model states
+// through; *nvme.Array satisfies it.
+type Store interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+}
+
+// MemStore is an in-memory Store for tests and the in-memory reference
+// optimizer.
+type MemStore map[string][]byte
+
+// Put stores a copy of data.
+func (s MemStore) Put(key string, data []byte) error {
+	s[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns a copy of the stored bytes.
+func (s MemStore) Get(key string) ([]byte, error) {
+	b, ok := s[key]
+	if !ok {
+		return nil, fmt.Errorf("opt: memstore: missing %q", key)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// OutOfCoreAdam keeps fp32 master weights and Adam moments in a Store and
+// updates one parameter group at a time — the paper's CPU optimizer
+// operating on model states homed on NVMe.
+type OutOfCoreAdam struct {
+	cfg       AdamConfig
+	store     Store
+	prefix    string
+	step      int
+	gradScale float64 // loss-scale divisor; 0 or 1 means unscaled
+	clipNorm  float64 // per-group L2 clip; 0 disables
+}
+
+// SetClipNorm enables per-group gradient clipping: each parameter group's
+// gradient is rescaled so its L2 norm does not exceed n. Note this is
+// per-GROUP clipping, not global-norm clipping — the global norm is only
+// known once every gradient has arrived, which is exactly the serialization
+// active gradient offloading exists to avoid.
+func (o *OutOfCoreAdam) SetClipNorm(n float64) error {
+	if n < 0 {
+		return fmt.Errorf("opt: negative clip norm %v", n)
+	}
+	o.clipNorm = n
+	return nil
+}
+
+// NewOutOfCoreAdam creates an optimizer over the given store. prefix
+// namespaces its keys.
+func NewOutOfCoreAdam(store Store, cfg AdamConfig, prefix string) *OutOfCoreAdam {
+	return &OutOfCoreAdam{cfg: cfg, store: store, prefix: prefix}
+}
+
+// Step reports the number of completed optimizer steps.
+func (o *OutOfCoreAdam) Step() int { return o.step }
+
+func (o *OutOfCoreAdam) key(group, kind string) string {
+	return o.prefix + "/" + group + "/" + kind
+}
+
+// InitGroup seeds the store with the group's fp32 masters (from the current
+// working weights) and zero moments, and rounds the working weights to fp16
+// (the P16 copies the GPU computes with).
+func (o *OutOfCoreAdam) InitGroup(g nn.ParamGroup) error {
+	flat := flattenWeights(g)
+	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(flat)); err != nil {
+		return fmt.Errorf("opt: init %s: %w", g.Name, err)
+	}
+	zero := make([]float32, len(flat))
+	if err := o.store.Put(o.key(g.Name, "m"), tensor.ToFP32Bytes(zero)); err != nil {
+		return err
+	}
+	if err := o.store.Put(o.key(g.Name, "v"), tensor.ToFP32Bytes(zero)); err != nil {
+		return err
+	}
+	for _, p := range g.Params {
+		p.W.RoundFP16InPlace()
+	}
+	return nil
+}
+
+// BeginStep advances the optimizer step counter; call once per training
+// iteration before the group updates.
+func (o *OutOfCoreAdam) BeginStep() { o.step++ }
+
+// UpdateGroup is the active-gradient-offloading handler body: it consumes
+// the group's gradients (rounded to fp16, as they arrive over PCIe),
+// streams P32+OS32 in from the store, applies Adam, streams the updated
+// state back, and installs the new fp16 working weights.
+func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
+	if o.step < 1 {
+		return fmt.Errorf("opt: UpdateGroup(%s) before BeginStep", g.Name)
+	}
+	n := g.NumParams()
+	p32, err := o.loadFP32(g.Name, "p32", n)
+	if err != nil {
+		return err
+	}
+	m, err := o.loadFP32(g.Name, "m", n)
+	if err != nil {
+		return err
+	}
+	v, err := o.loadFP32(g.Name, "v", n)
+	if err != nil {
+		return err
+	}
+
+	inv := 1.0
+	if o.gradScale > 0 {
+		inv = 1 / o.gradScale
+	}
+	grad := make([]float32, 0, n)
+	for _, p := range g.Params {
+		for _, gv := range p.G.Data {
+			// G16 boundary: gradients cross PCIe in fp16 (at loss-scaled
+			// magnitude), then unscale in fp32.
+			grad = append(grad, float32(float64(tensor.RoundFP16(gv))*inv))
+		}
+	}
+	if o.clipNorm > 0 {
+		var sq float64
+		for _, gv := range grad {
+			sq += float64(gv) * float64(gv)
+		}
+		if norm := math.Sqrt(sq); norm > o.clipNorm {
+			scale := float32(o.clipNorm / norm)
+			for i := range grad {
+				grad[i] *= scale
+			}
+		}
+	}
+	if err := AdamStep(o.cfg, o.step, p32, m, v, grad); err != nil {
+		return fmt.Errorf("opt: update %s: %w", g.Name, err)
+	}
+	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(p32)); err != nil {
+		return err
+	}
+	if err := o.store.Put(o.key(g.Name, "m"), tensor.ToFP32Bytes(m)); err != nil {
+		return err
+	}
+	if err := o.store.Put(o.key(g.Name, "v"), tensor.ToFP32Bytes(v)); err != nil {
+		return err
+	}
+	// Install P16 = fp16(P32) working copies.
+	off := 0
+	for _, p := range g.Params {
+		for i := range p.W.Data {
+			p.W.Data[i] = tensor.RoundFP16(p32[off])
+			off++
+		}
+	}
+	return nil
+}
+
+// MasterWeights returns the group's current fp32 masters (a copy), for
+// checkpointing and tests.
+func (o *OutOfCoreAdam) MasterWeights(group string, n int) ([]float32, error) {
+	return o.loadFP32(group, "p32", n)
+}
+
+// GroupState is the full optimizer state of one parameter group: fp32
+// masters and Adam moments (P32 + OS32, Table II).
+type GroupState struct {
+	P32, M, V []float32
+}
+
+// ExportGroup extracts a group's state for checkpointing.
+func (o *OutOfCoreAdam) ExportGroup(group string, n int) (GroupState, error) {
+	var st GroupState
+	var err error
+	if st.P32, err = o.loadFP32(group, "p32", n); err != nil {
+		return GroupState{}, err
+	}
+	if st.M, err = o.loadFP32(group, "m", n); err != nil {
+		return GroupState{}, err
+	}
+	if st.V, err = o.loadFP32(group, "v", n); err != nil {
+		return GroupState{}, err
+	}
+	return st, nil
+}
+
+// ImportGroup restores a group's state from a checkpoint and installs the
+// fp16 working weights into the group's tensors.
+func (o *OutOfCoreAdam) ImportGroup(g nn.ParamGroup, st GroupState) error {
+	n := g.NumParams()
+	if len(st.P32) != n || len(st.M) != n || len(st.V) != n {
+		return fmt.Errorf("opt: import %s: state sizes %d/%d/%d for %d params",
+			g.Name, len(st.P32), len(st.M), len(st.V), n)
+	}
+	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(st.P32)); err != nil {
+		return err
+	}
+	if err := o.store.Put(o.key(g.Name, "m"), tensor.ToFP32Bytes(st.M)); err != nil {
+		return err
+	}
+	if err := o.store.Put(o.key(g.Name, "v"), tensor.ToFP32Bytes(st.V)); err != nil {
+		return err
+	}
+	off := 0
+	for _, p := range g.Params {
+		for i := range p.W.Data {
+			p.W.Data[i] = tensor.RoundFP16(st.P32[off])
+			off++
+		}
+	}
+	return nil
+}
+
+// SetStep restores the optimizer step counter from a checkpoint.
+func (o *OutOfCoreAdam) SetStep(step int) error {
+	if step < 0 {
+		return fmt.Errorf("opt: negative step %d", step)
+	}
+	o.step = step
+	return nil
+}
+
+func (o *OutOfCoreAdam) loadFP32(group, kind string, n int) ([]float32, error) {
+	b, err := o.store.Get(o.key(group, kind))
+	if err != nil {
+		return nil, fmt.Errorf("opt: load %s/%s: %w", group, kind, err)
+	}
+	out := make([]float32, n)
+	if err := tensor.FromFP32Bytes(b, out); err != nil {
+		return nil, fmt.Errorf("opt: decode %s/%s: %w", group, kind, err)
+	}
+	return out, nil
+}
+
+func flattenWeights(g nn.ParamGroup) []float32 {
+	flat := make([]float32, 0, g.NumParams())
+	for _, p := range g.Params {
+		flat = append(flat, p.W.Data...)
+	}
+	return flat
+}

@@ -1,0 +1,69 @@
+package opt
+
+import "fmt"
+
+// LossScaler implements dynamic loss scaling for mixed-precision training:
+// the loss gradient is amplified by Scale so small gradients survive the
+// fp16 (G16) representation, and the optimizer divides it back out in fp32.
+// A step whose gradients overflow is skipped and the scale halved; after
+// GrowthInterval consecutive good steps the scale doubles.
+type LossScaler struct {
+	scale          float64
+	growthInterval int
+	goodSteps      int
+	minScale       float64
+	maxScale       float64
+}
+
+// NewLossScaler builds a scaler with the conventional dynamics (growth
+// interval 100, scale clamped to [1, 2^24]).
+func NewLossScaler(initial float64) (*LossScaler, error) {
+	if initial < 1 {
+		return nil, fmt.Errorf("opt: loss scale %v < 1", initial)
+	}
+	return &LossScaler{scale: initial, growthInterval: 100, minScale: 1, maxScale: 1 << 24}, nil
+}
+
+// Scale reports the current loss scale.
+func (s *LossScaler) Scale() float64 { return s.scale }
+
+// OnOverflow halves the scale and resets the growth counter.
+func (s *LossScaler) OnOverflow() {
+	s.scale /= 2
+	if s.scale < s.minScale {
+		s.scale = s.minScale
+	}
+	s.goodSteps = 0
+}
+
+// OnGoodStep advances the growth counter, doubling the scale every
+// GrowthInterval good steps.
+func (s *LossScaler) OnGoodStep() {
+	s.goodSteps++
+	if s.goodSteps >= s.growthInterval {
+		s.goodSteps = 0
+		if s.scale*2 <= s.maxScale {
+			s.scale *= 2
+		}
+	}
+}
+
+// SetGradScale tells the optimizer to divide incoming (fp16) gradients by
+// scale before the fp32 update — the unscale half of loss scaling.
+func (o *OutOfCoreAdam) SetGradScale(scale float64) error {
+	if scale <= 0 {
+		return fmt.Errorf("opt: gradient scale %v", scale)
+	}
+	o.gradScale = scale
+	return nil
+}
+
+// CancelStep undoes a BeginStep whose updates were skipped (gradient
+// overflow), so bias correction stays aligned with applied updates.
+func (o *OutOfCoreAdam) CancelStep() error {
+	if o.step < 1 {
+		return fmt.Errorf("opt: no step to cancel")
+	}
+	o.step--
+	return nil
+}

@@ -1,0 +1,370 @@
+// Package plan implements Ratel's holistic traffic-aware activation
+// swapping management (§IV-D): the iteration-time model of Eqs. 1–5, the
+// offloading-benefit ordering of Eq. 6, the recomputation-FLOPs accounting
+// of Eqs. 7–8, and Algorithm 1, which picks the swapped-activation amount
+// AG2M that minimizes the iteration time.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/units"
+)
+
+// Profile carries the Table I quantities the planner consumes. It is
+// produced by hardware-aware profiling (package profile) or constructed
+// directly from a model.Config and hw.Server in analytical experiments.
+type Profile struct {
+	// FLOPf is the forward-pass FLOP count at the planned batch size.
+	FLOPf units.FLOPs
+	// THPG is the measured peak GPU throughput.
+	THPG units.FLOPsPerSecond
+	// BWG is the GPU<->host PCIe bandwidth per direction (duplex).
+	BWG units.BytesPerSecond
+	// BWS2M / BWM2S are the aggregate SSD read and write bandwidths.
+	BWS2M, BWM2S units.BytesPerSecond
+	// Params is the model's parameter count P.
+	Params int64
+	// MemAvailM is MEMavail_M: main memory left for holding activations
+	// after parameters and optimizer staging are accounted for.
+	MemAvailM units.Bytes
+	// Layers are the model's operators with activation bytes and
+	// recomputation FLOPs. Boundary layers are always swapped (their
+	// upstream activations are required to start any recomputation).
+	Layers []model.LayerProfile
+}
+
+// Validate reports profiles the model cannot price.
+func (p Profile) Validate() error {
+	switch {
+	case p.FLOPf <= 0:
+		return errors.New("plan: profile has no forward FLOPs")
+	case p.THPG <= 0:
+		return errors.New("plan: profile has no GPU throughput")
+	case p.BWG <= 0:
+		return errors.New("plan: profile has no GPU PCIe bandwidth")
+	case p.Params <= 0:
+		return errors.New("plan: profile has no parameters")
+	case len(p.Layers) == 0:
+		return errors.New("plan: profile has no layers")
+	}
+	return nil
+}
+
+// AinterBlock is the total boundary-activation footprint, the minimum safe
+// swap amount of Algorithm 1.
+func (p Profile) AinterBlock() units.Bytes {
+	var total units.Bytes
+	for _, l := range p.Layers {
+		if l.Boundary {
+			total += l.ActBytes
+		}
+	}
+	return total
+}
+
+// Aall is the total activation footprint.
+func (p Profile) Aall() units.Bytes {
+	var total units.Bytes
+	for _, l := range p.Layers {
+		total += l.ActBytes
+	}
+	return total
+}
+
+// Times is the iteration-time breakdown of Eqs. 1–5. Each stage time is the
+// max over its four components; the components are retained so experiments
+// can report which resource bounds each stage.
+type Times struct {
+	Tf, Tb, Titer units.Seconds
+
+	// Forward components (Eq. 4): GPU compute, GPU->main transfer,
+	// main->GPU transfer, SSD I/O.
+	TfG, TfG2M, TfM2G, TfS units.Seconds
+	// Backward components (Eq. 5).
+	TbG, TbG2M, TbM2G, TbS units.Seconds
+}
+
+// AlphaBytes is α·AG2M (Eq. 3): the swapped activations that overflow main
+// memory onto the SSDs.
+func (p Profile) AlphaBytes(ag2m units.Bytes) units.Bytes {
+	over := ag2m - p.MemAvailM
+	if over < 0 {
+		return 0
+	}
+	return over
+}
+
+// IterTime prices one iteration for a given swapped-activation amount ag2m
+// and recomputation cost flopr, per Eqs. 1–5.
+//
+// The GPU link is duplex, so G2M and M2G are separate components; the SSD
+// path is simplex, so its reads and writes are summed. The backward SSD
+// term reads the 12P optimizer states plus 2P fp16 parameters (14P) and the
+// SSD-resident activations α·AG2M, and writes the 14P updated states; the
+// CPU Adam itself is hidden behind this I/O (§IV-D, active gradient
+// offloading).
+func (p Profile) IterTime(ag2m units.Bytes, flopr units.FLOPs) Times {
+	twoP := units.Bytes(2 * p.Params)
+	fourteenP := units.Bytes(14 * p.Params)
+	alpha := p.AlphaBytes(ag2m)
+
+	t := Times{
+		// Eq. 4.
+		TfG:   units.ComputeTime(p.FLOPf, p.THPG),
+		TfG2M: units.TransferTime(ag2m, p.BWG),
+		TfM2G: units.TransferTime(twoP, p.BWG),
+		TfS:   units.TransferTime(twoP, p.BWS2M) + units.TransferTime(alpha, p.BWM2S),
+		// Eq. 5.
+		TbG:   units.ComputeTime(2*p.FLOPf+flopr, p.THPG),
+		TbG2M: units.TransferTime(twoP, p.BWG),
+		TbM2G: units.TransferTime(twoP+ag2m, p.BWG),
+		TbS:   units.TransferTime(fourteenP+alpha, p.BWS2M) + units.TransferTime(fourteenP, p.BWM2S),
+	}
+	t.Tf = units.MaxSeconds(t.TfG, t.TfG2M, t.TfM2G, t.TfS)
+	t.Tb = units.MaxSeconds(t.TbG, t.TbG2M, t.TbM2G, t.TbS)
+	t.Titer = t.Tf + t.Tb
+	return t
+}
+
+// Case is the planner's classification of the iteration-time curve (§IV-D).
+type Case int
+
+// The three convexity cases the paper deduces.
+const (
+	// CaseMinimumSafe: T_iter increases with AG2M everywhere; PCIe transfer
+	// bounds training, so swap only the inter-block floor.
+	CaseMinimumSafe Case = 1
+	// CaseSwapAll: T_iter decreases with AG2M everywhere; GPU compute
+	// bounds training, so swap everything.
+	CaseSwapAll Case = 2
+	// CaseInterior: the optimum is an interior inflection point.
+	CaseInterior Case = 3
+)
+
+// String names the case.
+func (c Case) String() string {
+	switch c {
+	case CaseMinimumSafe:
+		return "case1-minimum-safe"
+	case CaseSwapAll:
+		return "case2-swap-all"
+	case CaseInterior:
+		return "case3-interior"
+	}
+	return fmt.Sprintf("Case(%d)", int(c))
+}
+
+// Plan is the output of Algorithm 1.
+type Plan struct {
+	// Swapped lists the layers whose activations are offloaded, boundary
+	// layers first, then by descending offloading benefit.
+	Swapped []model.LayerProfile
+	// AG2M is the total swapped-activation bytes.
+	AG2M units.Bytes
+	// AlphaBytes is the portion of AG2M that spills to the SSDs (Eq. 3).
+	AlphaBytes units.Bytes
+	// FLOPr is the recomputation FLOPs for the non-swapped layers.
+	FLOPr units.FLOPs
+	// Predicted is the iteration-time model's evaluation at AG2M.
+	Predicted Times
+	// Case classifies the curve.
+	Case Case
+}
+
+// Alpha is the swapped-to-SSD proportion α.
+func (pl Plan) Alpha() float64 {
+	if pl.AG2M <= 0 {
+		return 0
+	}
+	return float64(pl.AlphaBytes) / float64(pl.AG2M)
+}
+
+// SwapSet reports the names of the swapped layers for the engine's hook
+// installation.
+func (pl Plan) SwapSet() map[string]bool {
+	m := make(map[string]bool, len(pl.Swapped))
+	for _, l := range pl.Swapped {
+		m[l.Name] = true
+	}
+	return m
+}
+
+// Optimize runs Algorithm 1: boundary layers are swapped unconditionally
+// (they are the recomputation roots, the paper's "minimum safe" amount);
+// the remaining layers are considered in descending offloading-benefit
+// order, and layers are added while the modeled iteration time decreases.
+// By the convexity of T_iter (proved in §IV-D), the first non-improving
+// layer marks the global minimum.
+func Optimize(p Profile) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+
+	var boundary, inner []model.LayerProfile
+	for _, l := range p.Layers {
+		if l.Boundary {
+			boundary = append(boundary, l)
+		} else {
+			inner = append(inner, l)
+		}
+	}
+	// layer_list.sortByOffloadingBenefit(): descending OB, with a
+	// deterministic name tie-break.
+	sort.SliceStable(inner, func(i, j int) bool {
+		bi, bj := inner[i].OffloadingBenefit(), inner[j].OffloadingBenefit()
+		if bi != bj {
+			return bi > bj
+		}
+		return inner[i].Name < inner[j].Name
+	})
+
+	pl := Plan{Swapped: append([]model.LayerProfile(nil), boundary...)}
+	flopr := p.FLOPf // full recomputation baseline
+	for _, l := range boundary {
+		pl.AG2M += l.ActBytes
+		flopr -= l.FwdFLOPs
+	}
+	best := p.IterTime(pl.AG2M, flopr)
+	improvedOnce := false
+
+	for _, l := range inner {
+		ag2m := pl.AG2M + l.ActBytes
+		fr := flopr - l.FwdFLOPs
+		t := p.IterTime(ag2m, fr)
+		if t.Titer >= best.Titer {
+			break // convex: no later layer can improve
+		}
+		pl.Swapped = append(pl.Swapped, l)
+		pl.AG2M = ag2m
+		flopr = fr
+		best = t
+		improvedOnce = true
+	}
+
+	pl.FLOPr = flopr
+	pl.AlphaBytes = p.AlphaBytes(pl.AG2M)
+	pl.Predicted = best
+	switch {
+	case !improvedOnce:
+		pl.Case = CaseMinimumSafe
+	case len(pl.Swapped) == len(p.Layers):
+		pl.Case = CaseSwapAll
+	default:
+		pl.Case = CaseInterior
+	}
+	return pl, nil
+}
+
+// CurvePoint is one sample of the T_iter(AG2M) curve (Fig. 9b).
+type CurvePoint struct {
+	AG2M  units.Bytes
+	FLOPr units.FLOPs
+	Times Times
+}
+
+// Curve evaluates the iteration-time model along the Algorithm-1 swap order
+// (boundaries first, then descending OB), one point per added layer. The
+// returned sequence is the discrete curve whose convexity §IV-D proves.
+func Curve(p Profile) ([]CurvePoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var boundary, inner []model.LayerProfile
+	for _, l := range p.Layers {
+		if l.Boundary {
+			boundary = append(boundary, l)
+		} else {
+			inner = append(inner, l)
+		}
+	}
+	sort.SliceStable(inner, func(i, j int) bool {
+		bi, bj := inner[i].OffloadingBenefit(), inner[j].OffloadingBenefit()
+		if bi != bj {
+			return bi > bj
+		}
+		return inner[i].Name < inner[j].Name
+	})
+
+	var ag2m units.Bytes
+	flopr := p.FLOPf
+	for _, l := range boundary {
+		ag2m += l.ActBytes
+		flopr -= l.FwdFLOPs
+	}
+	points := []CurvePoint{{AG2M: ag2m, FLOPr: flopr, Times: p.IterTime(ag2m, flopr)}}
+	for _, l := range inner {
+		ag2m += l.ActBytes
+		flopr -= l.FwdFLOPs
+		points = append(points, CurvePoint{AG2M: ag2m, FLOPr: flopr, Times: p.IterTime(ag2m, flopr)})
+	}
+	return points, nil
+}
+
+// BruteForceOptimum scans the full curve for its global minimum; it is the
+// reference the tests compare Algorithm 1 against.
+func BruteForceOptimum(p Profile) (CurvePoint, error) {
+	pts, err := Curve(p)
+	if err != nil {
+		return CurvePoint{}, err
+	}
+	best := pts[0]
+	for _, pt := range pts[1:] {
+		if pt.Times.Titer < best.Times.Titer {
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+// FromModel builds a Profile from a model config and server directly, the
+// analytical path the capacity and throughput experiments use. memAvail is
+// the main memory available for activations (MEMavail_M).
+func FromModel(cfg model.Config, srv hw.Server, batch int, memAvail units.Bytes) Profile {
+	return Profile{
+		FLOPf:     cfg.ForwardFLOPs(batch),
+		THPG:      srv.GPU.PeakFP16,
+		BWG:       srv.Link.GPUPerDirection,
+		BWS2M:     srv.BWS2M(),
+		BWM2S:     srv.BWM2S(),
+		Params:    cfg.Params(),
+		MemAvailM: memAvail,
+		Layers:    cfg.LayerProfiles(batch),
+	}
+}
+
+// Describe renders a plan as a short human-readable summary: the case, the
+// totals, and the swap set aggregated by operator kind.
+func (pl Plan) Describe() string {
+	kind := func(name string) string {
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			return name[i+1:]
+		}
+		return name
+	}
+	counts := map[string]int{}
+	bytes := map[string]units.Bytes{}
+	var kinds []string
+	for _, l := range pl.Swapped {
+		k := kind(l.Name)
+		if counts[k] == 0 {
+			kinds = append(kinds, k)
+		}
+		counts[k]++
+		bytes[k] += l.ActBytes
+	}
+	sort.Slice(kinds, func(i, j int) bool { return bytes[kinds[i]] > bytes[kinds[j]] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: swap %v across %d layers (%.0f%% spills to SSD), recompute %.0f TFLOP\n",
+		pl.Case, pl.AG2M, len(pl.Swapped), 100*pl.Alpha(), pl.FLOPr.TFLOPf())
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-12s x%-4d %v\n", k, counts[k], bytes[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/units"
+)
+
+// profile13B is the paper's running example: 13B model, batch 32, the
+// 12-SSD RTX 4090 evaluation server.
+func profile13B(memAvail units.Bytes) Profile {
+	return FromModel(model.MustByName("13B"), hw.EvalServer(hw.RTX4090, 768*units.GiB, 12), 32, memAvail)
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Profile{}).Validate(); err == nil {
+		t.Error("empty profile validated")
+	}
+	if err := profile13B(100 * units.GiB).Validate(); err != nil {
+		t.Errorf("13B profile invalid: %v", err)
+	}
+}
+
+func TestIterTimeComponents(t *testing.T) {
+	p := profile13B(100 * units.GiB)
+	// Eq. 4 anchors for AG2M = 0, full recomputation: forward GPU time is
+	// FLOPf/THP ~5.8 s, the P16 prefetch is 2P/21GB/s ~1.2 s, SSD read is
+	// 2P/32GB/s ~0.8 s.
+	tm := p.IterTime(0, p.FLOPf)
+	if got := float64(tm.TfG); got < 5.0 || got > 6.5 {
+		t.Errorf("TfG = %.2f s, want ~5.8 s", got)
+	}
+	if got := float64(tm.TfM2G); math.Abs(got-float64(2*p.Params)/21e9) > 1e-6 {
+		t.Errorf("TfM2G = %.3f s, want 2P/BWG", got)
+	}
+	if tm.Tf != units.MaxSeconds(tm.TfG, tm.TfG2M, tm.TfM2G, tm.TfS) {
+		t.Error("Tf is not the max of its components")
+	}
+	if tm.Titer != tm.Tf+tm.Tb {
+		t.Error("Titer != Tf + Tb")
+	}
+	// Backward SSD term: (14P + alpha)/BWS2M + 14P/BWM2S; with alpha = 0
+	// that is ~11.2 s on 12 SSDs.
+	if got := float64(tm.TbS); got < 10 || got > 13 {
+		t.Errorf("TbS = %.2f s, want ~11.2 s", got)
+	}
+}
+
+func TestAlphaBytes(t *testing.T) {
+	p := profile13B(50 * units.GiB)
+	if got := p.AlphaBytes(30 * units.GiB); got != 0 {
+		t.Errorf("alpha below MemAvail = %v, want 0", got)
+	}
+	if got := p.AlphaBytes(80 * units.GiB); got != 30*units.GiB {
+		t.Errorf("alpha = %v, want 30 GiB", got)
+	}
+}
+
+func TestOptimizeFindsBruteForceOptimum(t *testing.T) {
+	for _, mem := range []units.Bytes{10 * units.GiB, 100 * units.GiB, 400 * units.GiB} {
+		p := profile13B(mem)
+		pl, err := Optimize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := BruteForceOptimum(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(pl.Predicted.Titer-ref.Times.Titer)) > 1e-9 {
+			t.Errorf("mem=%v: Algorithm 1 Titer = %.3f, brute force = %.3f",
+				mem, pl.Predicted.Titer, ref.Times.Titer)
+		}
+	}
+}
+
+func TestOptimizeRespectsInterBlockFloor(t *testing.T) {
+	p := profile13B(200 * units.GiB)
+	pl, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.AG2M < p.AinterBlock() {
+		t.Errorf("AG2M = %v below inter-block floor %v", pl.AG2M, p.AinterBlock())
+	}
+	// All boundary layers must be swapped.
+	set := pl.SwapSet()
+	for _, l := range p.Layers {
+		if l.Boundary && !set[l.Name] {
+			t.Errorf("boundary layer %s not swapped", l.Name)
+		}
+	}
+}
+
+func TestOptimize13BIsInterior(t *testing.T) {
+	// On the full evaluation server the 13B/batch-32 curve has an interior
+	// optimum (Fig. 9b, batch >= 36 shape): swapping everything and
+	// swapping only the floor are both worse.
+	p := profile13B(300 * units.GiB)
+	pl, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Case != CaseInterior {
+		t.Fatalf("case = %v, want interior", pl.Case)
+	}
+	floor := p.IterTime(p.AinterBlock(), p.FLOPf-boundaryFLOPs(p))
+	if pl.Predicted.Titer >= floor.Titer {
+		t.Errorf("optimum %.2f s not better than floor %.2f s", pl.Predicted.Titer, floor.Titer)
+	}
+	all := p.IterTime(p.Aall(), 0)
+	if pl.Predicted.Titer > all.Titer {
+		t.Errorf("optimum %.2f s worse than swap-all %.2f s", pl.Predicted.Titer, all.Titer)
+	}
+}
+
+func boundaryFLOPs(p Profile) units.FLOPs {
+	var f units.FLOPs
+	for _, l := range p.Layers {
+		if l.Boundary {
+			f += l.FwdFLOPs
+		}
+	}
+	return f
+}
+
+func TestCaseSwapAllWhenPCIeIsFree(t *testing.T) {
+	// With an absurdly fast PCIe link and SSDs, GPU compute always bounds
+	// the iteration, so all activations should be swapped (Case 2).
+	p := profile13B(1024 * units.GiB)
+	p.BWG = units.GBps(10000)
+	p.BWS2M = units.GBps(10000)
+	p.BWM2S = units.GBps(10000)
+	pl, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Case != CaseSwapAll {
+		t.Errorf("case = %v, want swap-all", pl.Case)
+	}
+	if pl.AG2M != p.Aall() {
+		t.Errorf("AG2M = %v, want Aall = %v", pl.AG2M, p.Aall())
+	}
+	if pl.FLOPr != 0 {
+		t.Errorf("FLOPr = %v, want 0 when everything is swapped", pl.FLOPr)
+	}
+}
+
+func TestCaseMinimumSafeWhenGPUIsFree(t *testing.T) {
+	// With an absurdly fast GPU, recomputation is free and every swapped
+	// byte only adds PCIe time, so the planner stays at the floor (Case 1).
+	p := profile13B(10 * units.GiB)
+	p.THPG = units.TFLOPS(1e6)
+	pl, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Case != CaseMinimumSafe {
+		t.Errorf("case = %v, want minimum-safe", pl.Case)
+	}
+	if pl.AG2M != p.AinterBlock() {
+		t.Errorf("AG2M = %v, want floor %v", pl.AG2M, p.AinterBlock())
+	}
+}
+
+// TestCurveConvexity verifies the §IV-D theorem on the discrete curve:
+// second differences of Titer along the swap order, normalized per byte,
+// are non-negative (up to float tolerance) for a range of memory and
+// bandwidth settings.
+func TestCurveConvexity(t *testing.T) {
+	for _, mem := range []units.Bytes{5 * units.GiB, 64 * units.GiB, 256 * units.GiB} {
+		pts, err := Curve(profile13B(mem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertConvex(t, pts)
+	}
+}
+
+func assertConvex(t *testing.T, pts []CurvePoint) {
+	t.Helper()
+	// Slopes (dT/dA) along consecutive segments must be non-decreasing.
+	prev := math.Inf(-1)
+	for i := 1; i < len(pts); i++ {
+		da := float64(pts[i].AG2M - pts[i-1].AG2M)
+		if da <= 0 {
+			continue
+		}
+		slope := float64(pts[i].Times.Titer-pts[i-1].Times.Titer) / da
+		if slope < prev-1e-12 {
+			t.Fatalf("curve not convex at point %d: slope %.3e after %.3e", i, slope, prev)
+		}
+		if slope > prev {
+			prev = slope
+		}
+	}
+}
+
+// TestConvexityProperty fuzzes hardware parameters and checks both
+// convexity and Algorithm-1 optimality on random profiles.
+func TestConvexityProperty(t *testing.T) {
+	cfgs := []string{"6B", "13B"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := model.MustByName(cfgs[rng.Intn(len(cfgs))])
+		batch := 1 << rng.Intn(6)
+		p := Profile{
+			FLOPf:     cfg.ForwardFLOPs(batch),
+			THPG:      units.TFLOPS(20 + 300*rng.Float64()),
+			BWG:       units.GBps(2 + 40*rng.Float64()),
+			BWS2M:     units.GBps(1 + 40*rng.Float64()),
+			BWM2S:     units.GBps(1 + 40*rng.Float64()),
+			Params:    cfg.Params(),
+			MemAvailM: units.Bytes(rng.Int63n(int64(512 * units.GiB))),
+			Layers:    cfg.LayerProfiles(batch),
+		}
+		pts, err := Curve(p)
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for i := 1; i < len(pts); i++ {
+			da := float64(pts[i].AG2M - pts[i-1].AG2M)
+			if da <= 0 {
+				continue
+			}
+			slope := float64(pts[i].Times.Titer-pts[i-1].Times.Titer) / da
+			if slope < prev-1e-12 {
+				return false
+			}
+			if slope > prev {
+				prev = slope
+			}
+		}
+		pl, err := Optimize(p)
+		if err != nil {
+			return false
+		}
+		ref, err := BruteForceOptimum(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(pl.Predicted.Titer-ref.Times.Titer)) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanAlphaAndSwapSet(t *testing.T) {
+	p := profile13B(20 * units.GiB)
+	pl, err := Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := pl.Alpha(); a < 0 || a > 1 {
+		t.Errorf("alpha = %v out of [0,1]", a)
+	}
+	if got := units.Bytes(float64(pl.AG2M) * pl.Alpha()); absBytes(got-pl.AlphaBytes) > 1 {
+		t.Errorf("alpha*AG2M = %v, want AlphaBytes = %v", got, pl.AlphaBytes)
+	}
+	if len(pl.SwapSet()) != len(pl.Swapped) {
+		t.Error("SwapSet size mismatch")
+	}
+}
+
+func absBytes(b units.Bytes) units.Bytes {
+	if b < 0 {
+		return -b
+	}
+	return b
+}
+
+func TestCaseString(t *testing.T) {
+	if CaseMinimumSafe.String() == "" || CaseSwapAll.String() == "" || CaseInterior.String() == "" {
+		t.Error("empty case strings")
+	}
+}
+
+func TestMoreSSDsNeverSlower(t *testing.T) {
+	// Monotonicity: the planned iteration time never increases with SSD
+	// count (Fig. 10 sanity).
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 3, 6, 12} {
+		srv := hw.EvalServer(hw.RTX4090, 768*units.GiB, n)
+		p := FromModel(model.MustByName("13B"), srv, 32, 64*units.GiB)
+		pl, err := Optimize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(pl.Predicted.Titer) > prev+1e-9 {
+			t.Errorf("iteration time rose when adding SSDs (n=%d)", n)
+		}
+		prev = float64(pl.Predicted.Titer)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	pl, err := Optimize(profile13B(300 * units.GiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pl.Describe()
+	for _, want := range []string{"case3-interior", "mlp-fc2", "swap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"testing"
+
+	"ratel/internal/hw"
+	"ratel/internal/model"
+	"ratel/internal/nvme"
+	"ratel/internal/strategy"
+	"ratel/internal/units"
+)
+
+func TestAnalyticalProfile(t *testing.T) {
+	srv := hw.EvalServer(hw.RTX4090, 768*units.GiB, 12)
+	p := Analytical(strategy.Ratel, model.MustByName("13B"), 32, srv)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BWS2M.GBpsf() != 32 {
+		t.Errorf("BWS2M = %.1f GB/s, want 32", p.BWS2M.GBpsf())
+	}
+	if p.MemAvailM <= 0 {
+		t.Error("MemAvail should be positive on the 768 GiB server")
+	}
+}
+
+func TestSSDBandwidthScalesWithDevices(t *testing.T) {
+	open := func(devices int) *nvme.Array {
+		a, err := nvme.Open(nvme.Config{
+			Devices: devices,
+			ReadBW:  units.GBps(0.5), WriteBW: units.GBps(0.5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		return a
+	}
+	r1, w1, err := SSDBandwidth(open(1), 8<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, w4, err := SSDBandwidth(open(4), 8<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(r4) <= 1.5*float64(r1) || float64(w4) <= 1.5*float64(w1) {
+		t.Errorf("bandwidth did not scale with devices: read %.2f->%.2f GB/s, write %.2f->%.2f GB/s",
+			r1.GBpsf(), r4.GBpsf(), w1.GBpsf(), w4.GBpsf())
+	}
+}
+
+func TestSSDBandwidthErrors(t *testing.T) {
+	a, err := nvme.Open(nvme.Config{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, _, err := SSDBandwidth(a, 0, 1); err == nil {
+		t.Error("zero object size accepted")
+	}
+	if _, _, err := SSDBandwidth(a, 1024, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestAdamRate(t *testing.T) {
+	sink := 0.0
+	rate, err := AdamRate(1000, 3, func() {
+		for i := 0; i < 1000; i++ {
+			sink += float64(i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Errorf("rate = %v, want positive", rate)
+	}
+	if _, err := AdamRate(0, 1, func() {}); err == nil {
+		t.Error("zero params accepted")
+	}
+	if _, err := AdamRate(1, 1, nil); err == nil {
+		t.Error("nil step accepted")
+	}
+	_ = sink
+}
+
+func TestOverhead(t *testing.T) {
+	// A 3x profiling iteration amortized over 1000 iterations costs 0.2%.
+	if got := Overhead(30, 10, 1000); got != 0.002 {
+		t.Errorf("overhead = %v, want 0.002", got)
+	}
+	if got := Overhead(30, 0, 1000); got != 0 {
+		t.Error("zero steady iteration should report 0")
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import "sort"
+
+// CriticalPath returns the chain of spans that determines the makespan:
+// starting from the span that finishes last, each step walks to the
+// blocking predecessor — the dependency or same-resource span whose
+// completion released this one. The returned chain is in execution order.
+//
+// Use it to answer "which resource bounds this iteration?": the resources
+// along the path are the ones worth speeding up (the simulator's analogue
+// of the paper's per-stage bottleneck analysis).
+func CriticalPath(res Result) []Span {
+	if len(res.Spans) == 0 {
+		return nil
+	}
+	// Index spans by resource for queue-predecessor lookup.
+	byResource := make(map[ResourceID][]Span)
+	var last Span
+	found := false
+	for _, s := range res.Spans {
+		byResource[s.Task.Resource] = append(byResource[s.Task.Resource], s)
+		if !found || s.End > last.End || (s.End == last.End && s.Task.ID > last.Task.ID) {
+			last = s
+			found = true
+		}
+	}
+	for _, spans := range byResource {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	}
+
+	const eps = 1e-12
+	var path []Span
+	visited := make(map[int]bool)
+	cur := last
+	for {
+		path = append(path, cur)
+		visited[cur.Task.ID] = true
+		if float64(cur.Start) <= eps {
+			break
+		}
+		// Prefer the dependency that released this task; otherwise the
+		// same-resource span whose end this task queued behind.
+		var pred *Span
+		for _, depID := range cur.Task.Deps {
+			d, ok := res.Spans[depID]
+			if !ok || visited[d.Task.ID] {
+				continue
+			}
+			if float64(cur.Start-d.End) >= -eps && (pred == nil || d.End > pred.End) {
+				dd := d
+				pred = &dd
+			}
+		}
+		if pred == nil || float64(cur.Start-pred.End) > eps {
+			for _, s := range byResource[cur.Task.Resource] {
+				if s.Task.ID == cur.Task.ID || visited[s.Task.ID] {
+					continue
+				}
+				if float64(cur.Start-s.End) <= eps && float64(cur.Start-s.End) >= -eps {
+					ss := s
+					pred = &ss
+					break
+				}
+			}
+		}
+		if pred == nil {
+			break
+		}
+		cur = *pred
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// ResourceShares reports how much of the critical path each resource
+// occupies, as fractions of the path's total span time.
+func ResourceShares(path []Span) map[ResourceID]float64 {
+	shares := make(map[ResourceID]float64)
+	var total float64
+	for _, s := range path {
+		d := float64(s.End - s.Start)
+		shares[s.Task.Resource] += d
+		total += d
+	}
+	if total > 0 {
+		for r := range shares {
+			shares[r] /= total
+		}
+	}
+	return shares
+}

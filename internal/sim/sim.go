@@ -1,0 +1,235 @@
+// Package sim is a small deterministic discrete-event simulator used to
+// execute per-iteration schedules over the server's serial resources (GPU
+// compute engine, each PCIe direction, the SSD array, the CPU optimizer).
+//
+// The model is non-preemptive list scheduling: each task occupies exactly
+// one resource for a fixed duration and may depend on other tasks; a
+// resource executes one task at a time, picking among ready tasks in task-ID
+// order. This matches how the training frameworks under study issue work:
+// command queues per engine, with explicit event dependencies between them.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"ratel/internal/units"
+)
+
+// ResourceID names a serial execution resource.
+type ResourceID string
+
+// Resources of the commodity server used by the iteration schedules.
+const (
+	GPUCompute ResourceID = "gpu"      // CUDA-kernel engine
+	PCIeG2M    ResourceID = "pcie-g2m" // GPU -> main memory DMA direction
+	PCIeM2G    ResourceID = "pcie-m2g" // main memory -> GPU DMA direction
+	SSDBus     ResourceID = "ssd"      // simplex host <-> SSD-array path
+	CPUAdam    ResourceID = "cpu-adam" // out-of-core optimizer threads
+)
+
+// Task is one unit of work on one resource.
+type Task struct {
+	// ID must be unique and non-negative; among simultaneously-ready tasks
+	// a resource runs the lowest ID first, so IDs encode issue order.
+	ID       int
+	Label    string
+	Resource ResourceID
+	Duration units.Seconds
+	// Deps lists task IDs that must finish before this task may start.
+	Deps []int
+}
+
+// Span records when a task executed.
+type Span struct {
+	Task       Task
+	Start, End units.Seconds
+}
+
+// Result is the outcome of executing a schedule.
+type Result struct {
+	// Makespan is when the last task finished.
+	Makespan units.Seconds
+	// Spans maps task ID to its execution interval.
+	Spans map[int]Span
+	// Busy is the total occupied time per resource.
+	Busy map[ResourceID]units.Seconds
+}
+
+// Utilization is the fraction of the makespan a resource was busy.
+func (r Result) Utilization(res ResourceID) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Busy[res]) / float64(r.Makespan)
+}
+
+// WindowBusy reports how long a resource was busy within [from, to),
+// counting partial overlap of spans. It supports the paper's per-stage PCIe
+// utilization breakdowns (Fig. 1).
+func (r Result) WindowBusy(res ResourceID, from, to units.Seconds) units.Seconds {
+	var busy units.Seconds
+	for _, s := range r.Spans {
+		if s.Task.Resource != res {
+			continue
+		}
+		lo, hi := s.Start, s.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			busy += hi - lo
+		}
+	}
+	return busy
+}
+
+// intHeap is a min-heap of task IDs.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// completion is a scheduled task-finish event.
+type completion struct {
+	at units.Seconds
+	id int
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the schedule and returns the resulting timeline. It reports
+// an error for duplicate or unknown task IDs, negative durations, and
+// dependency cycles.
+func Run(tasks []Task) (Result, error) {
+	byID := make(map[int]Task, len(tasks))
+	for _, t := range tasks {
+		if t.ID < 0 {
+			return Result{}, fmt.Errorf("sim: task %q has negative ID %d", t.Label, t.ID)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return Result{}, fmt.Errorf("sim: duplicate task ID %d", t.ID)
+		}
+		if t.Duration < 0 {
+			return Result{}, fmt.Errorf("sim: task %d (%s) has negative duration", t.ID, t.Label)
+		}
+		if t.Resource == "" {
+			return Result{}, fmt.Errorf("sim: task %d (%s) has no resource", t.ID, t.Label)
+		}
+		byID[t.ID] = t
+	}
+
+	waiting := make(map[int]int, len(tasks)) // remaining dep count
+	dependents := make(map[int][]int)
+	for _, t := range tasks {
+		for _, d := range t.Deps {
+			if _, ok := byID[d]; !ok {
+				return Result{}, fmt.Errorf("sim: task %d depends on unknown task %d", t.ID, d)
+			}
+			waiting[t.ID]++
+			dependents[d] = append(dependents[d], t.ID)
+		}
+	}
+
+	ready := make(map[ResourceID]*intHeap)
+	pushReady := func(id int) {
+		res := byID[id].Resource
+		h, ok := ready[res]
+		if !ok {
+			h = &intHeap{}
+			ready[res] = h
+		}
+		heap.Push(h, id)
+	}
+	// Seed in sorted order for determinism of heap contents.
+	ids := make([]int, 0, len(tasks))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if waiting[id] == 0 {
+			pushReady(id)
+		}
+	}
+
+	res := Result{
+		Spans: make(map[int]Span, len(tasks)),
+		Busy:  make(map[ResourceID]units.Seconds),
+	}
+	busyUntil := make(map[ResourceID]units.Seconds)
+	running := make(map[ResourceID]bool)
+	var events completionHeap
+	var now units.Seconds
+
+	dispatch := func() {
+		for resID, h := range ready {
+			if running[resID] || h.Len() == 0 {
+				continue
+			}
+			id := heap.Pop(h).(int)
+			t := byID[id]
+			start := now
+			if bu := busyUntil[resID]; bu > start {
+				start = bu
+			}
+			end := start + t.Duration
+			res.Spans[id] = Span{Task: t, Start: start, End: end}
+			res.Busy[resID] += t.Duration
+			busyUntil[resID] = end
+			running[resID] = true
+			heap.Push(&events, completion{at: end, id: id})
+		}
+	}
+
+	done := 0
+	dispatch()
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(completion)
+		now = ev.at
+		done++
+		running[byID[ev.id].Resource] = false
+		for _, dep := range dependents[ev.id] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				pushReady(dep)
+			}
+		}
+		dispatch()
+	}
+	if done != len(tasks) {
+		return Result{}, fmt.Errorf("sim: dependency cycle, %d of %d tasks never ran", len(tasks)-done, len(tasks))
+	}
+	res.Makespan = now
+	return res, nil
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ratel/internal/units"
+)
+
+func approx(a, b units.Seconds) bool { return math.Abs(float64(a-b)) < 1e-9 }
+
+func TestSerialTasksOnOneResource(t *testing.T) {
+	r, err := Run([]Task{
+		{ID: 0, Resource: GPUCompute, Duration: 2},
+		{ID: 1, Resource: GPUCompute, Duration: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Makespan, 5) {
+		t.Errorf("makespan = %v, want 5", r.Makespan)
+	}
+	if s := r.Spans[1]; !approx(s.Start, 2) {
+		t.Errorf("task 1 start = %v, want 2 (serialized)", s.Start)
+	}
+}
+
+func TestIndependentResourcesOverlap(t *testing.T) {
+	r, err := Run([]Task{
+		{ID: 0, Resource: GPUCompute, Duration: 4},
+		{ID: 1, Resource: SSDBus, Duration: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Makespan, 4) {
+		t.Errorf("makespan = %v, want 4 (overlapped)", r.Makespan)
+	}
+	if got := r.Utilization(SSDBus); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("SSD utilization = %v, want 0.75", got)
+	}
+}
+
+func TestDependenciesSerializeAcrossResources(t *testing.T) {
+	// Classic offload chain: compute -> G2M transfer -> SSD write.
+	r, err := Run([]Task{
+		{ID: 0, Resource: GPUCompute, Duration: 1},
+		{ID: 1, Resource: PCIeG2M, Duration: 2, Deps: []int{0}},
+		{ID: 2, Resource: SSDBus, Duration: 3, Deps: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Makespan, 6) {
+		t.Errorf("makespan = %v, want 6", r.Makespan)
+	}
+	if s := r.Spans[2]; !approx(s.Start, 3) {
+		t.Errorf("SSD write start = %v, want 3", s.Start)
+	}
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	// Two-stage pipeline over 3 items: with 1s stages the makespan is
+	// 1 (fill) + 3 = 4, not 6.
+	var tasks []Task
+	for i := 0; i < 3; i++ {
+		produce := Task{ID: 2 * i, Resource: GPUCompute, Duration: 1}
+		if i > 0 {
+			produce.Deps = []int{2 * (i - 1)}
+		}
+		tasks = append(tasks, produce,
+			Task{ID: 2*i + 1, Resource: PCIeG2M, Duration: 1, Deps: []int{2 * i}})
+	}
+	r, err := Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Makespan, 4) {
+		t.Errorf("pipeline makespan = %v, want 4", r.Makespan)
+	}
+}
+
+func TestWindowBusy(t *testing.T) {
+	r, err := Run([]Task{
+		{ID: 0, Resource: GPUCompute, Duration: 2},
+		{ID: 1, Resource: GPUCompute, Duration: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WindowBusy(GPUCompute, 1, 3); !approx(got, 2) {
+		t.Errorf("WindowBusy(1,3) = %v, want 2", got)
+	}
+	if got := r.WindowBusy(GPUCompute, 3.5, 10); !approx(got, 0.5) {
+		t.Errorf("WindowBusy(3.5,10) = %v, want 0.5", got)
+	}
+	if got := r.WindowBusy(SSDBus, 0, 4); got != 0 {
+		t.Errorf("WindowBusy(ssd) = %v, want 0", got)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks []Task
+	}{
+		{"duplicate-id", []Task{{ID: 1, Resource: GPUCompute}, {ID: 1, Resource: SSDBus}}},
+		{"negative-id", []Task{{ID: -1, Resource: GPUCompute}}},
+		{"negative-duration", []Task{{ID: 0, Resource: GPUCompute, Duration: -1}}},
+		{"no-resource", []Task{{ID: 0}}},
+		{"unknown-dep", []Task{{ID: 0, Resource: GPUCompute, Deps: []int{7}}}},
+		{"cycle", []Task{
+			{ID: 0, Resource: GPUCompute, Deps: []int{1}},
+			{ID: 1, Resource: GPUCompute, Deps: []int{0}},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.tasks); err == nil {
+			t.Errorf("%s: Run succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	r, err := Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 0 {
+		t.Errorf("empty makespan = %v", r.Makespan)
+	}
+	if r.Utilization(GPUCompute) != 0 {
+		t.Error("utilization of empty schedule should be 0")
+	}
+}
+
+// TestMakespanBounds checks, on random DAG schedules, the two fundamental
+// list-scheduling invariants: the makespan is at least the busiest
+// resource's total work and at least the longest dependency chain, and at
+// most the sum of all durations.
+func TestMakespanBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		resources := []ResourceID{GPUCompute, PCIeG2M, PCIeM2G, SSDBus, CPUAdam}
+		tasks := make([]Task, n)
+		var total units.Seconds
+		perRes := make(map[ResourceID]units.Seconds)
+		chain := make([]units.Seconds, n) // longest path ending at i
+		for i := range tasks {
+			d := units.Seconds(rng.Float64() * 3)
+			res := resources[rng.Intn(len(resources))]
+			tasks[i] = Task{ID: i, Resource: res, Duration: d}
+			var longest units.Seconds
+			for j := 0; j < i; j++ {
+				if rng.Float64() < 0.2 {
+					tasks[i].Deps = append(tasks[i].Deps, j)
+					if chain[j] > longest {
+						longest = chain[j]
+					}
+				}
+			}
+			chain[i] = longest + d
+			total += d
+			perRes[res] += d
+		}
+		r, err := Run(tasks)
+		if err != nil {
+			return false
+		}
+		lower := units.Seconds(0)
+		for _, b := range perRes {
+			if b > lower {
+				lower = b
+			}
+		}
+		for _, c := range chain {
+			if c > lower {
+				lower = c
+			}
+		}
+		const eps = 1e-9
+		return float64(r.Makespan) >= float64(lower)-eps && float64(r.Makespan) <= float64(total)+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism ensures identical inputs produce identical timelines.
+func TestDeterminism(t *testing.T) {
+	tasks := []Task{
+		{ID: 0, Resource: GPUCompute, Duration: 1},
+		{ID: 1, Resource: PCIeG2M, Duration: 1, Deps: []int{0}},
+		{ID: 2, Resource: PCIeG2M, Duration: 2, Deps: []int{0}},
+		{ID: 3, Resource: SSDBus, Duration: 1, Deps: []int{1, 2}},
+	}
+	a, err := Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a.Spans {
+		sa, sb := a.Spans[id], b.Spans[id]
+		if sa.Start != sb.Start || sa.End != sb.End {
+			t.Fatalf("nondeterministic span for task %d", id)
+		}
+	}
+}
+
+// TestReadyOrderIsTaskIDOrder verifies the documented tie-break: among ready
+// tasks a resource runs the lowest ID first.
+func TestReadyOrderIsTaskIDOrder(t *testing.T) {
+	r, err := Run([]Task{
+		{ID: 5, Resource: GPUCompute, Duration: 1},
+		{ID: 2, Resource: GPUCompute, Duration: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spans[2].Start != 0 {
+		t.Errorf("task 2 should run first, started at %v", r.Spans[2].Start)
+	}
+	if !approx(r.Spans[5].Start, 1) {
+		t.Errorf("task 5 should run second, started at %v", r.Spans[5].Start)
+	}
+}
+
+// TestCriticalPath: the chain through a fork-join schedule follows the slow
+// branch.
+func TestCriticalPath(t *testing.T) {
+	res, err := Run([]Task{
+		{ID: 0, Resource: GPUCompute, Duration: 1},
+		{ID: 1, Resource: PCIeG2M, Duration: 5, Deps: []int{0}}, // slow branch
+		{ID: 2, Resource: SSDBus, Duration: 1, Deps: []int{0}},  // fast branch
+		{ID: 3, Resource: CPUAdam, Duration: 2, Deps: []int{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CriticalPath(res)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3: %+v", len(path), labels(path))
+	}
+	want := []int{0, 1, 3}
+	for i, id := range want {
+		if path[i].Task.ID != id {
+			t.Fatalf("path = %v, want task ids %v", labels(path), want)
+		}
+	}
+	shares := ResourceShares(path)
+	if shares[PCIeG2M] < shares[GPUCompute] {
+		t.Error("the slow PCIe branch should dominate the path")
+	}
+	var sum float64
+	for _, v := range shares {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+// TestCriticalPathThroughQueueing: a task delayed by resource contention
+// (not a dependency) chains through the queue predecessor.
+func TestCriticalPathThroughQueueing(t *testing.T) {
+	res, err := Run([]Task{
+		{ID: 0, Resource: GPUCompute, Duration: 3},
+		{ID: 1, Resource: GPUCompute, Duration: 4}, // queued behind 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := CriticalPath(res)
+	if len(path) != 2 || path[0].Task.ID != 0 || path[1].Task.ID != 1 {
+		t.Fatalf("queueing path = %v", labels(path))
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if got := CriticalPath(Result{}); got != nil {
+		t.Errorf("empty path = %v", got)
+	}
+	if got := ResourceShares(nil); len(got) != 0 {
+		t.Errorf("empty shares = %v", got)
+	}
+}
+
+func labels(path []Span) []int {
+	var ids []int
+	for _, s := range path {
+		ids = append(ids, s.Task.ID)
+	}
+	return ids
+}

@@ -1,0 +1,86 @@
+package strategy
+
+import (
+	"testing"
+
+	"ratel/internal/agoffload"
+)
+
+func TestAllPoliciesValidate(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate policy name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("ZeRO-Infinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.States != StatesSSD || p.GradMode != agoffload.Serialized {
+		t.Errorf("ZeRO-Infinity misconfigured: %+v", p)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPaperConfigurations(t *testing.T) {
+	// §V-A baseline configurations.
+	if ZeROOffload.States != StatesHost {
+		t.Error("ZeRO-Offload offloads model states to main memory")
+	}
+	if ZeROOffload.GradMode != agoffload.Serialized {
+		t.Error("ZeRO-Offload's one-step delayed update is disabled (§V-A): serialized optimizer")
+	}
+	if ColossalAI.Act != ActKeepGPU {
+		t.Error("Colossal-AI keeps inter-block activations in GPU memory (§V-A)")
+	}
+	if FlashNeuron.States != StatesGPU || FlashNeuron.Act != ActAllToSSDNoStates {
+		t.Error("FlashNeuron keeps model states on GPU and offloads activations to SSD")
+	}
+	if !G10.RequiresGPUDirect || !G10.AssumeGPUDirect {
+		t.Error("G10 depends on GPUDirect; the paper simulates it as present (§III-C)")
+	}
+	if G10.Optimizer != OptGPU {
+		t.Error("G10 executes Adam on the GPU")
+	}
+	if Ratel.GradMode != agoffload.Optimized || Ratel.Act != ActPlanner {
+		t.Error("Ratel uses the optimized handlers and the holistic planner")
+	}
+	if !Megatron.TensorParallel {
+		t.Error("Megatron-LM is the tensor-parallel baseline")
+	}
+}
+
+func TestValidateRejectsBadPolicies(t *testing.T) {
+	bad := []Policy{
+		{},
+		{Name: "x", LinkEff: 0, SSDEff: 1, AdamEff: 1, ComputeEff: 1},
+		{Name: "x", LinkEff: 1.5, SSDEff: 1, AdamEff: 1, ComputeEff: 1},
+		{Name: "x", States: StatesGPU, Act: ActPlanner, LinkEff: 1, SSDEff: 1, AdamEff: 1, ComputeEff: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if StatesSSD.String() != "states-ssd" || OptGPU.String() != "opt-gpu" {
+		t.Error("unexpected enum strings")
+	}
+	for a := ActInterBlockHost; a <= ActAllOnGPU; a++ {
+		if a.String() == "" {
+			t.Errorf("empty string for ActPolicy %d", a)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Half-precision support: the engine stores every offloaded tensor (P16,
+// G16, A16) as IEEE-754 binary16 bytes, so offloaded footprints match the
+// paper's 2 bytes/element accounting and mixed-precision rounding is
+// exercised for real.
+
+// Float32ToHalf converts with round-to-nearest-even, producing the binary16
+// bit pattern.
+func Float32ToHalf(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127 + 15
+	mant := b & 0x7fffff
+
+	switch {
+	case exp >= 0x1f: // overflow or inf/nan
+		if b&0x7fffffff > 0x7f800000 { // NaN
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00 // Inf
+	case exp <= 0: // subnormal or zero
+		if exp < -10 {
+			return sign
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		// Round to nearest even.
+		rem := mant & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into the exponent, which is correct
+		}
+		return half
+	}
+}
+
+// HalfToFloat32 decodes a binary16 bit pattern.
+func HalfToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch {
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case exp == 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// RoundFP16 rounds a float32 through half precision, the P16 = fp16(P32)
+// conversion of mixed-precision training.
+func RoundFP16(f float32) float32 { return HalfToFloat32(Float32ToHalf(f)) }
+
+// RoundFP16InPlace rounds every element of t through half precision.
+func (t *Tensor) RoundFP16InPlace() {
+	for i, v := range t.Data {
+		t.Data[i] = RoundFP16(v)
+	}
+}
+
+// ToFP16Bytes encodes values as packed little-endian binary16.
+func ToFP16Bytes(values []float32) []byte {
+	out := make([]byte, 2*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint16(out[2*i:], Float32ToHalf(v))
+	}
+	return out
+}
+
+// FromFP16Bytes decodes packed binary16 into dst, which must hold
+// len(b)/2 values.
+func FromFP16Bytes(b []byte, dst []float32) error {
+	if len(b)%2 != 0 || len(dst) != len(b)/2 {
+		return fmt.Errorf("tensor: fp16 decode %d bytes into %d values", len(b), len(dst))
+	}
+	for i := range dst {
+		dst[i] = HalfToFloat32(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return nil
+}
+
+// ToFP32Bytes encodes values as packed little-endian float32 (the P32/OS32
+// representation in the NVMe store).
+func ToFP32Bytes(values []float32) []byte {
+	out := make([]byte, 4*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// FromFP32Bytes decodes packed float32 into dst.
+func FromFP32Bytes(b []byte, dst []float32) error {
+	if len(b)%4 != 0 || len(dst) != len(b)/4 {
+		return fmt.Errorf("tensor: fp32 decode %d bytes into %d values", len(b), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package tensor is the minimal dense-tensor library under the real
+// training engine: row-major float32 storage, the operations a transformer
+// needs, and IEEE-754 half-precision round-tripping so the engine's
+// offloaded tensors occupy exactly the 2 bytes/element the paper's A16/P16/
+// G16 accounting assumes.
+//
+// Everything is deterministic: no parallel reductions, no fused shortcuts —
+// the engine's correctness suite compares runs bit-for-bit.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, Numel(shape...))}
+}
+
+// FromData wraps data (not copied) with a shape.
+func FromData(data []float32, shape ...int) (*Tensor, error) {
+	if len(data) != Numel(shape...) {
+		return nil, fmt.Errorf("tensor: %d values for shape %v", len(data), shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// Numel is the element count of a shape.
+func Numel(shape ...int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// Numel is the tensor's element count.
+func (t *Tensor) Numel() int { return len(t.Data) }
+
+// Clone deep-copies t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero clears t in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Dims2 returns the shape of a rank-2 tensor.
+func (t *Tensor) Dims2() (rows, cols int, err error) {
+	if len(t.Shape) != 2 {
+		return 0, 0, fmt.Errorf("tensor: rank %d, want 2", len(t.Shape))
+	}
+	return t.Shape[0], t.Shape[1], nil
+}
+
+// RandInit fills t with a deterministic scaled normal initialization.
+func (t *Tensor) RandInit(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// MatMul computes c = a·b for rank-2 tensors [m,k]x[k,n].
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	m, k, err := a.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	k2, n, err := b.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulT computes c = a·bᵀ for [m,k]x[n,k].
+func MatMulT(a, b *Tensor) (*Tensor, error) {
+	m, k, err := a.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	n, k2, err := b.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmulT inner dims %d vs %d", k, k2)
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c, nil
+}
+
+// TMatMul computes c = aᵀ·b for [k,m]x[k,n].
+func TMatMul(a, b *Tensor) (*Tensor, error) {
+	k, m, err := a.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	k2, n, err := b.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: tmatmul inner dims %d vs %d", k, k2)
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// AddInPlace computes a += b elementwise.
+func AddInPlace(a, b *Tensor) error {
+	if len(a.Data) != len(b.Data) {
+		return fmt.Errorf("tensor: add size %d vs %d", len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+	return nil
+}
+
+// AddBias adds bias (length n) to each row of x [m,n].
+func AddBias(x, bias *Tensor) error {
+	m, n, err := x.Dims2()
+	if err != nil {
+		return err
+	}
+	if len(bias.Data) != n {
+		return fmt.Errorf("tensor: bias length %d for %d columns", len(bias.Data), n)
+	}
+	for i := 0; i < m; i++ {
+		row := x.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += bias.Data[j]
+		}
+	}
+	return nil
+}
+
+// Scale multiplies t by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// GELU applies the tanh-approximated GELU elementwise, returning a new
+// tensor.
+func GELU(x *Tensor) *Tensor {
+	y := New(x.Shape...)
+	for i, v := range x.Data {
+		y.Data[i] = geluScalar(v)
+	}
+	return y
+}
+
+func geluScalar(v float32) float32 {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	x := float64(v)
+	return float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+}
+
+// GELUBackward computes dx = dy * gelu'(x).
+func GELUBackward(x, dy *Tensor) (*Tensor, error) {
+	if len(x.Data) != len(dy.Data) {
+		return nil, fmt.Errorf("tensor: gelu backward size %d vs %d", len(x.Data), len(dy.Data))
+	}
+	dx := New(x.Shape...)
+	const c = 0.7978845608028654
+	for i, v := range x.Data {
+		xf := float64(v)
+		u := c * (xf + 0.044715*xf*xf*xf)
+		tanh := math.Tanh(u)
+		sech2 := 1 - tanh*tanh
+		du := c * (1 + 3*0.044715*xf*xf)
+		g := 0.5*(1+tanh) + 0.5*xf*sech2*du
+		dx.Data[i] = dy.Data[i] * float32(g)
+	}
+	return dx, nil
+}
+
+// SoftmaxRows applies a numerically-stable softmax to each row in place.
+func SoftmaxRows(x *Tensor) error {
+	m, n, err := x.Dims2()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m; i++ {
+		row := x.Data[i*n : (i+1)*n]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			row[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return nil
+}

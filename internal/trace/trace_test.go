@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ratel/internal/sim"
+)
+
+func timeline(t *testing.T) sim.Result {
+	t.Helper()
+	res, err := sim.Run([]sim.Task{
+		{ID: 0, Label: "fwd", Resource: sim.GPUCompute, Duration: 4},
+		{ID: 1, Label: "act-out", Resource: sim.PCIeG2M, Duration: 2, Deps: []int{0}},
+		{ID: 2, Label: "bwd", Resource: sim.GPUCompute, Duration: 6, Deps: []int{0}},
+		{ID: 3, Label: "opt", Resource: sim.CPUAdam, Duration: 3, Deps: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGantt(t *testing.T) {
+	out := Gantt(timeline(t), 40)
+	for _, want := range []string{"gpu", "pcie-g2m", "cpu-adam", "ssd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing resource row %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("gantt has no busy glyphs")
+	}
+	if got := Gantt(sim.Result{}, 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty timeline render = %q", got)
+	}
+	// Narrow widths are clamped rather than breaking.
+	if out := Gantt(timeline(t), 1); !strings.Contains(out, "gpu") {
+		t.Error("clamped-width gantt broken")
+	}
+}
+
+func TestStageUtilization(t *testing.T) {
+	res := timeline(t)
+	w := StageWindows{ForwardEnd: 4, BackwardEnd: 10, End: 13}
+	util := StageUtilization(res, w)
+	if got := util["forward"][sim.GPUCompute]; got != 1.0 {
+		t.Errorf("forward GPU util = %v, want 1.0", got)
+	}
+	if got := util["backward"][sim.GPUCompute]; got != 1.0 {
+		t.Errorf("backward GPU util = %v, want 1.0", got)
+	}
+	// The activation offload runs in the first 2s of the backward window.
+	if got := util["backward"][sim.PCIeG2M]; got < 0.3 || got > 0.4 {
+		t.Errorf("backward G2M util = %v, want 1/3", got)
+	}
+	if got := util["optimizer"][sim.CPUAdam]; got != 1.0 {
+		t.Errorf("optimizer CPU util = %v, want 1.0", got)
+	}
+	text := FormatStageUtilization(res, w)
+	if !strings.Contains(text, "forward") || !strings.Contains(text, "optimizer") {
+		t.Errorf("formatted breakdown missing stages:\n%s", text)
+	}
+}
+
+func TestBusiestTasks(t *testing.T) {
+	res := timeline(t)
+	top := BusiestTasks(res, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d tasks, want 2", len(top))
+	}
+	if top[0].Task.Label != "bwd" {
+		t.Errorf("busiest = %q, want bwd", top[0].Task.Label)
+	}
+	// Asking for more than exists returns all.
+	if got := BusiestTasks(res, 99); len(got) != 4 {
+		t.Errorf("BusiestTasks(99) = %d, want 4", len(got))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteCSV(timeline(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Count(out, "\n")
+	if lines != 5 { // header + 4 tasks
+		t.Errorf("csv has %d lines, want 5:\n%s", lines, out)
+	}
+	if !strings.HasPrefix(out, "id,label,resource,start_s,end_s,duration_s") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "act-out,pcie-g2m") {
+		t.Errorf("csv missing task row:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteJSON(timeline(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var spans []map[string]interface{}
+	if err := json.Unmarshal([]byte(buf.String()), &spans); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("json has %d spans, want 4", len(spans))
+	}
+	// Sorted by start time: the forward task comes first.
+	if spans[0]["label"] != "fwd" {
+		t.Errorf("first span = %v, want fwd", spans[0]["label"])
+	}
+}

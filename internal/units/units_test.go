@@ -1,0 +1,95 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteFormatting(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{GiB + GiB/2, "1.50 GiB"},
+		{2 * TiB, "2.00 TiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestGiBConversions(t *testing.T) {
+	if got := (256 * GiB).GiBf(); got != 256 {
+		t.Errorf("GiBf = %v, want 256", got)
+	}
+	if got := (21 * GB).GBf(); got != 21 {
+		t.Errorf("GBf = %v, want 21", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(42*GB, GBps(21)); math.Abs(float64(got)-2.0) > 1e-9 {
+		t.Errorf("TransferTime(42GB, 21GB/s) = %v, want 2s", got)
+	}
+	if got := TransferTime(0, GBps(21)); got != 0 {
+		t.Errorf("TransferTime(0) = %v, want 0", got)
+	}
+	if got := TransferTime(GB, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("TransferTime with zero bandwidth = %v, want +Inf", got)
+	}
+	if got := TransferTime(-GB, GBps(1)); got != 0 {
+		t.Errorf("TransferTime(negative) = %v, want 0", got)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	if got := ComputeTime(300e12, TFLOPS(150)); math.Abs(float64(got)-2.0) > 1e-9 {
+		t.Errorf("ComputeTime(300T, 150T/s) = %v, want 2s", got)
+	}
+	if got := ComputeTime(1e12, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("ComputeTime with zero throughput = %v, want +Inf", got)
+	}
+	if got := ComputeTime(0, TFLOPS(1)); got != 0 {
+		t.Errorf("ComputeTime(0) = %v, want 0", got)
+	}
+}
+
+func TestMaxSeconds(t *testing.T) {
+	if got := MaxSeconds(1, 5, 3); got != 5 {
+		t.Errorf("MaxSeconds = %v, want 5", got)
+	}
+	if got := MaxSeconds(); got != 0 {
+		t.Errorf("MaxSeconds() = %v, want 0", got)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	// Property: more bytes never transfer faster at fixed bandwidth.
+	f := func(a, b uint32) bool {
+		x, y := Bytes(a), Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return TransferTime(x, GBps(10)) <= TransferTime(y, GBps(10))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		g := float64(v) + 1
+		return math.Abs(GBps(g).GBpsf()-g) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package ratel is the public API of the Ratel reproduction: a low-cost
+// training framework that fine-tunes models far larger than GPU and main
+// memory by holistically managing tensor movement across GPU memory, main
+// memory and an NVMe SSD array (Liao et al., "Ratel: Optimizing Holistic
+// Data Movement to Fine-tune 100B Model on a Consumer GPU", ICDE 2025).
+//
+// Two surfaces are exposed:
+//
+//   - A real training engine (Init/TrainStep, mirroring the paper's Fig. 4
+//     user interface): a miniature transformer fine-tuned with mixed
+//     precision, model states homed on a striped NVMe substrate, activations
+//     swapped or recomputed per the holistic plan, and the out-of-core CPU
+//     optimizer hidden behind backward propagation via active gradient
+//     offloading — with no parameter staleness.
+//
+//   - An analytical surface (Predict/MaxTrainable/PlanFor) built on a
+//     discrete-event simulator calibrated against the paper's measurements,
+//     which regenerates every table and figure of the evaluation (see
+//     cmd/ratelbench and EXPERIMENTS.md).
+package ratel
+
+import (
+	"ratel/internal/agoffload"
+	"ratel/internal/core"
+	"ratel/internal/engine"
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/model"
+	"ratel/internal/nn"
+	"ratel/internal/opt"
+	"ratel/internal/plan"
+	"ratel/internal/strategy"
+	"ratel/internal/trace"
+	"ratel/internal/units"
+)
+
+// Training surface (Fig. 4).
+type (
+	// Options configures a training session.
+	Options = core.Options
+	// Session is an initialized Ratel training context.
+	Session = core.Session
+	// ModelSpec sizes the transformer to fine-tune.
+	ModelSpec = nn.Config
+	// GradMode selects the active-gradient-offloading schedule.
+	GradMode = agoffload.Mode
+	// HWRates parameterizes the activation planner's hardware model.
+	HWRates = engine.HWRates
+	// Stats counts a session's data movement.
+	Stats = engine.Stats
+	// Batch is one micro-batch for gradient accumulation.
+	Batch = engine.Batch
+	// AdamConfig holds optimizer hyperparameters (AdamW when WeightDecay
+	// is set).
+	AdamConfig = opt.AdamConfig
+	// Schedule maps an optimizer step to a learning rate.
+	Schedule = opt.Schedule
+)
+
+// WarmupCosine is the conventional fine-tuning learning-rate schedule.
+func WarmupCosine(base float64, warmup, total int, floor float64) Schedule {
+	return opt.WarmupCosine(base, warmup, total, floor)
+}
+
+// Gradient-offloading schedules (§IV-C).
+const (
+	// Serialized runs the optimizer as a stage after backward.
+	Serialized = agoffload.Serialized
+	// Naive runs per-tensor handlers serialized internally (Fig. 3a).
+	Naive = agoffload.Naive
+	// Optimized pipelines handlers across SSD and CPU (Fig. 3b).
+	Optimized = agoffload.Optimized
+)
+
+// Init runs hardware-aware profiling, plans activation swapping, and
+// returns a training session (Ratel_init + Ratel_hook + Ratel_Optimizer).
+func Init(opts Options) (*Session, error) { return core.Init(opts) }
+
+// Analytical surface.
+type (
+	// Server describes a machine (GPUs, memory, SSD array, prices).
+	Server = hw.Server
+	// GPU describes an accelerator.
+	GPU = hw.GPU
+	// ModelConfig is a catalog model (Table IV / Table VI).
+	ModelConfig = model.Config
+	// Report is a simulated iteration's timeline and throughput.
+	Report = itersim.Report
+	// Plan is an activation-swapping decision (Algorithm 1 output).
+	Plan = plan.Plan
+	// Bytes is a tensor or transfer size.
+	Bytes = units.Bytes
+)
+
+// GiB is a binary gigabyte, for sizing servers.
+const GiB = units.GiB
+
+// TFLOPS constructs a compute throughput for HWRates.
+func TFLOPS(v float64) units.FLOPsPerSecond { return units.TFLOPS(v) }
+
+// GBps constructs a bandwidth for HWRates.
+func GBps(v float64) units.BytesPerSecond { return units.GBps(v) }
+
+// Evaluated GPUs (Table III).
+var (
+	RTX4090 = hw.RTX4090
+	RTX3090 = hw.RTX3090
+	RTX4080 = hw.RTX4080
+)
+
+// EvalServer builds the paper's commodity evaluation server with the given
+// GPU, main-memory capacity and SSD count.
+func EvalServer(gpu GPU, mainMemory Bytes, ssds int) Server {
+	return hw.EvalServer(gpu, mainMemory, ssds)
+}
+
+// DGXA100 is the Fig. 13 baseline machine.
+func DGXA100() Server { return hw.DGXA100() }
+
+// Predict simulates one iteration of a named system ("Ratel",
+// "ZeRO-Infinity", "ZeRO-Offload", "Colossal-AI", "FlashNeuron", "G10", …)
+// fine-tuning a catalog model ("13B" … "412B", "DiT-…") on a server.
+func Predict(policy, modelName string, batch int, srv Server) (Report, error) {
+	return core.Predict(policy, modelName, batch, srv)
+}
+
+// MaxTrainable reports the largest catalog model the named system can
+// fine-tune on the server.
+func MaxTrainable(policy string, srv Server, batch int) (ModelConfig, bool, error) {
+	return core.MaxTrainable(policy, srv, batch)
+}
+
+// PlanFor runs the holistic traffic-aware activation planner for Ratel
+// fine-tuning a catalog model on a server.
+func PlanFor(modelName string, batch int, srv Server) (Plan, error) {
+	return core.PlanFor(modelName, batch, srv)
+}
+
+// Policies lists the systems Predict accepts.
+func Policies() []string {
+	var names []string
+	for _, p := range strategy.All() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Models lists the catalog model names.
+func Models() []string {
+	var names []string
+	for _, list := range [][]model.Config{model.SmallLMs, model.TableIV, model.TableVI} {
+		for _, c := range list {
+			names = append(names, c.Name)
+		}
+	}
+	return names
+}
+
+// Gantt renders a simulated iteration's timeline as a per-resource text
+// strip (the Fig. 1 visualization).
+func Gantt(rep Report, width int) string {
+	return trace.Gantt(rep.Result, width)
+}
+
+// StageBreakdown renders the per-stage resource-utilization table (the
+// Fig. 1 annotations).
+func StageBreakdown(rep Report) string {
+	return trace.FormatStageUtilization(rep.Result, trace.StageWindows{
+		ForwardEnd: rep.ForwardEnd, BackwardEnd: rep.BackwardEnd, End: rep.Makespan,
+	})
+}

@@ -1,0 +1,86 @@
+package ratel_test
+
+import (
+	"testing"
+
+	"ratel"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sess, err := ratel.Init(ratel.Options{
+		Model:    ratel.ModelSpec{Vocab: 32, Seq: 8, Hidden: 16, Heads: 2, Layers: 2, Batch: 2, Seed: 3},
+		GradMode: ratel.Optimized,
+		Devices:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	tokens := [][]int{{1, 2, 3, 4, 5, 6, 7, 8}, {2, 3, 4, 5, 6, 7, 8, 9}}
+	targets := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}, {3, 4, 5, 6, 7, 8, 9, 10}}
+	var first, last float64
+	for i := 0; i < 5; i++ {
+		loss, err := sess.TrainStep(tokens, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestPublicAnalyticalSurface(t *testing.T) {
+	srv := ratel.EvalServer(ratel.RTX4090, 768*ratel.GiB, 12)
+	rep, err := ratel.Predict("Ratel", "13B", 32, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TokensPerSec <= 0 {
+		t.Error("bad prediction")
+	}
+	cfg, ok, err := ratel.MaxTrainable("ZeRO-Infinity", srv, 1)
+	if err != nil || !ok {
+		t.Fatalf("MaxTrainable: %v", err)
+	}
+	if cfg.Name != "135B" {
+		t.Errorf("ZeRO-Infinity max = %s, want 135B", cfg.Name)
+	}
+	pl, err := ratel.PlanFor("13B", 32, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.AG2M <= 0 {
+		t.Error("empty plan")
+	}
+	if len(ratel.Policies()) < 10 {
+		t.Error("policy catalog too small")
+	}
+	if len(ratel.Models()) < 14 {
+		t.Error("model catalog too small")
+	}
+	if ratel.DGXA100().PriceUSD() != 200000 {
+		t.Error("DGX price mismatch")
+	}
+	if ratel.TFLOPS(1) <= 0 || ratel.GBps(1) <= 0 {
+		t.Error("unit helpers broken")
+	}
+}
+
+func TestGanttAndBreakdown(t *testing.T) {
+	srv := ratel.EvalServer(ratel.RTX4090, 768*ratel.GiB, 12)
+	rep, err := ratel.Predict("Ratel", "13B", 32, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := ratel.Gantt(rep, 60); len(g) < 100 {
+		t.Error("gantt too short")
+	}
+	if b := ratel.StageBreakdown(rep); len(b) < 50 {
+		t.Error("breakdown too short")
+	}
+}
