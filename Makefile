@@ -1,0 +1,20 @@
+# Tier-1 check: everything builds, every test passes.
+.PHONY: test
+test:
+	go build ./... && go test ./...
+
+# Tier-2 check: race-detector pass over the packages that run on the
+# shared worker pool (tensor kernels, attention fan-out, parallel Adam).
+.PHONY: race
+race:
+	go test -race ./internal/tensor/... ./internal/nn/... ./internal/opt/... ./internal/agoffload/...
+
+# Kernel micro-benchmarks (BENCH_kernels.json is a committed snapshot).
+.PHONY: bench-kernels
+bench-kernels:
+	go test -bench 'BenchmarkMatMul_|BenchmarkAdamStep_' -benchmem ./internal/tensor ./internal/opt
+
+# Full evaluation reproduction: one benchmark per paper figure/table.
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem

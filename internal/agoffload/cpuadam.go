@@ -1,0 +1,65 @@
+package agoffload
+
+import (
+	"fmt"
+	"time"
+
+	"ratel/internal/opt"
+	"ratel/internal/units"
+)
+
+// This file is the engine↔simulator calibration bridge for the CPU
+// optimizer: the schedules in this package price each chunk's update at
+// Params / Rates.AdamParamsPerSec, and the real engine runs the chunked
+// multi-threaded Adam kernel in package opt (sharded over the shared
+// worker pool, §IV-C's multi-threaded CPU optimizer). MeasureAdamRate
+// times that actual kernel so simulator rates can come from the machine
+// the engine runs on instead of the paper's Table III constants.
+
+// measureFloor is the minimum wall-clock a measurement must span; below
+// it the timer's resolution would dominate the rate.
+const measureFloor = 20 * time.Millisecond
+
+// MeasureAdamRate times the engine's chunked parallel Adam kernel over n
+// synthetic parameters and returns its measured throughput in params/s —
+// a drop-in value for Rates.AdamParamsPerSec. The measurement repeats the
+// step until it spans measureFloor, so small n still yields a stable rate.
+func MeasureAdamRate(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("agoffload: measure Adam rate over %d params", n)
+	}
+	p32 := make([]float32, n)
+	m := make([]float32, n)
+	v := make([]float32, n)
+	grad := make([]float32, n)
+	for i := range p32 {
+		p32[i] = float32(i%17) * 0.01
+		grad[i] = float32(i%13)*0.001 - 0.005
+	}
+	cfg := opt.DefaultAdam()
+	// Warm-up: fault pages in and let the pool spin up.
+	if err := opt.AdamStep(cfg, 1, p32, m, v, grad); err != nil {
+		return 0, err
+	}
+	steps := 0
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < measureFloor; elapsed = time.Since(start) {
+		if err := opt.AdamStep(cfg, steps+2, p32, m, v, grad); err != nil {
+			return 0, err
+		}
+		steps++
+	}
+	return float64(n) * float64(steps) / time.Since(start).Seconds(), nil
+}
+
+// MeasuredRates builds Rates whose CPU-optimizer throughput is calibrated
+// from the real kernel (MeasureAdamRate over sampleParams) and whose SSD
+// bandwidths are the given values. Zero bandwidths keep their
+// states-in-memory meaning (no streaming).
+func MeasuredRates(bwS2M, bwM2S units.BytesPerSecond, sampleParams int) (Rates, error) {
+	rate, err := MeasureAdamRate(sampleParams)
+	if err != nil {
+		return Rates{}, err
+	}
+	return Rates{BWS2M: bwS2M, BWM2S: bwM2S, AdamParamsPerSec: rate}, nil
+}

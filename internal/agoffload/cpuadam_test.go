@@ -1,0 +1,56 @@
+package agoffload
+
+import (
+	"testing"
+
+	"ratel/internal/sim"
+	"ratel/internal/units"
+)
+
+// TestMeasureAdamRatePositive checks the calibration returns a plausible
+// positive throughput and rejects empty samples.
+func TestMeasureAdamRatePositive(t *testing.T) {
+	rate, err := MeasureAdamRate(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even one slow core updates well over a million params/s; anything
+	// below that (or absurdly high) means the measurement is broken.
+	if rate < 1e5 || rate > 1e13 {
+		t.Fatalf("measured Adam rate %.3g params/s is implausible", rate)
+	}
+	if _, err := MeasureAdamRate(0); err == nil {
+		t.Fatal("MeasureAdamRate(0) succeeded, want error")
+	}
+}
+
+// TestMeasuredRatesDrivesSchedule checks the calibrated Rates plug straight
+// into Schedule and produce positive CPU task durations.
+func TestMeasuredRatesDrivesSchedule(t *testing.T) {
+	r, err := MeasuredRates(units.GBps(4), units.GBps(2), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AdamParamsPerSec <= 0 {
+		t.Fatalf("calibrated AdamParamsPerSec = %v, want > 0", r.AdamParamsPerSec)
+	}
+	if r.BWS2M != units.GBps(4) || r.BWM2S != units.GBps(2) {
+		t.Fatalf("bandwidths not carried through: %+v", r)
+	}
+	chunks, err := ChunksForBlocks([]string{"b0", "b1"}, []int64{1 << 20, 1 << 20}, []int{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, _, finals, err := Schedule(Optimized, chunks, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 2 {
+		t.Fatalf("got %d finals, want 2", len(finals))
+	}
+	for _, task := range tasks {
+		if task.Resource == sim.CPUAdam && task.Duration <= 0 {
+			t.Fatalf("CPU task %q has non-positive duration %v", task.Label, task.Duration)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"ratel/internal/tensor"
+	"ratel/internal/tensor/pool"
 )
 
 // Attention is multi-head causal self-attention.
@@ -55,38 +56,45 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *
 	scale := float32(1 / math.Sqrt(float64(dh)))
 
 	cache := &AttnCache{QKV: qkv, Probs: make([][]*tensor.Tensor, batch)}
-	ctx := tensor.New(n, d)
 	for bi := 0; bi < batch; bi++ {
 		cache.Probs[bi] = make([]*tensor.Tensor, a.Heads)
-		for h := 0; h < a.Heads; h++ {
-			q := tensor.New(seq, dh)
-			k := tensor.New(seq, dh)
-			v := tensor.New(seq, dh)
-			for s := 0; s < seq; s++ {
-				row := qkv.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
-				copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
-				copy(k.Data[s*dh:(s+1)*dh], row[d+h*dh:d+(h+1)*dh])
-				copy(v.Data[s*dh:(s+1)*dh], row[2*d+h*dh:2*d+(h+1)*dh])
-			}
-			scores, err := tensor.MatMulT(q, k)
-			if err != nil {
-				return nil, nil, err
-			}
-			scores.Scale(scale)
-			applyCausalMask(scores, seq)
-			if err := tensor.SoftmaxRows(scores); err != nil {
-				return nil, nil, err
-			}
-			roundGrid(scores)
-			cache.Probs[bi][h] = scores
-			out, err := tensor.MatMul(scores, v)
-			if err != nil {
-				return nil, nil, err
-			}
-			for s := 0; s < seq; s++ {
-				copy(ctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh], out.Data[s*dh:(s+1)*dh])
-			}
+	}
+	ctx := tensor.New(n, d)
+	// Each (batch, head) task writes disjoint column slices of ctx and its
+	// own cache.Probs cell, so heads fan out across the worker pool with
+	// bit-identical results at any thread count.
+	err = a.forEachHead(batch, seq, func(bi, h int) error {
+		q := tensor.New(seq, dh)
+		k := tensor.New(seq, dh)
+		v := tensor.New(seq, dh)
+		for s := 0; s < seq; s++ {
+			row := qkv.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
+			copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
+			copy(k.Data[s*dh:(s+1)*dh], row[d+h*dh:d+(h+1)*dh])
+			copy(v.Data[s*dh:(s+1)*dh], row[2*d+h*dh:2*d+(h+1)*dh])
 		}
+		scores, err := tensor.MatMulT(q, k)
+		if err != nil {
+			return err
+		}
+		scores.Scale(scale)
+		applyCausalMask(scores, seq)
+		if err := tensor.SoftmaxRows(scores); err != nil {
+			return err
+		}
+		roundGrid(scores)
+		cache.Probs[bi][h] = scores
+		out, err := tensor.MatMul(scores, v)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < seq; s++ {
+			copy(ctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh], out.Data[s*dh:(s+1)*dh])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	roundGrid(ctx)
 	cache.Ctx = ctx
@@ -118,64 +126,97 @@ func (a *Attention) Backward(x *tensor.Tensor, cache *AttnCache, dy *tensor.Tens
 		return nil, err
 	}
 	dqkv := tensor.New(batch*seq, 3*d)
-	for bi := 0; bi < batch; bi++ {
-		for h := 0; h < a.Heads; h++ {
-			// Re-slice q, k, v for this head.
-			q := tensor.New(seq, dh)
-			k := tensor.New(seq, dh)
-			v := tensor.New(seq, dh)
-			for s := 0; s < seq; s++ {
-				row := cache.QKV.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
-				copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
-				copy(k.Data[s*dh:(s+1)*dh], row[d+h*dh:d+(h+1)*dh])
-				copy(v.Data[s*dh:(s+1)*dh], row[2*d+h*dh:2*d+(h+1)*dh])
-			}
-			probs := cache.Probs[bi][h]
+	// Each (batch, head) task writes disjoint column slices of dqkv; the
+	// parameter-gradient accumulations (Out.Backward above, QKV.Backward
+	// below) stay outside the parallel region.
+	err = a.forEachHead(batch, seq, func(bi, h int) error {
+		// Re-slice q, k, v for this head.
+		q := tensor.New(seq, dh)
+		k := tensor.New(seq, dh)
+		v := tensor.New(seq, dh)
+		for s := 0; s < seq; s++ {
+			row := cache.QKV.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
+			copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
+			copy(k.Data[s*dh:(s+1)*dh], row[d+h*dh:d+(h+1)*dh])
+			copy(v.Data[s*dh:(s+1)*dh], row[2*d+h*dh:2*d+(h+1)*dh])
+		}
+		probs := cache.Probs[bi][h]
 
-			dout := tensor.New(seq, dh)
-			for s := 0; s < seq; s++ {
-				copy(dout.Data[s*dh:(s+1)*dh], dctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh])
+		dout := tensor.New(seq, dh)
+		for s := 0; s < seq; s++ {
+			copy(dout.Data[s*dh:(s+1)*dh], dctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh])
+		}
+		// dV = probsᵀ·dout, dprobs = dout·vᵀ.
+		dv, err := tensor.TMatMul(probs, dout)
+		if err != nil {
+			return err
+		}
+		dprobs, err := tensor.MatMulT(dout, v)
+		if err != nil {
+			return err
+		}
+		// Softmax backward per row: ds = (dp - Σ dp∘p) ∘ p, then the
+		// 1/sqrt(dh) scale.
+		dscores := tensor.New(seq, seq)
+		for i := 0; i < seq; i++ {
+			var dot float64
+			for j := 0; j <= i; j++ {
+				dot += float64(dprobs.Data[i*seq+j]) * float64(probs.Data[i*seq+j])
 			}
-			// dV = probsᵀ·dout, dprobs = dout·vᵀ.
-			dv, err := tensor.TMatMul(probs, dout)
-			if err != nil {
-				return nil, err
-			}
-			dprobs, err := tensor.MatMulT(dout, v)
-			if err != nil {
-				return nil, err
-			}
-			// Softmax backward per row: ds = (dp - Σ dp∘p) ∘ p, then the
-			// 1/sqrt(dh) scale.
-			dscores := tensor.New(seq, seq)
-			for i := 0; i < seq; i++ {
-				var dot float64
-				for j := 0; j <= i; j++ {
-					dot += float64(dprobs.Data[i*seq+j]) * float64(probs.Data[i*seq+j])
-				}
-				for j := 0; j <= i; j++ {
-					p := probs.Data[i*seq+j]
-					dscores.Data[i*seq+j] = (dprobs.Data[i*seq+j] - float32(dot)) * p * scale
-				}
-			}
-			// dQ = dscores·k, dK = dscoresᵀ·q.
-			dq, err := tensor.MatMul(dscores, k)
-			if err != nil {
-				return nil, err
-			}
-			dk, err := tensor.TMatMul(dscores, q)
-			if err != nil {
-				return nil, err
-			}
-			for s := 0; s < seq; s++ {
-				row := dqkv.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
-				copy(row[h*dh:(h+1)*dh], dq.Data[s*dh:(s+1)*dh])
-				copy(row[d+h*dh:d+(h+1)*dh], dk.Data[s*dh:(s+1)*dh])
-				copy(row[2*d+h*dh:2*d+(h+1)*dh], dv.Data[s*dh:(s+1)*dh])
+			for j := 0; j <= i; j++ {
+				p := probs.Data[i*seq+j]
+				dscores.Data[i*seq+j] = (dprobs.Data[i*seq+j] - float32(dot)) * p * scale
 			}
 		}
+		// dQ = dscores·k, dK = dscoresᵀ·q.
+		dq, err := tensor.MatMul(dscores, k)
+		if err != nil {
+			return err
+		}
+		dk, err := tensor.TMatMul(dscores, q)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < seq; s++ {
+			row := dqkv.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
+			copy(row[h*dh:(h+1)*dh], dq.Data[s*dh:(s+1)*dh])
+			copy(row[d+h*dh:d+(h+1)*dh], dk.Data[s*dh:(s+1)*dh])
+			copy(row[2*d+h*dh:2*d+(h+1)*dh], dv.Data[s*dh:(s+1)*dh])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return a.QKV.Backward(x, dqkv)
+}
+
+// forEachHead runs fn for every (batch, head) pair, fanning tasks out
+// across the worker pool when the per-head attention work is large enough
+// to justify dispatch. Tasks must only write disjoint outputs; the first
+// error (in task order) is returned.
+func (a *Attention) forEachHead(batch, seq int, fn func(bi, h int) error) error {
+	tasks := batch * a.Heads
+	dh := a.Dim / a.Heads
+	// Per head: two seq x seq x dh matmuls dominate (~4*seq*seq*dh ops).
+	work := int64(tasks) * 4 * int64(seq) * int64(seq) * int64(dh)
+	errs := make([]error, tasks)
+	run := func(t int) {
+		errs[t] = fn(t/a.Heads, t%a.Heads)
+	}
+	if work < pool.SerialCutoff || pool.Default().Limit() <= 1 {
+		for t := 0; t < tasks; t++ {
+			run(t)
+		}
+	} else {
+		pool.Run(tasks, run)
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // Params lists attention's parameters.

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"ratel/internal/tensor"
+	"ratel/internal/tensor/pool"
 )
 
 // Linear is a dense layer y = x·W + b with gradient accumulators.
@@ -121,24 +122,30 @@ func (ln *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: %s: got %dx%d, want dim %d (%v)", ln.Name, n, d, ln.dim, err)
 	}
 	y := tensor.New(n, d)
-	for i := 0; i < n; i++ {
-		row := x.Data[i*d : (i+1)*d]
-		var mean float64
-		for _, v := range row {
-			mean += float64(v)
+	// Rows normalize independently (the per-row statistics are local), so
+	// they shard across the worker pool bit-identically at any thread
+	// count. Backward stays serial: it accumulates DGamma/DBeta across
+	// rows, a reduction the determinism policy keeps off the pool.
+	pool.ForWork(n, 1, 4*int64(n)*int64(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Data[i*d : (i+1)*d]
+			var mean float64
+			for _, v := range row {
+				mean += float64(v)
+			}
+			mean /= float64(d)
+			var varsum float64
+			for _, v := range row {
+				diff := float64(v) - mean
+				varsum += diff * diff
+			}
+			inv := 1 / math.Sqrt(varsum/float64(d)+ln.eps)
+			out := y.Data[i*d : (i+1)*d]
+			for j, v := range row {
+				out[j] = float32((float64(v)-mean)*inv)*ln.Gamma.Data[j] + ln.Beta.Data[j]
+			}
 		}
-		mean /= float64(d)
-		var varsum float64
-		for _, v := range row {
-			diff := float64(v) - mean
-			varsum += diff * diff
-		}
-		inv := 1 / math.Sqrt(varsum/float64(d)+ln.eps)
-		out := y.Data[i*d : (i+1)*d]
-		for j, v := range row {
-			out[j] = float32((float64(v)-mean)*inv)*ln.Gamma.Data[j] + ln.Beta.Data[j]
-		}
-	}
+	})
 	roundGrid(y)
 	return y, nil
 }

@@ -1,0 +1,41 @@
+package opt
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ratel/internal/tensor"
+)
+
+// BenchmarkAdamStep_1M measures the chunked CPU Adam kernel over one
+// million parameters, pinned to one thread and on the full worker pool —
+// the engine-side number behind the simulator's AdamParamsPerSec.
+func BenchmarkAdamStep_1M(b *testing.B) {
+	const n = 1 << 20
+	p32 := make([]float32, n)
+	m := make([]float32, n)
+	v := make([]float32, n)
+	grad := make([]float32, n)
+	for i := range p32 {
+		p32[i] = float32(i%17) * 0.01
+		grad[i] = float32(i%13)*0.001 - 0.005
+	}
+	cfg := DefaultAdam()
+
+	old := tensor.Parallelism()
+	defer tensor.SetParallelism(old)
+
+	for _, threads := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("%dthreads", threads), func(b *testing.B) {
+			tensor.SetParallelism(threads)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := AdamStep(cfg, i+1, p32, m, v, grad); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mparams/s")
+		})
+	}
+}

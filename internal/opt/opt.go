@@ -15,6 +15,7 @@ import (
 
 	"ratel/internal/nn"
 	"ratel/internal/tensor"
+	"ratel/internal/tensor/pool"
 )
 
 // AdamConfig holds the Adam hyperparameters. A non-zero WeightDecay selects
@@ -37,6 +38,10 @@ func DefaultAdam() AdamConfig {
 // AdamStep applies one bias-corrected Adam update to p32 in place, with
 // step t (1-based) and moments m, v. The gradient is consumed as given
 // (the engine rounds it to fp16 before handing it over: G16).
+//
+// Elements update independently, so the slice is cut into chunks sharded
+// across the worker pool — the paper's multi-threaded CPU optimizer
+// (§IV-C). Results are bit-identical at any thread count.
 func AdamStep(cfg AdamConfig, t int, p32, m, v, grad []float32) error {
 	if len(p32) != len(m) || len(p32) != len(v) || len(p32) != len(grad) {
 		return fmt.Errorf("opt: mismatched state sizes %d/%d/%d/%d", len(p32), len(m), len(v), len(grad))
@@ -46,6 +51,20 @@ func AdamStep(cfg AdamConfig, t int, p32, m, v, grad []float32) error {
 	}
 	b1c := 1 - math.Pow(cfg.Beta1, float64(t))
 	b2c := 1 - math.Pow(cfg.Beta2, float64(t))
+	// ~20 scalar ops per element (sqrt included).
+	pool.ForWork(len(p32), adamChunkGrain, 20*int64(len(p32)), func(lo, hi int) {
+		adamChunk(cfg, b1c, b2c, p32[lo:hi], m[lo:hi], v[lo:hi], grad[lo:hi])
+	})
+	return nil
+}
+
+// adamChunkGrain is the minimum parameters per pool chunk: small enough to
+// load-balance, large enough that chunk dispatch is noise next to the
+// floating-point work.
+const adamChunkGrain = 8192
+
+// adamChunk is the serial Adam kernel over one contiguous chunk of state.
+func adamChunk(cfg AdamConfig, b1c, b2c float64, p32, m, v, grad []float32) {
 	for i := range p32 {
 		g := float64(grad[i])
 		mi := cfg.Beta1*float64(m[i]) + (1-cfg.Beta1)*g
@@ -60,7 +79,6 @@ func AdamStep(cfg AdamConfig, t int, p32, m, v, grad []float32) error {
 		}
 		p32[i] = float32(p)
 	}
-	return nil
 }
 
 // Store is the storage the out-of-core optimizer streams model states

@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// benchmarkMatMul measures square matmul three ways: the naive
+// single-threaded reference, the cache-blocked kernel pinned to one
+// thread, and the cache-blocked kernel on the full worker pool. The
+// GFLOPS metric makes the serial-vs-parallel comparison directly readable
+// in BENCH_kernels.json.
+func benchmarkMatMul(b *testing.B, size int) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, size, size)
+	y := randTensor(rng, size, size)
+	flops := 2 * float64(size) * float64(size) * float64(size)
+
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	b.Run("naive-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matMulRef(x, y)
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+	})
+	b.Run("blocked-1thread", func(b *testing.B) {
+		SetParallelism(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+	})
+	b.Run(fmt.Sprintf("blocked-%dthreads", runtime.NumCPU()), func(b *testing.B) {
+		SetParallelism(runtime.NumCPU())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+	})
+}
+
+func BenchmarkMatMul_256(b *testing.B)  { benchmarkMatMul(b, 256) }
+func BenchmarkMatMul_512(b *testing.B)  { benchmarkMatMul(b, 512) }
+func BenchmarkMatMul_1024(b *testing.B) { benchmarkMatMul(b, 1024) }

@@ -79,10 +79,15 @@ func HalfToFloat32(h uint16) float32 {
 func RoundFP16(f float32) float32 { return HalfToFloat32(Float32ToHalf(f)) }
 
 // RoundFP16InPlace rounds every element of t through half precision.
+// Elements are independent, so chunks shard across the worker pool with
+// bit-identical results at any thread count.
 func (t *Tensor) RoundFP16InPlace() {
-	for i, v := range t.Data {
-		t.Data[i] = RoundFP16(v)
-	}
+	parallelFor(len(t.Data), elemGrain, 4*int64(len(t.Data)), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i, v := range d {
+			d[i] = RoundFP16(v)
+		}
+	})
 }
 
 // ToFP16Bytes encodes values as packed little-endian binary16.

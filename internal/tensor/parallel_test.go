@@ -1,0 +1,227 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// --- naive single-threaded references (no blocking, no zero-skip) ---
+
+func matMulRef(a, b *Tensor) *Tensor {
+	m, k, _ := a.Dims2()
+	_, n, _ := b.Dims2()
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.Data[i*k+p]
+			for j := 0; j < n; j++ {
+				c.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func matMulTRef(a, b *Tensor) *Tensor {
+	m, k, _ := a.Dims2()
+	n, _, _ := b.Dims2()
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[j*k+p]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func tMatMulRef(a, b *Tensor) *Tensor {
+	k, m, _ := a.Dims2()
+	_, n, _ := b.Dims2()
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		for i := 0; i < m; i++ {
+			av := a.Data[p*m+i]
+			for j := 0; j < n; j++ {
+				c.Data[i*n+j] += av * b.Data[p*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func randTensor(rng *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	t.RandInit(rng, 1)
+	return t
+}
+
+func maxRelDiff(t *testing.T, got, want *Tensor) float64 {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("size mismatch %d vs %d", len(got.Data), len(want.Data))
+	}
+	var worst float64
+	for i := range got.Data {
+		g, w := float64(got.Data[i]), float64(want.Data[i])
+		d := math.Abs(g - w)
+		if scale := math.Max(math.Abs(w), 1); d/scale > worst {
+			worst = d / scale
+		}
+	}
+	return worst
+}
+
+// TestParallelKernelParity checks the blocked parallel kernels against the
+// naive serial references within 1e-5 relative tolerance, across odd shapes
+// (1x1, prime dims, m>>n, n>>m; small-serial and large-parallel paths) and
+// thread counts {1, 2, NumCPU}.
+func TestParallelKernelParity(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{61, 67, 71},    // prime dims, above the serial cutoff
+		{4096, 16, 8},   // m >> n
+		{8, 16, 4096},   // n >> m
+		{129, 300, 257}, // straddles kBlock/jBlock boundaries
+	}
+	threads := []int{1, 2, runtime.NumCPU()}
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range shapes {
+		a := randTensor(rng, sh.m, sh.k)
+		b := randTensor(rng, sh.k, sh.n)
+		bt := randTensor(rng, sh.n, sh.k)
+		at := randTensor(rng, sh.k, sh.m)
+		wantMM := matMulRef(a, b)
+		wantMMT := matMulTRef(a, bt)
+		wantTMM := tMatMulRef(at, b)
+		for _, th := range threads {
+			SetParallelism(th)
+			got, err := MatMul(a, b)
+			if err != nil {
+				t.Fatalf("%dx%dx%d threads=%d: %v", sh.m, sh.k, sh.n, th, err)
+			}
+			if d := maxRelDiff(t, got, wantMM); d > 1e-5 {
+				t.Errorf("MatMul %dx%dx%d threads=%d: rel diff %g", sh.m, sh.k, sh.n, th, d)
+			}
+			if got, err = MatMulT(a, bt); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxRelDiff(t, got, wantMMT); d > 1e-5 {
+				t.Errorf("MatMulT %dx%dx%d threads=%d: rel diff %g", sh.m, sh.k, sh.n, th, d)
+			}
+			if got, err = TMatMul(at, b); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxRelDiff(t, got, wantTMM); d > 1e-5 {
+				t.Errorf("TMatMul %dx%dx%d threads=%d: rel diff %g", sh.m, sh.k, sh.n, th, d)
+			}
+		}
+	}
+}
+
+// TestKernelsBitIdenticalAcrossThreads asserts the stronger determinism
+// policy: sharding only independent outputs keeps every kernel bit-identical
+// at any thread count (the engine's bit-for-bit suite depends on this).
+func TestKernelsBitIdenticalAcrossThreads(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	rng := rand.New(rand.NewSource(11))
+	a := randTensor(rng, 129, 300)
+	b := randTensor(rng, 300, 257)
+	x := randTensor(rng, 301, 513)
+
+	SetParallelism(1)
+	mmSerial, _ := MatMul(a, b)
+	smSerial := x.Clone()
+	if err := SoftmaxRows(smSerial); err != nil {
+		t.Fatal(err)
+	}
+	geluSerial := GELU(x)
+	rndSerial := x.Clone()
+	rndSerial.RoundFP16InPlace()
+
+	for _, th := range []int{2, runtime.NumCPU()} {
+		SetParallelism(th)
+		mm, _ := MatMul(a, b)
+		sm := x.Clone()
+		if err := SoftmaxRows(sm); err != nil {
+			t.Fatal(err)
+		}
+		gelu := GELU(x)
+		rnd := x.Clone()
+		rnd.RoundFP16InPlace()
+		for i := range mmSerial.Data {
+			if math.Float32bits(mm.Data[i]) != math.Float32bits(mmSerial.Data[i]) {
+				t.Fatalf("MatMul threads=%d: element %d differs bitwise", th, i)
+			}
+		}
+		for i := range smSerial.Data {
+			if math.Float32bits(sm.Data[i]) != math.Float32bits(smSerial.Data[i]) {
+				t.Fatalf("SoftmaxRows threads=%d: element %d differs bitwise", th, i)
+			}
+			if math.Float32bits(gelu.Data[i]) != math.Float32bits(geluSerial.Data[i]) {
+				t.Fatalf("GELU threads=%d: element %d differs bitwise", th, i)
+			}
+			if math.Float32bits(rnd.Data[i]) != math.Float32bits(rndSerial.Data[i]) {
+				t.Fatalf("RoundFP16InPlace threads=%d: element %d differs bitwise", th, i)
+			}
+		}
+	}
+}
+
+// TestMatMulPropagatesNaNThroughZeros is the regression test for the old
+// `if av == 0 { continue }` fast path, which silently dropped NaN/Inf:
+// IEEE-754 requires 0*NaN = NaN and 0*Inf = NaN, so a NaN or Inf anywhere
+// in b must poison every output that multiplies it — even by zero.
+func TestMatMulPropagatesNaNThroughZeros(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+
+	// a's only row is all zeros; b has a NaN in column 0 and an Inf in
+	// column 1, so both outputs must come out NaN.
+	a, _ := FromData([]float32{0, 0}, 1, 2)
+	b, _ := FromData([]float32{nan, inf, 1, 2}, 2, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(c.Data[0])) {
+		t.Errorf("MatMul: 0*NaN gave %v, want NaN", c.Data[0])
+	}
+	if !math.IsNaN(float64(c.Data[1])) {
+		t.Errorf("MatMul: 0*Inf gave %v, want NaN", c.Data[1])
+	}
+
+	// TMatMul: aT has a zero column multiplying b's NaN/Inf rows.
+	at, _ := FromData([]float32{0, 0}, 2, 1) // aT is [k=2, m=1], all zero
+	ct, err := TMatMul(at, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(ct.Data[0])) {
+		t.Errorf("TMatMul: 0*NaN gave %v, want NaN", ct.Data[0])
+	}
+	if !math.IsNaN(float64(ct.Data[1])) {
+		t.Errorf("TMatMul: 0*Inf gave %v, want NaN", ct.Data[1])
+	}
+
+	// MatMulT's dot product never skipped zeros, but pin the behaviour too.
+	bt, _ := FromData([]float32{nan, 1}, 1, 2)
+	cmt, err := MatMulT(a, bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(cmt.Data[0])) {
+		t.Errorf("MatMulT: 0*NaN gave %v, want NaN", cmt.Data[0])
+	}
+}

@@ -1,0 +1,202 @@
+// Package pool provides the shared worker pool the CPU kernels run on: a
+// fixed set of persistent goroutines that execute chunked parallel-for jobs.
+// Scheduling is work-stealing at chunk granularity — every participant
+// (the submitting goroutine included) steals the next unclaimed chunk from
+// a shared atomic cursor until the job is exhausted, so uneven chunks
+// load-balance automatically and a busy pool can never deadlock a caller:
+// the caller always makes progress on its own job.
+//
+// The pool exists because the mini training engine's hot loops (matmul
+// panels, attention heads, Adam chunks) are far too short-lived to pay a
+// goroutine spawn each; workers park on a channel between jobs.
+//
+// Sizing: the default pool targets runtime.NumCPU() participants,
+// overridable at process start with the RATEL_THREADS environment variable
+// and at runtime with SetLimit (tensor.SetParallelism forwards to it). A
+// limit of 1 makes every job run serially on the caller.
+package pool
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one parallel-for invocation. Participants steal chunk indices
+// from cursor; the participant that completes the last chunk closes fin.
+type job struct {
+	cursor atomic.Int64
+	done   atomic.Int64
+	chunks int64
+	run    func(chunk int)
+	fin    chan struct{}
+}
+
+// work steals chunks until the job is exhausted.
+func (j *job) work() {
+	for {
+		c := j.cursor.Add(1) - 1
+		if c >= j.chunks {
+			return
+		}
+		j.run(int(c))
+		if j.done.Add(1) == j.chunks {
+			close(j.fin)
+		}
+	}
+}
+
+// Pool is a set of persistent workers executing chunked parallel-for jobs.
+// The zero value is not usable; use New or Default.
+type Pool struct {
+	jobs  chan *job
+	limit atomic.Int32 // participants per job (workers + caller)
+
+	mu      sync.Mutex
+	spawned int // worker goroutines started so far
+}
+
+// New creates a pool that runs jobs with up to workers participants
+// (workers-1 background goroutines plus the submitting goroutine).
+func New(workers int) *Pool {
+	p := &Pool{jobs: make(chan *job, 128)}
+	p.SetLimit(workers)
+	return p
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide pool, created on first use with
+// RATEL_THREADS participants if set and valid, else runtime.NumCPU().
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		defaultPool = New(envWorkers(os.Getenv("RATEL_THREADS"), runtime.NumCPU()))
+	})
+	return defaultPool
+}
+
+// envWorkers parses a RATEL_THREADS value, falling back for empty, bad, or
+// non-positive input.
+func envWorkers(s string, fallback int) int {
+	if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+		return n
+	}
+	return fallback
+}
+
+// SetLimit sets the number of participants per job, clamped to at least 1.
+// The pool grows its worker set as needed; shrinking only lowers the
+// participation limit (excess workers stay parked, costing nothing).
+func (p *Pool) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	for p.spawned < n-1 {
+		go func() {
+			for j := range p.jobs {
+				j.work()
+			}
+		}()
+		p.spawned++
+	}
+	p.mu.Unlock()
+	p.limit.Store(int32(n))
+}
+
+// Limit reports the current participants-per-job limit.
+func (p *Pool) Limit() int { return int(p.limit.Load()) }
+
+// Run executes run(0..chunks-1), each chunk exactly once, sharding chunks
+// across up to Limit() participants. It returns when every chunk has
+// finished. Chunks must be independent: they may run concurrently and in
+// any order. With Limit() <= 1 or a single chunk the caller runs everything
+// inline with no synchronization.
+func (p *Pool) Run(chunks int, run func(chunk int)) {
+	if chunks <= 0 {
+		return
+	}
+	lim := p.Limit()
+	if lim <= 1 || chunks == 1 {
+		for i := 0; i < chunks; i++ {
+			run(i)
+		}
+		return
+	}
+	j := &job{chunks: int64(chunks), run: run, fin: make(chan struct{})}
+	offers := lim - 1
+	if offers > chunks-1 {
+		offers = chunks - 1
+	}
+	for i := 0; i < offers; i++ {
+		select {
+		case p.jobs <- j:
+		default:
+			// Pool saturated with other jobs; the caller still completes
+			// this one alone rather than blocking.
+			i = offers
+		}
+	}
+	j.work()
+	<-j.fin
+}
+
+// For splits [0,n) into contiguous chunks of at least grain elements and
+// runs body(lo, hi) for each, in parallel. The partition is a pure
+// function of (n, grain, Limit()), so within a fixed parallelism setting
+// every call over the same range is carved identically — re-running a
+// kernel reproduces its chunk boundaries exactly.
+func (p *Pool) For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	lim := p.Limit()
+	// ~4 chunks per participant: enough slack for stealing to balance
+	// uneven chunk costs without drowning in scheduling overhead.
+	chunk := (n + 4*lim - 1) / (4 * lim)
+	if chunk < grain {
+		chunk = grain
+	}
+	chunks := (n + chunk - 1) / chunk
+	p.Run(chunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	})
+}
+
+// Run is Default().Run.
+func Run(chunks int, run func(chunk int)) { Default().Run(chunks, run) }
+
+// For is Default().For.
+func For(n, grain int, body func(lo, hi int)) { Default().For(n, grain, body) }
+
+// SerialCutoff is the estimated scalar-op count below which ForWork runs
+// its body inline: a job this small finishes faster than its dispatch.
+const SerialCutoff = 1 << 17
+
+// ForWork shards [0,n) like For when the caller's estimated work (in
+// scalar ops) justifies parallel dispatch, and otherwise runs body(0, n)
+// inline on the calling goroutine — the hot-path entry every kernel uses.
+func ForWork(n, grain int, work int64, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Default()
+	if work < SerialCutoff || p.Limit() <= 1 {
+		body(0, n)
+		return
+	}
+	p.For(n, grain, body)
+}

@@ -1,0 +1,146 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunEveryChunkOnce checks each chunk index runs exactly once across a
+// spread of limits and chunk counts, including more chunks than workers.
+func TestRunEveryChunkOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := New(workers)
+		for _, chunks := range []int{0, 1, 2, 3, workers, 4*workers + 3, 257} {
+			counts := make([]int32, chunks)
+			p.Run(chunks, func(c int) { atomic.AddInt32(&counts[c], 1) })
+			for c, got := range counts {
+				if got != 1 {
+					t.Fatalf("workers=%d chunks=%d: chunk %d ran %d times", workers, chunks, c, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForCoversRangeExactly checks the [0,n) partition: every index covered
+// once, chunk bounds ordered, grain respected.
+func TestForCoversRangeExactly(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{1, 2, 5, 100, 4096, 4097, 100_003} {
+		for _, grain := range []int{1, 7, 1024} {
+			var mu sync.Mutex
+			seen := make([]int32, n)
+			p.For(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d grain=%d: bad chunk [%d,%d)", n, grain, lo, hi)
+					return
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, got := range seen {
+				if got != 1 {
+					t.Fatalf("n=%d grain=%d: index %d covered %d times", n, grain, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForPartitionIsDeterministic re-runs the same For and checks identical
+// chunk boundaries — the reproducibility contract kernels rely on.
+func TestForPartitionIsDeterministic(t *testing.T) {
+	p := New(3)
+	collect := func() map[[2]int]bool {
+		var mu sync.Mutex
+		chunks := map[[2]int]bool{}
+		p.For(10_000, 16, func(lo, hi int) {
+			mu.Lock()
+			chunks[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return chunks
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("partition changed between runs: %d vs %d chunks", len(a), len(b))
+	}
+	for c := range a {
+		if !b[c] {
+			t.Fatalf("chunk %v missing from second run", c)
+		}
+	}
+}
+
+// TestSetLimitGrowsAndClamps checks limit clamping and that raising the
+// limit still executes correctly (workers grown on demand).
+func TestSetLimitGrowsAndClamps(t *testing.T) {
+	p := New(1)
+	if got := p.Limit(); got != 1 {
+		t.Fatalf("Limit() = %d, want 1", got)
+	}
+	p.SetLimit(0)
+	if got := p.Limit(); got != 1 {
+		t.Fatalf("Limit() after SetLimit(0) = %d, want 1", got)
+	}
+	p.SetLimit(8)
+	if got := p.Limit(); got != 8 {
+		t.Fatalf("Limit() = %d, want 8", got)
+	}
+	var n atomic.Int64
+	p.Run(64, func(int) { n.Add(1) })
+	if n.Load() != 64 {
+		t.Fatalf("ran %d chunks, want 64", n.Load())
+	}
+}
+
+// TestNestedRun checks a chunk body may itself submit jobs (attention heads
+// calling parallel matmuls) without deadlock or lost chunks.
+func TestNestedRun(t *testing.T) {
+	p := New(4)
+	var n atomic.Int64
+	p.Run(8, func(int) {
+		p.Run(16, func(int) { n.Add(1) })
+	})
+	if n.Load() != 8*16 {
+		t.Fatalf("nested chunks ran %d times, want %d", n.Load(), 8*16)
+	}
+}
+
+// TestConcurrentSubmitters checks many goroutines sharing one pool (the
+// engine's optimizer workers) each see their own job complete fully.
+func TestConcurrentSubmitters(t *testing.T) {
+	p := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n atomic.Int64
+			p.Run(100, func(int) { n.Add(1) })
+			if n.Load() != 100 {
+				t.Errorf("submitter saw %d chunks, want 100", n.Load())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEnvWorkers(t *testing.T) {
+	def := runtime.NumCPU()
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"", def}, {"junk", def}, {"0", def}, {"-3", def}, {"1", 1}, {"16", 16},
+	} {
+		if got := envWorkers(tc.in, def); got != tc.want {
+			t.Errorf("envWorkers(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

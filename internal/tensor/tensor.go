@@ -4,14 +4,23 @@
 // offloaded tensors occupy exactly the 2 bytes/element the paper's A16/P16/
 // G16 accounting assumes.
 //
-// Everything is deterministic: no parallel reductions, no fused shortcuts —
-// the engine's correctness suite compares runs bit-for-bit.
+// Kernels are cache-blocked and run on the shared worker pool
+// (internal/tensor/pool), sharding only independent outputs — matmul row
+// panels, softmax rows, element-wise chunks — never reductions. Each output
+// element is therefore produced by exactly one goroutine with the same
+// accumulation order as the serial kernel, so results are bit-identical
+// across thread counts and runs: the engine's correctness suite still
+// compares runs bit-for-bit. Parallelism is sized by RATEL_THREADS /
+// runtime.NumCPU and adjustable via SetParallelism; small tensors fall back
+// to the serial path and pay no scheduling overhead.
 package tensor
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"ratel/internal/tensor/pool"
 )
 
 // Tensor is a dense row-major float32 tensor.
@@ -74,7 +83,20 @@ func (t *Tensor) RandInit(rng *rand.Rand, std float64) {
 	}
 }
 
+// kBlock is the MatMul k-tile: one tile of B (kBlock x n panel) stays
+// cache-resident while a row panel of A sweeps it.
+const kBlock = 256
+
+// jBlock is the MatMulT column tile: a jBlock-row panel of B is reused
+// across every row of the A panel before moving on.
+const jBlock = 64
+
 // MatMul computes c = a·b for rank-2 tensors [m,k]x[k,n].
+//
+// Rows of c are sharded across the worker pool; within a row the inner
+// accumulation order is increasing p regardless of blocking or thread
+// count, so the result is bit-identical to the serial kernel. Zero entries
+// of a are NOT skipped: 0·NaN and 0·Inf must propagate as NaN.
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	m, k, err := a.Dims2()
 	if err != nil {
@@ -88,24 +110,34 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
 	}
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	panel := func(lo, hi int) {
+		for p0 := 0; p0 < k; p0 += kBlock {
+			p1 := p0 + kBlock
+			if p1 > k {
+				p1 = k
 			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				crow := c.Data[i*n : (i+1)*n]
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					brow := b.Data[p*n : (p+1)*n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
 			}
 		}
 	}
+	parallelRows(m, int64(m)*int64(k)*int64(n), panel)
 	return c, nil
 }
 
 // MatMulT computes c = a·bᵀ for [m,k]x[n,k].
+//
+// Rows of c are sharded across the pool; each dot product accumulates in
+// increasing p exactly as the serial kernel does, so the result is
+// bit-identical at any thread count.
 func MatMulT(a, b *Tensor) (*Tensor, error) {
 	m, k, err := a.Dims2()
 	if err != nil {
@@ -119,21 +151,37 @@ func MatMulT(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: matmulT inner dims %d vs %d", k, k2)
 	}
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
+	panel := func(lo, hi int) {
+		for j0 := 0; j0 < n; j0 += jBlock {
+			j1 := j0 + jBlock
+			if j1 > n {
+				j1 = n
 			}
-			c.Data[i*n+j] = s
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				crow := c.Data[i*n : (i+1)*n]
+				for j := j0; j < j1; j++ {
+					brow := b.Data[j*k : (j+1)*k]
+					var s float32
+					for p, av := range arow {
+						s += av * brow[p]
+					}
+					crow[j] = s
+				}
+			}
 		}
 	}
+	parallelRows(m, int64(m)*int64(k)*int64(n), panel)
 	return c, nil
 }
 
 // TMatMul computes c = aᵀ·b for [k,m]x[k,n].
+//
+// Output rows (columns of a) are sharded across the pool; each participant
+// sweeps the full k extent for its row panel, keeping the panel of c
+// cache-resident, and accumulates in increasing p — the serial order — so
+// the result is bit-identical at any thread count. Zero entries of a are
+// NOT skipped (NaN/Inf propagation).
 func TMatMul(a, b *Tensor) (*Tensor, error) {
 	k, m, err := a.Dims2()
 	if err != nil {
@@ -147,20 +195,20 @@ func TMatMul(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: tmatmul inner dims %d vs %d", k, k2)
 	}
 	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
+	panel := func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				crow := c.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
 	}
+	parallelRows(m, int64(m)*int64(k)*int64(n), panel)
 	return c, nil
 }
 
@@ -169,9 +217,12 @@ func AddInPlace(a, b *Tensor) error {
 	if len(a.Data) != len(b.Data) {
 		return fmt.Errorf("tensor: add size %d vs %d", len(a.Data), len(b.Data))
 	}
-	for i := range a.Data {
-		a.Data[i] += b.Data[i]
-	}
+	parallelElems(len(a.Data), func(lo, hi int) {
+		ad, bd := a.Data[lo:hi], b.Data[lo:hi]
+		for i := range ad {
+			ad[i] += bd[i]
+		}
+	})
 	return nil
 }
 
@@ -184,29 +235,38 @@ func AddBias(x, bias *Tensor) error {
 	if len(bias.Data) != n {
 		return fmt.Errorf("tensor: bias length %d for %d columns", len(bias.Data), n)
 	}
-	for i := 0; i < m; i++ {
-		row := x.Data[i*n : (i+1)*n]
-		for j := range row {
-			row[j] += bias.Data[j]
+	parallelRows(m, int64(m)*int64(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Data[i*n : (i+1)*n]
+			for j := range row {
+				row[j] += bias.Data[j]
+			}
 		}
-	}
+	})
 	return nil
 }
 
 // Scale multiplies t by s in place.
 func (t *Tensor) Scale(s float32) {
-	for i := range t.Data {
-		t.Data[i] *= s
-	}
+	parallelElems(len(t.Data), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i := range d {
+			d[i] *= s
+		}
+	})
 }
 
 // GELU applies the tanh-approximated GELU elementwise, returning a new
 // tensor.
 func GELU(x *Tensor) *Tensor {
 	y := New(x.Shape...)
-	for i, v := range x.Data {
-		y.Data[i] = geluScalar(v)
-	}
+	// ~20 scalar ops per element (tanh), so parallelize by op count.
+	parallelFor(len(x.Data), elemGrain, 20*int64(len(x.Data)), func(lo, hi int) {
+		xd, yd := x.Data[lo:hi], y.Data[lo:hi]
+		for i, v := range xd {
+			yd[i] = geluScalar(v)
+		}
+	})
 	return y
 }
 
@@ -223,42 +283,77 @@ func GELUBackward(x, dy *Tensor) (*Tensor, error) {
 	}
 	dx := New(x.Shape...)
 	const c = 0.7978845608028654
-	for i, v := range x.Data {
-		xf := float64(v)
-		u := c * (xf + 0.044715*xf*xf*xf)
-		tanh := math.Tanh(u)
-		sech2 := 1 - tanh*tanh
-		du := c * (1 + 3*0.044715*xf*xf)
-		g := 0.5*(1+tanh) + 0.5*xf*sech2*du
-		dx.Data[i] = dy.Data[i] * float32(g)
-	}
+	parallelFor(len(x.Data), elemGrain, 30*int64(len(x.Data)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xf := float64(x.Data[i])
+			u := c * (xf + 0.044715*xf*xf*xf)
+			tanh := math.Tanh(u)
+			sech2 := 1 - tanh*tanh
+			du := c * (1 + 3*0.044715*xf*xf)
+			g := 0.5*(1+tanh) + 0.5*xf*sech2*du
+			dx.Data[i] = dy.Data[i] * float32(g)
+		}
+	})
 	return dx, nil
 }
 
 // SoftmaxRows applies a numerically-stable softmax to each row in place.
+// Rows are independent and sharded across the pool; per-row arithmetic is
+// unchanged, so results are bit-identical at any thread count.
 func SoftmaxRows(x *Tensor) error {
 	m, n, err := x.Dims2()
 	if err != nil {
 		return err
 	}
-	for i := 0; i < m; i++ {
-		row := x.Data[i*n : (i+1)*n]
-		max := row[0]
-		for _, v := range row {
-			if v > max {
-				max = v
+	parallelRows(m, 10*int64(m)*int64(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Data[i*n : (i+1)*n]
+			max := row[0]
+			for _, v := range row {
+				if v > max {
+					max = v
+				}
+			}
+			var sum float64
+			for j, v := range row {
+				e := math.Exp(float64(v - max))
+				row[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := range row {
+				row[j] *= inv
 			}
 		}
-		var sum float64
-		for j, v := range row {
-			e := math.Exp(float64(v - max))
-			row[j] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for j := range row {
-			row[j] *= inv
-		}
-	}
+	})
 	return nil
 }
+
+// parallelRows shards rows [0,n) across the pool when the job is worth it
+// (work is an estimated scalar-op count), else runs body(0, n) inline.
+func parallelRows(n int, work int64, body func(lo, hi int)) {
+	parallelFor(n, 1, work, body)
+}
+
+// parallelElems shards a flat element range, costing each element one op.
+func parallelElems(n int, body func(lo, hi int)) {
+	parallelFor(n, elemGrain, int64(n), body)
+}
+
+// elemGrain is the minimum elements per chunk for element-wise kernels,
+// keeping chunk dispatch amortized over a useful block of work.
+const elemGrain = 4096
+
+// parallelFor is the kernels' pool entry: serial below pool.SerialCutoff
+// ops or at parallelism 1, sharded otherwise.
+func parallelFor(n, grain int, work int64, body func(lo, hi int)) {
+	pool.ForWork(n, grain, work, body)
+}
+
+// SetParallelism sets the worker-pool participant count the kernels use;
+// n < 1 is clamped to 1 (fully serial). The initial value comes from
+// RATEL_THREADS, else runtime.NumCPU.
+func SetParallelism(n int) { pool.Default().SetLimit(n) }
+
+// Parallelism reports the current kernel parallelism.
+func Parallelism() int { return pool.Default().Limit() }
