@@ -4,10 +4,20 @@ test:
 	go build ./... && go test ./...
 
 # Tier-2 check: race-detector pass over the packages that run on the
-# shared worker pool (tensor kernels, attention fan-out, parallel Adam).
+# shared worker pool or record telemetry concurrently (tensor kernels,
+# attention fan-out, parallel Adam, NVMe array, span tracer, engine).
 .PHONY: race
 race:
-	go test -race ./internal/tensor/... ./internal/nn/... ./internal/opt/... ./internal/agoffload/...
+	go test -race ./internal/tensor/... ./internal/nn/... ./internal/opt/... ./internal/agoffload/... ./internal/nvme/... ./internal/obs/... ./internal/engine/...
+
+# Static analysis over the whole module.
+.PHONY: vet
+vet:
+	go vet ./...
+
+# Tier-2 umbrella: static analysis + race detector.
+.PHONY: check
+check: vet race
 
 # Kernel micro-benchmarks (BENCH_kernels.json is a committed snapshot).
 .PHONY: bench-kernels

@@ -7,19 +7,25 @@
 //
 //	rateltrain -steps 50 -layers 4 -hidden 32 -mode optimized -dir /tmp/ratel
 //	rateltrain -task chars -steps 300 -dropout 0.05   # char-level LM + sample
+//	rateltrain -trace trace.json                      # Chrome/Perfetto timeline
+//	rateltrain -debug-addr :6060                      # expvar metrics + pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 
 	"ratel/internal/agoffload"
 	"ratel/internal/core"
 	"ratel/internal/data"
 	"ratel/internal/nn"
+	"ratel/internal/obs"
 	"ratel/internal/opt"
+	"ratel/internal/trace"
 )
 
 func main() {
@@ -40,6 +46,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "write the final training state to this file")
 	resume := flag.String("resume", "", "restore training state from this file before training")
 	evalEvery := flag.Int("eval-every", 0, "report a held-out evaluation loss every N steps")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics on this address (expvar at /debug/vars, pprof at /debug/pprof)")
 	flag.Parse()
 
 	var gm agoffload.Mode
@@ -76,6 +84,23 @@ func main() {
 		fail(fmt.Errorf("unknown task %q", *task))
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultCapacity)
+	}
+	var registry *obs.Registry
+	if *debugAddr != "" {
+		registry = obs.NewRegistry()
+		registry.PublishExpvar("ratel")
+		go func() {
+			// expvar and pprof self-register on the default mux.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rateltrain: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/debug/vars, /debug/pprof)\n", *debugAddr)
+	}
+
 	sess, err := core.Init(core.Options{
 		Model: nn.Config{
 			Vocab: vocabSize, Seq: *seq, Hidden: *hidden, Heads: *heads,
@@ -85,6 +110,8 @@ func main() {
 		Devices:    *devices,
 		Dir:        *dir,
 		LRSchedule: opt.WarmupCosine(*lr, *steps/10, *steps, *lr/10),
+		Tracer:     tracer,
+		Metrics:    registry,
 	})
 	if err != nil {
 		fail(err)
@@ -165,6 +192,29 @@ func main() {
 		st.Steps, st.ActBytesOffload, st.ActBytesFetched, st.RecomputedBlocks)
 	fmt.Printf("ssd traffic: wrote %v, read %v across %d objects\n",
 		st.SSD.BytesWritten, st.SSD.BytesRead, st.SSD.Objects)
+	// Wall-clock profile only under the telemetry flags: the default
+	// stdout stays byte-identical across runs and thread counts.
+	if m := sess.LastStepMetrics(); m.Step > 0 && (tracer != nil || registry != nil) {
+		fmt.Printf("last step: %v wall (fwd %v, bwd %v, optimizer drain %v), %.0f tokens/s, adam %.2e params/s\n",
+			m.Wall.Round(10e3), m.Forward.Round(10e3), m.Backward.Round(10e3), m.OptimizerDrain.Round(10e3),
+			m.TokensPerSec, m.AdamParamsPerSec())
+	}
+
+	if tracer != nil {
+		spans := tracer.Spans()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.WriteEngineJSON(spans, f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		f.Close()
+		total, dropped := tracer.Recorded()
+		fmt.Printf("trace: %d spans written to %s (%d recorded, %d dropped by the ring)\n",
+			len(spans), *traceOut, total, dropped)
+	}
 
 	if corpus != nil {
 		prompt, err := corpus.Encode("the key idea ")

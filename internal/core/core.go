@@ -20,6 +20,7 @@ import (
 	"ratel/internal/itersim"
 	"ratel/internal/model"
 	"ratel/internal/nn"
+	"ratel/internal/obs"
 	"ratel/internal/opt"
 	"ratel/internal/plan"
 	"ratel/internal/strategy"
@@ -54,6 +55,12 @@ type Options struct {
 	// only).
 	LossScale        float64
 	DynamicLossScale bool
+	// Tracer, when non-nil, records wall-clock spans for every engine stage
+	// (export with trace.WriteEngineJSON). Metrics, when non-nil, receives
+	// per-step instrument updates (export with Registry.PublishExpvar).
+	// Neither affects computed values.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // Session is an initialized Ratel training context.
@@ -82,6 +89,8 @@ func Init(opts Options) (*Session, error) {
 		LRSchedule:       opts.LRSchedule,
 		LossScale:        opts.LossScale,
 		DynamicLossScale: opts.DynamicLossScale,
+		Tracer:           opts.Tracer,
+		Metrics:          opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -143,6 +152,10 @@ func (s *Session) Model() *nn.Model { return s.eng.Model() }
 
 // Stats reports the session's data-movement counters.
 func (s *Session) Stats() engine.Stats { return s.eng.Stats() }
+
+// LastStepMetrics reports the wall-clock profile of the most recent
+// optimizer step (zero value before the first TrainStep).
+func (s *Session) LastStepMetrics() engine.StepMetrics { return s.eng.LastStepMetrics() }
 
 // SaveCheckpoint writes the session's full training state (fp32 masters and
 // optimizer moments) to w; restoring and continuing is bit-identical to an

@@ -85,7 +85,7 @@ func (dp *DataParallel) TrainStep(shards []Batch) (float64, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			losses[i], errs[i] = dp.replicas[i].runBatch(shards[i].Tokens, shards[i].Targets, groups[i], noop)
+			losses[i], _, _, errs[i] = dp.replicas[i].runBatch(shards[i].Tokens, shards[i].Targets, groups[i], noop)
 		}(i)
 	}
 	wg.Wait()

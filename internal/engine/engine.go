@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"ratel/internal/agoffload"
 	"ratel/internal/memctl"
 	"ratel/internal/nn"
 	"ratel/internal/nvme"
+	"ratel/internal/obs"
 	"ratel/internal/opt"
 	"ratel/internal/tensor"
 	"ratel/internal/units"
@@ -100,6 +102,14 @@ type Config struct {
 	// DisablePrefetch turns off the backward-stage activation prefetch
 	// pipeline (for ablation benchmarks; values are unaffected either way).
 	DisablePrefetch bool
+	// Tracer, when non-nil, records wall-clock spans for every training
+	// stage (forward/backward kernels, activation offload and prefetch,
+	// NVMe device I/O, CPU-optimizer chunks). Tracing never changes
+	// computed values and the hot path allocates nothing per span.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives per-step instrument updates
+	// (tokens/s, stage wall times, tier bytes, NVMe and pool counters).
+	Metrics *obs.Registry
 }
 
 // Stats counts the engine's data movement.
@@ -130,8 +140,18 @@ type Engine struct {
 	prevGrads map[string][]float32 // pending gradients in DelayedUpdate mode
 	scaler    *opt.LossScaler      // dynamic loss scaling, nil when static/off
 
-	mu    sync.Mutex
-	stats Stats
+	// Telemetry (see telemetry.go). tracer may be nil; ins instruments are
+	// detached no-ops when Config.Metrics is nil.
+	tracer           *obs.Tracer
+	labels           []blockLabels
+	ins              instruments
+	prevKernelParams int64
+	prevKernelBusy   time.Duration
+	prevSSD          nvme.Stats
+
+	mu       sync.Mutex
+	stats    Stats
+	lastStep StepMetrics
 }
 
 // hostAct is a block cache pinned in main memory (SwapHost tier).
@@ -174,7 +194,12 @@ func New(cfg Config) (*Engine, error) {
 		hostPool:  memctl.NewPool("host", cfg.HostMemory),
 		geom:      geometryOf(cfg.Model),
 		hostActs:  make(map[int]*hostAct),
+		tracer:    cfg.Tracer,
+		labels:    makeBlockLabels(len(m.Blocks)),
+		ins:       makeInstruments(cfg.Metrics),
 	}
+	a.SetTracer(cfg.Tracer)
+	e.optimizer.SetTracer(cfg.Tracer)
 	if cfg.ClipGroupNorm > 0 {
 		if err := e.optimizer.SetClipNorm(cfg.ClipGroupNorm); err != nil {
 			a.Close()
@@ -255,6 +280,9 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 	if !e.cfg.DelayedUpdate {
 		e.beginStep()
 	}
+	stepStart := time.Now()
+	stepSp := e.tracer.StartSpan(obs.LaneStep, labelStep)
+	defer stepSp.End()
 
 	groups := m.ParamGroups() // embedding, block0..N-1, head
 
@@ -339,11 +367,12 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 		return 0, err
 	}
 
-	loss, err := e.runBatch(tokens, targets, groups, submit)
+	loss, fwdDur, bwdDur, err := e.runBatch(tokens, targets, groups, submit)
 	if err != nil {
 		return fail(err)
 	}
 
+	drainStart := time.Now()
 	if err := finish(); err != nil {
 		return 0, err
 	}
@@ -352,10 +381,21 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 			return 0, err
 		}
 	}
+	drain := time.Since(drainStart)
 	e.mu.Lock()
 	e.stats.Steps++
 	e.mu.Unlock()
+	e.noteStep(fwdDur, bwdDur, drain, time.Since(stepStart), countTokens(tokens))
 	return loss, nil
+}
+
+// countTokens sums the sequence lengths of one batch.
+func countTokens(tokens [][]int) int {
+	n := 0
+	for _, seq := range tokens {
+		n += len(seq)
+	}
+	return n
 }
 
 // Batch is one micro-batch for TrainStepAccum.
@@ -382,16 +422,24 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 	m := e.model
 	m.ZeroGrads()
 	e.beginStep()
+	stepStart := time.Now()
+	stepSp := e.tracer.StartSpan(obs.LaneStep, labelStep)
+	defer stepSp.End()
 	groups := m.ParamGroups()
 
 	var totalLoss float64
+	var fwdTotal, bwdTotal time.Duration
+	tokenCount := 0
 	noop := func(nn.ParamGroup) error { return nil }
 	for _, b := range micro[:len(micro)-1] {
-		loss, err := e.runBatch(b.Tokens, b.Targets, groups, noop)
+		loss, fwdDur, bwdDur, err := e.runBatch(b.Tokens, b.Targets, groups, noop)
 		if err != nil {
 			return 0, err
 		}
 		totalLoss += loss
+		fwdTotal += fwdDur
+		bwdTotal += bwdDur
+		tokenCount += countTokens(b.Tokens)
 	}
 
 	// Final micro-batch: hand each completed group to the optimizer with
@@ -449,7 +497,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 	}
 
 	last := micro[len(micro)-1]
-	loss, err := e.runBatch(last.Tokens, last.Targets, groups, submit)
+	loss, fwdDur, bwdDur, err := e.runBatch(last.Tokens, last.Targets, groups, submit)
 	if err != nil {
 		if ferr := finish(); ferr != nil {
 			return 0, fmt.Errorf("%w (and optimizer drain failed: %v)", err, ferr)
@@ -457,12 +505,18 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 		return 0, err
 	}
 	totalLoss += loss
+	fwdTotal += fwdDur
+	bwdTotal += bwdDur
+	tokenCount += countTokens(last.Tokens)
+	drainStart := time.Now()
 	if err := finish(); err != nil {
 		return 0, err
 	}
+	drain := time.Since(drainStart)
 	e.mu.Lock()
 	e.stats.Steps++
 	e.mu.Unlock()
+	e.noteStep(fwdTotal, bwdTotal, drain, time.Since(stepStart), tokenCount)
 	return totalLoss / float64(len(micro)), nil
 }
 
@@ -481,15 +535,22 @@ func (e *Engine) beginStep() {
 }
 
 // runBatch executes one forward/backward pass, accumulating gradients and
-// handing each completed group to submit in gradient-arrival order.
-func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submit func(nn.ParamGroup) error) (float64, error) {
+// handing each completed group to submit in gradient-arrival order. The
+// returned durations are the forward and backward stage wall times.
+func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submit func(nn.ParamGroup) error) (loss float64, fwdDur, bwdDur time.Duration, err error) {
 	m := e.model
 	m.NextStep() // fresh dropout masks; recomputation below replays them
 	groupOf := func(block int) nn.ParamGroup { return groups[block+1] }
-	fail := func(err error) (float64, error) { return 0, err }
+	fail := func(err error) (float64, time.Duration, time.Duration, error) {
+		return 0, fwdDur, bwdDur, err
+	}
+	tr := e.tracer
 
 	// ---------- Forward ----------
+	fwdStart := time.Now()
+	sp := tr.StartSpan(obs.LaneCompute, labelEmbedFwd)
 	x, err := m.Embed(tokens)
+	sp.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -497,30 +558,38 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 	h := x
 	for i, b := range m.Blocks {
 		inputs[i] = h
+		sp = tr.StartSpan(obs.LaneCompute, e.labels[i].fwd)
 		y, c, err := b.Forward(h)
+		sp.End()
 		if err != nil {
 			return fail(err)
 		}
 		switch e.cfg.Swap[i] {
 		case SwapSSD:
 			// Offload the cache: host staging, then the NVMe store.
+			sp = tr.StartSpan(obs.LaneOffload, e.labels[i].offload)
 			blob := encodeCache(c, e.geom)
 			res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
 			if err != nil {
+				sp.End()
 				return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
 			}
 			if err := e.array.Put(actKey(i), blob); err != nil {
+				sp.End()
 				res.Release()
 				return fail(fmt.Errorf("engine: offload block %d activations: %w", i, err))
 			}
 			res.Release() // staged through, now resident on SSD
+			sp.End()
 			e.mu.Lock()
 			e.stats.ActBytesOffload += units.Bytes(len(blob))
 			e.mu.Unlock()
 		case SwapHost:
 			// Pin the cache in main memory until backward consumes it.
+			sp = tr.StartSpan(obs.LaneOffload, e.labels[i].pin)
 			blob := encodeCache(c, e.geom)
 			res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
+			sp.End()
 			if err != nil {
 				return fail(fmt.Errorf("engine: host tier for block %d: %w", i, err))
 			}
@@ -533,20 +602,29 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		// from their tier, the rest recompute from the saved block input.
 		h = y
 	}
+	sp = tr.StartSpan(obs.LaneCompute, labelHeadFwd)
 	lnOut, logits, err := m.HeadForward(h)
+	sp.End()
 	if err != nil {
 		return fail(err)
 	}
+	sp = tr.StartSpan(obs.LaneCompute, labelLoss)
 	loss, dlogits, err := nn.CrossEntropy(logits, targets)
+	sp.End()
 	if err != nil {
 		return fail(err)
 	}
 	if s := e.currentScale(); s != 1 {
 		dlogits.Scale(float32(s))
 	}
+	fwdDur = time.Since(fwdStart)
+	tr.Instant(obs.LaneStep, labelFwdEnd)
 
 	// ---------- Backward with active gradient offloading ----------
+	bwdStart := time.Now()
+	sp = tr.StartSpan(obs.LaneCompute, labelHeadBwd)
 	dh, err := m.HeadBackward(h, lnOut, dlogits)
+	sp.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -571,8 +649,11 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		}
 		ch := make(chan fetchResult, 1)
 		prefetch[i] = ch
+		label := e.labels[i].prefetch
 		go func() {
+			start := tr.Now()
 			blob, err := e.array.Get(actKey(i))
+			tr.RecordSpan(obs.LanePrefetch, label, start, tr.Now())
 			ch <- fetchResult{blob: blob, err: err}
 		}()
 	}
@@ -596,7 +677,9 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 				delete(prefetch, i)
 				blob, err = res.blob, res.err
 			} else {
+				sp = tr.StartSpan(obs.LanePrefetch, e.labels[i].fetch)
 				blob, err = e.array.Get(actKey(i))
+				sp.End()
 			}
 			if err != nil {
 				return fail(fmt.Errorf("engine: fetch block %d activations: %w", i, err))
@@ -621,14 +704,19 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			e.stats.ActBytesFetched += units.Bytes(len(ha.blob))
 			e.mu.Unlock()
 		default:
-			if c, err = m.Blocks[i].Recompute(inputs[i]); err != nil {
+			sp = tr.StartSpan(obs.LaneCompute, e.labels[i].recompute)
+			c, err = m.Blocks[i].Recompute(inputs[i])
+			sp.End()
+			if err != nil {
 				return fail(err)
 			}
 			e.mu.Lock()
 			e.stats.RecomputedBlocks++
 			e.mu.Unlock()
 		}
+		sp = tr.StartSpan(obs.LaneCompute, e.labels[i].bwd)
 		dx, err := m.Blocks[i].Backward(c, dh)
+		sp.End()
 		if err != nil {
 			return fail(err)
 		}
@@ -638,13 +726,18 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			return fail(err)
 		}
 	}
-	if err := m.EmbedBackward(tokens, dh); err != nil {
+	sp = tr.StartSpan(obs.LaneCompute, labelEmbedBwd)
+	err = m.EmbedBackward(tokens, dh)
+	sp.End()
+	if err != nil {
 		return fail(err)
 	}
 	if err := submit(groups[0]); err != nil {
 		return fail(err)
 	}
-	return loss, nil
+	bwdDur = time.Since(bwdStart)
+	tr.Instant(obs.LaneStep, labelBwdEnd)
+	return loss, fwdDur, bwdDur, nil
 }
 
 // applyDelayed implements the one-step delayed update: apply last

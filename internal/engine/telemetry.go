@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"ratel/internal/obs"
+	"ratel/internal/tensor/pool"
+	"ratel/internal/units"
+)
+
+// This file is the engine's observability wiring: per-lane wall-clock
+// spans (the live counterpart of the simulator's Gantt timeline) and a
+// per-step metrics snapshot exported through an obs.Registry. Both are
+// optional and nil-disabled; the span path is allocation-free because
+// every label below is precomputed at construction.
+
+// blockLabels precomputes the per-block span names so the training hot
+// path never builds strings.
+type blockLabels struct {
+	fwd       string // "blockN/fwd"           lane gpu
+	bwd       string // "blockN/bwd"           lane gpu
+	recompute string // "blockN/recompute"     lane gpu
+	offload   string // "blockN/act-offload"   lane offload (SSD tier)
+	pin       string // "blockN/act-pin"       lane offload (host tier)
+	prefetch  string // "blockN/act-prefetch"  lane prefetch
+	fetch     string // "blockN/act-fetch"     lane prefetch (sync fallback)
+}
+
+func makeBlockLabels(layers int) []blockLabels {
+	out := make([]blockLabels, layers)
+	for i := range out {
+		p := fmt.Sprintf("block%d", i)
+		out[i] = blockLabels{
+			fwd:       p + "/fwd",
+			bwd:       p + "/bwd",
+			recompute: p + "/recompute",
+			offload:   p + "/act-offload",
+			pin:       p + "/act-pin",
+			prefetch:  p + "/act-prefetch",
+			fetch:     p + "/act-fetch",
+		}
+	}
+	return out
+}
+
+// Fixed span labels for the non-block stages.
+const (
+	labelEmbedFwd = "embed/fwd"
+	labelEmbedBwd = "embed/bwd"
+	labelHeadFwd  = "head/fwd"
+	labelHeadBwd  = "head/bwd"
+	labelLoss     = "loss"
+	labelStep     = "step"
+	labelFwdEnd   = "forward-end"
+	labelBwdEnd   = "backward-end"
+)
+
+// StepMetrics is the wall-clock profile of one optimizer step (one
+// TrainStep, or one TrainStepAccum across all its micro-batches).
+type StepMetrics struct {
+	// Step is the optimizer step this snapshot describes.
+	Step int
+	// Forward and Backward are the summed stage wall times; in a
+	// gradient-accumulation step they span every micro-batch.
+	Forward, Backward time.Duration
+	// OptimizerDrain is the wall time after backward finished during which
+	// the step still waited on the optimizer pipeline — the live
+	// counterpart of the simulator's OptimizerTail (zero when active
+	// gradient offloading fully hides the optimizer, §IV-C).
+	OptimizerDrain time.Duration
+	// Wall is the full step duration.
+	Wall time.Duration
+	// Tokens is the number of tokens consumed; TokensPerSec = Tokens/Wall.
+	Tokens       int
+	TokensPerSec float64
+	// AdamParams and AdamBusy are the CPU-optimizer kernel work done
+	// during the step; their quotient is the live Adam params/s rate.
+	AdamParams int64
+	AdamBusy   time.Duration
+}
+
+// AdamParamsPerSec is the step's measured CPU-optimizer throughput
+// (0 when no optimizer work ran).
+func (m StepMetrics) AdamParamsPerSec() float64 {
+	if m.AdamBusy <= 0 {
+		return 0
+	}
+	return float64(m.AdamParams) / m.AdamBusy.Seconds()
+}
+
+// LastStepMetrics returns the most recent step's wall-clock profile
+// (zero value before the first step).
+func (e *Engine) LastStepMetrics() StepMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastStep
+}
+
+// Tracer returns the engine's span tracer (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// instruments holds the engine's registry handles, created once at New so
+// per-step updates are plain atomic stores. With Config.Metrics == nil the
+// handles are detached no-ops (see obs.Registry).
+type instruments struct {
+	steps  *obs.Counter
+	tokens *obs.Counter
+
+	tokensPerSec *obs.Gauge
+	forwardMS    *obs.Gauge
+	backwardMS   *obs.Gauge
+	drainMS      *obs.Gauge
+	stepMS       *obs.Gauge
+	adamRate     *obs.Gauge
+
+	actOffload *obs.Gauge
+	actHost    *obs.Gauge
+	actFetched *obs.Gauge
+	recomputed *obs.Gauge
+	skipped    *obs.Gauge
+
+	nvmeReadBytes  *obs.Gauge
+	nvmeWriteBytes *obs.Gauge
+	nvmeReadBW     *obs.Gauge
+	nvmeWriteBW    *obs.Gauge
+	nvmeReadOps    *obs.Gauge
+	nvmeWriteOps   *obs.Gauge
+
+	poolJobs      *obs.Gauge
+	poolInline    *obs.Gauge
+	poolSubmitter *obs.Gauge
+	poolWorker    *obs.Gauge
+}
+
+func makeInstruments(r *obs.Registry) instruments {
+	return instruments{
+		steps:  r.Counter("engine.steps"),
+		tokens: r.Counter("engine.tokens"),
+
+		tokensPerSec: r.Gauge("engine.tokens_per_sec"),
+		forwardMS:    r.Gauge("engine.forward_ms"),
+		backwardMS:   r.Gauge("engine.backward_ms"),
+		drainMS:      r.Gauge("engine.optimizer_drain_ms"),
+		stepMS:       r.Gauge("engine.step_ms"),
+		adamRate:     r.Gauge("engine.adam_params_per_sec"),
+
+		actOffload: r.Gauge("engine.act_offload_bytes"),
+		actHost:    r.Gauge("engine.act_host_bytes"),
+		actFetched: r.Gauge("engine.act_fetched_bytes"),
+		recomputed: r.Gauge("engine.recomputed_blocks"),
+		skipped:    r.Gauge("engine.skipped_steps"),
+
+		nvmeReadBytes:  r.Gauge("nvme.read_bytes"),
+		nvmeWriteBytes: r.Gauge("nvme.write_bytes"),
+		nvmeReadBW:     r.Gauge("nvme.read_bytes_per_sec"),
+		nvmeWriteBW:    r.Gauge("nvme.write_bytes_per_sec"),
+		nvmeReadOps:    r.Gauge("nvme.read_ops"),
+		nvmeWriteOps:   r.Gauge("nvme.write_ops"),
+
+		poolJobs:      r.Gauge("pool.jobs"),
+		poolInline:    r.Gauge("pool.inline_runs"),
+		poolSubmitter: r.Gauge("pool.submitter_chunks"),
+		poolWorker:    r.Gauge("pool.worker_chunks"),
+	}
+}
+
+// noteStep finalizes one optimizer step's telemetry: it snapshots the
+// step profile for LastStepMetrics and refreshes the metrics registry.
+func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
+	kp, kb := e.optimizer.KernelStats()
+	m := StepMetrics{
+		Step:           e.optimizer.Step(),
+		Forward:        fwd,
+		Backward:       bwd,
+		OptimizerDrain: drain,
+		Wall:           wall,
+		Tokens:         tokens,
+		AdamParams:     kp - e.prevKernelParams,
+		AdamBusy:       kb - e.prevKernelBusy,
+	}
+	if wall > 0 {
+		m.TokensPerSec = float64(tokens) / wall.Seconds()
+	}
+	e.prevKernelParams, e.prevKernelBusy = kp, kb
+
+	e.mu.Lock()
+	e.lastStep = m
+	stats := e.stats
+	e.mu.Unlock()
+
+	ins := &e.ins
+	ins.steps.Add(1)
+	ins.tokens.Add(int64(tokens))
+	ins.tokensPerSec.Set(m.TokensPerSec)
+	ins.forwardMS.Set(float64(fwd) / float64(time.Millisecond))
+	ins.backwardMS.Set(float64(bwd) / float64(time.Millisecond))
+	ins.drainMS.Set(float64(drain) / float64(time.Millisecond))
+	ins.stepMS.Set(float64(wall) / float64(time.Millisecond))
+	ins.adamRate.Set(m.AdamParamsPerSec())
+
+	ins.actOffload.Set(float64(stats.ActBytesOffload))
+	ins.actHost.Set(float64(stats.ActBytesHost))
+	ins.actFetched.Set(float64(stats.ActBytesFetched))
+	ins.recomputed.Set(float64(stats.RecomputedBlocks))
+	ins.skipped.Set(float64(stats.SkippedSteps))
+
+	ssd := e.array.Stats()
+	ins.nvmeReadBytes.Set(float64(ssd.BytesRead))
+	ins.nvmeWriteBytes.Set(float64(ssd.BytesWritten))
+	ins.nvmeReadOps.Set(float64(ssd.ReadOps))
+	ins.nvmeWriteOps.Set(float64(ssd.WriteOps))
+	if wall > 0 {
+		readDelta := ssd.BytesRead - e.prevSSD.BytesRead
+		writeDelta := ssd.BytesWritten - e.prevSSD.BytesWritten
+		ins.nvmeReadBW.Set(float64(units.BytesPerSecond(float64(readDelta) / wall.Seconds())))
+		ins.nvmeWriteBW.Set(float64(units.BytesPerSecond(float64(writeDelta) / wall.Seconds())))
+	}
+	e.prevSSD = ssd
+
+	ps := pool.DefaultStats()
+	ins.poolJobs.Set(float64(ps.Jobs))
+	ins.poolInline.Set(float64(ps.InlineRuns))
+	ins.poolSubmitter.Set(float64(ps.SubmitterChunks))
+	ins.poolWorker.Set(float64(ps.WorkerChunks))
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ratel/internal/agoffload"
+	"ratel/internal/data"
+	"ratel/internal/engine"
+	"ratel/internal/nn"
+	"ratel/internal/obs"
+	"ratel/internal/sim"
+	"ratel/internal/units"
+)
+
+func init() {
+	register("calib", "Sim-vs-real calibration: measured engine timeline vs discrete-event schedule", calibExperiment)
+}
+
+// calibExperiment runs real engine steps under the span tracer, folds the
+// recorded timeline into per-resource busy times, then replays the same
+// iteration through the discrete-event simulator with rates calibrated
+// from the run itself — the report shows where the analytical model and
+// the living engine agree and where they drift.
+func calibExperiment(w io.Writer) error {
+	modelCfg := nn.Config{Vocab: 48, Seq: 12, Hidden: 16, Heads: 2, Layers: 3, Batch: 4, Seed: 5}
+	const steps = 8
+
+	tr := obs.NewTracer(obs.DefaultCapacity)
+	e, err := engine.New(engine.Config{
+		Model: modelCfg, GradMode: agoffload.Optimized, Devices: 2,
+		Swap:   map[int]engine.Tier{0: engine.SwapSSD, 1: engine.SwapSSD, 2: engine.SwapSSD},
+		Tracer: tr,
+	})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	loader, err := data.NewLoader(data.Progression, modelCfg.Batch, modelCfg.Seq, modelCfg.Vocab, 42)
+	if err != nil {
+		return err
+	}
+
+	// One warm-up step (page faults, pool spin-up), then measure.
+	tokens, targets := loader.Next()
+	if _, err := e.TrainStep(tokens, targets); err != nil {
+		return err
+	}
+	tr.Reset()
+	var bwdSum, drainSum, adamBusy time.Duration
+	var adamParams int64
+	for s := 0; s < steps; s++ {
+		tokens, targets = loader.Next()
+		if _, err := e.TrainStep(tokens, targets); err != nil {
+			return err
+		}
+		m := e.LastStepMetrics()
+		bwdSum += m.Backward
+		drainSum += m.OptimizerDrain
+		adamBusy += m.AdamBusy
+		adamParams += m.AdamParams
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return fmt.Errorf("calib: tracer recorded no spans")
+	}
+
+	// ---- Fold the measured timeline ----
+	// Average duration per span name, for per-chunk comparisons.
+	avg := make(map[string]time.Duration)
+	count := make(map[string]int)
+	for _, s := range spans {
+		avg[s.Name] += s.Duration()
+		count[s.Name]++
+	}
+	for name, total := range avg {
+		avg[name] = total / time.Duration(count[name])
+	}
+	// Per-resource busy time (interval union — concurrent spans on one
+	// lane count once), restricted to the backward+optimizer phase the
+	// simulated schedule models.
+	bwdGPU := func(s obs.Span) bool {
+		return s.Lane == obs.LaneCompute &&
+			(strings.HasSuffix(s.Name, "/bwd") || strings.HasSuffix(s.Name, "/recompute"))
+	}
+	optSSD := func(s obs.Span) bool {
+		return (s.Lane == obs.LaneNVMeRead || s.Lane == obs.LaneNVMeWrite) &&
+			strings.HasPrefix(s.Name, "states/")
+	}
+	adamLane := func(s obs.Span) bool { return s.Lane == obs.LaneAdam }
+	busyWhere := func(keep func(obs.Span) bool) time.Duration {
+		var sub []obs.Span
+		for _, s := range spans {
+			if keep(s) {
+				sub = append(sub, s)
+			}
+		}
+		from, to := obs.Window(sub)
+		return obs.LanesBusy(sub, obs.Lanes(sub), from, to)
+	}
+	measured := map[sim.ResourceID]time.Duration{
+		sim.GPUCompute: busyWhere(bwdGPU) / steps,
+		sim.CPUAdam:    busyWhere(adamLane) / steps,
+		sim.SSDBus:     busyWhere(optSSD) / steps,
+	}
+	measuredSpan := (bwdSum + drainSum) / steps
+
+	// ---- Build the simulated iteration from calibrated rates ----
+	adamRate := float64(adamParams) / adamBusy.Seconds()
+	// State-streaming bandwidth measured from this very run: the optimizer
+	// reads and writes 12 bytes/param of fp32 state per group (P32+M+V),
+	// timed by the "states/" object spans.
+	totalParams := int64(e.Model().NumParams())
+	stateReadBusy := busyWhere(func(s obs.Span) bool {
+		return s.Lane == obs.LaneNVMeRead && strings.HasPrefix(s.Name, "states/")
+	})
+	stateWriteBusy := busyWhere(func(s obs.Span) bool {
+		return s.Lane == obs.LaneNVMeWrite && strings.HasPrefix(s.Name, "states/")
+	})
+	rates := agoffload.Rates{AdamParamsPerSec: adamRate}
+	if stateReadBusy > 0 && stateWriteBusy > 0 {
+		stateBytes := float64(12 * totalParams * steps)
+		rates.BWS2M = units.BytesPerSecond(stateBytes / stateReadBusy.Seconds())
+		rates.BWM2S = units.BytesPerSecond(stateBytes / stateWriteBusy.Seconds())
+	}
+
+	// Gradient-arrival tasks: the measured average backward (plus
+	// recomputation) time per group, chained in arrival order — head
+	// first, then blocks high to low, then the embedding (§IV-C).
+	groups := e.Model().ParamGroups()
+	type arrival struct {
+		group nn.ParamGroup
+		cost  time.Duration
+	}
+	order := []arrival{{groups[len(groups)-1], avg["head/bwd"]}}
+	for i := len(groups) - 2; i >= 1; i-- {
+		g := groups[i]
+		order = append(order, arrival{g, avg[g.Name+"/bwd"] + avg[g.Name+"/recompute"]})
+	}
+	order = append(order, arrival{groups[0], avg["embed/bwd"]})
+
+	var tasks []sim.Task
+	id := 0
+	var chunks []agoffload.Chunk
+	prev := -1
+	for _, a := range order {
+		t := sim.Task{ID: id, Label: a.group.Name + "/bwd", Resource: sim.GPUCompute,
+			Duration: units.Seconds(a.cost.Seconds())}
+		if prev >= 0 {
+			t.Deps = []int{prev}
+		}
+		tasks = append(tasks, t)
+		chunks = append(chunks, agoffload.Chunk{
+			Label: a.group.Name, Params: int64(a.group.NumParams()), ArrivalDep: id,
+		})
+		prev = id
+		id++
+	}
+	optTasks, _, _, err := agoffload.Schedule(agoffload.Optimized, chunks, id, rates)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(append(tasks, optTasks...))
+	if err != nil {
+		return err
+	}
+	simSpan := time.Duration(float64(res.Makespan) * float64(time.Second))
+
+	// ---- Report ----
+	fmt.Fprintf(w, "calibration: %d measured engine steps (3 blocks on SSD, optimized offloading)\n", steps)
+	fmt.Fprintf(w, "calibrated rates: adam %.3g params/s, state read %.1f MB/s, write %.1f MB/s\n\n",
+		adamRate, float64(rates.BWS2M)/1e6, float64(rates.BWM2S)/1e6)
+	fmt.Fprintf(w, "backward+optimizer phase   measured %10v   simulated %10v   drift %+6.1f%%\n",
+		measuredSpan.Round(time.Microsecond), simSpan.Round(time.Microsecond), drift(simSpan, measuredSpan))
+	fmt.Fprintf(w, "\n%-12s %14s %7s %14s %7s %8s\n", "resource", "measured-busy", "frac", "sim-busy", "frac", "drift")
+	for _, r := range []sim.ResourceID{sim.GPUCompute, sim.CPUAdam, sim.SSDBus} {
+		mBusy := measured[r]
+		sBusy := time.Duration(float64(res.Busy[r]) * float64(time.Second))
+		fmt.Fprintf(w, "%-12s %14v %6.1f%% %14v %6.1f%% %+7.1f%%\n",
+			string(r),
+			mBusy.Round(time.Microsecond), frac(mBusy, measuredSpan),
+			sBusy.Round(time.Microsecond), 100*res.Utilization(r),
+			drift(sBusy, mBusy))
+	}
+	fmt.Fprintf(w, "\n%-12s %14s %14s %8s\n", "adam chunk", "measured", "simulated", "drift")
+	for _, c := range chunks {
+		mDur := avg[c.Label+"/opt-adam"]
+		sDur := time.Duration(float64(c.Params) / adamRate * float64(time.Second))
+		fmt.Fprintf(w, "%-12s %14v %14v %+7.1f%%\n",
+			c.Label, mDur.Round(time.Microsecond), sDur.Round(time.Microsecond), drift(sDur, mDur))
+	}
+	fmt.Fprintf(w, "\nper-resource drift bounds the rate-model error (the sim prices state writes at\n14 B/param where the engine stores 12); phase-span drift is engine work the\nschedule leaves out — gradient marshalling, cache decode, channel hand-off.\n")
+	return nil
+}
+
+func drift(simulated, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return 100 * (simulated.Seconds() - measured.Seconds()) / measured.Seconds()
+}
+
+func frac(part, whole time.Duration) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * part.Seconds() / whole.Seconds()
+}

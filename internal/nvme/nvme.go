@@ -20,8 +20,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ratel/internal/obs"
 	"ratel/internal/units"
 )
 
@@ -105,17 +107,22 @@ type object struct {
 
 // Array is a striped object store. All methods are safe for concurrent use.
 type Array struct {
-	cfg    Config
-	devs   []*device
-	mu     sync.RWMutex
-	objs   map[string]object
-	nextRR int // round-robin start device for the next object
+	cfg       Config
+	devs      []*device
+	devLabels []string // per-device span names ("ssd0"...), preallocated
+	mu        sync.RWMutex
+	objs      map[string]object
+	nextRR    int // round-robin start device for the next object
 
 	hostMu sync.Mutex // serializes host-link throttle accounting
+
+	tracer atomic.Pointer[obs.Tracer] // optional wall-clock span recorder
 
 	statMu       sync.Mutex
 	bytesRead    int64
 	bytesWritten int64
+	readOps      int64
+	writeOps     int64
 	perDevBytes  []int64
 }
 
@@ -123,6 +130,9 @@ type Array struct {
 type Stats struct {
 	BytesRead    units.Bytes
 	BytesWritten units.Bytes
+	// ReadOps / WriteOps count completed object-level operations (Get and
+	// ReadInto; Put).
+	ReadOps, WriteOps int64
 	// PerDeviceBytes is total traffic (read+write) per device, exposing the
 	// stripe balance.
 	PerDeviceBytes []units.Bytes
@@ -130,6 +140,16 @@ type Stats struct {
 	Objects int
 	// StoredBytes is the logical size of all stored objects.
 	StoredBytes units.Bytes
+}
+
+// SetTracer installs a wall-clock span tracer: every Put records a span on
+// obs.LaneNVMeWrite and every Get/ReadInto on obs.LaneNVMeRead (named by
+// object key), plus one per-device span per transfer (named "ssdN") so the
+// stripe parallelism is visible on the timeline. A nil tracer disables
+// tracing. Safe to call concurrently with I/O.
+func (a *Array) SetTracer(tr *obs.Tracer) {
+	a.tracer.Store(tr)
+	// devLabel strings are preallocated at Open; nothing else to do.
 }
 
 // Open creates an array.
@@ -163,6 +183,7 @@ func Open(cfg Config) (*Array, error) {
 			b = fileBackend{f}
 		}
 		a.devs = append(a.devs, &device{back: b})
+		a.devLabels = append(a.devLabels, fmt.Sprintf("ssd%d", i))
 	}
 	return a, nil
 }
@@ -235,16 +256,19 @@ func (a *Array) Put(key string, data []byte) error {
 		obj.chunks = append(obj.chunks, ref)
 	}
 
+	sp := a.tracer.Load().StartSpan(obs.LaneNVMeWrite, key)
 	if err := a.transfer(obj, data, true); err != nil {
 		a.releaseChunks(obj)
 		return err
 	}
+	sp.End()
 	a.mu.Lock()
 	a.objs[key] = obj
 	a.mu.Unlock()
 
 	a.statMu.Lock()
 	a.bytesWritten += int64(len(data))
+	a.writeOps++
 	a.statMu.Unlock()
 	return nil
 }
@@ -277,14 +301,17 @@ func (a *Array) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	dst := make([]byte, obj.size)
+	sp := a.tracer.Load().StartSpan(obs.LaneNVMeRead, key)
 	if err := a.transfer(obj, dst, false); err != nil {
 		return nil, err
 	}
+	sp.End()
 	if err := a.verify(key, obj, dst); err != nil {
 		return nil, err
 	}
 	a.statMu.Lock()
 	a.bytesRead += int64(obj.size)
+	a.readOps++
 	a.statMu.Unlock()
 	return dst, nil
 }
@@ -314,14 +341,17 @@ func (a *Array) ReadInto(key string, dst []byte) error {
 	if len(dst) != obj.size {
 		return fmt.Errorf("nvme: ReadInto %q: dst %d bytes, object %d", key, len(dst), obj.size)
 	}
+	sp := a.tracer.Load().StartSpan(obs.LaneNVMeRead, key)
 	if err := a.transfer(obj, dst, false); err != nil {
 		return err
 	}
+	sp.End()
 	if err := a.verify(key, obj, dst); err != nil {
 		return err
 	}
 	a.statMu.Lock()
 	a.bytesRead += int64(obj.size)
+	a.readOps++
 	a.statMu.Unlock()
 	return nil
 }
@@ -359,6 +389,8 @@ func (a *Array) Stats() Stats {
 	s := Stats{
 		BytesRead:      units.Bytes(a.bytesRead),
 		BytesWritten:   units.Bytes(a.bytesWritten),
+		ReadOps:        a.readOps,
+		WriteOps:       a.writeOps,
 		PerDeviceBytes: make([]units.Bytes, len(a.perDevBytes)),
 	}
 	for i, b := range a.perDevBytes {
@@ -440,6 +472,11 @@ func (a *Array) transfer(obj object, buf []byte, write bool) error {
 		bw = a.cfg.WriteBW
 	}
 
+	tr := a.tracer.Load()
+	lane := obs.LaneNVMeRead
+	if write {
+		lane = obs.LaneNVMeWrite
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(perDev))
 	stripe := a.cfg.StripeSize
@@ -447,6 +484,8 @@ func (a *Array) transfer(obj object, buf []byte, write bool) error {
 		wg.Add(1)
 		go func(dev int, idxs []int) {
 			defer wg.Done()
+			devSpan := tr.StartSpan(lane, a.devLabels[dev])
+			defer devSpan.End()
 			d := a.devs[dev]
 			var devBytes int64
 			for _, i := range idxs {

@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"ratel/internal/obs"
 	"ratel/internal/units"
 )
 
@@ -443,5 +444,157 @@ func TestScrub(t *testing.T) {
 	plain := openMem(t, 1)
 	if _, err := plain.Scrub(); err == nil {
 		t.Error("scrub without checksums accepted")
+	}
+}
+
+// TestStatsUnderConcurrency hammers the array from concurrent readers and
+// writers while Stats() is polled, then checks the cumulative counters sum
+// exactly: bytes and ops per direction, and per-device traffic equal to
+// total traffic. Run under -race (make check) this also vets the counter
+// locking.
+func TestStatsUnderConcurrency(t *testing.T) {
+	a := openMem(t, 4)
+	const (
+		writers    = 4
+		readers    = 4
+		iterations = 25
+		payload    = 777
+	)
+	// Seed one object per reader so reads never miss.
+	for r := 0; r < readers; r++ {
+		if err := a.Put(fmt.Sprintf("seed%d", r), bytes.Repeat([]byte{byte(r)}, payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := a.Stats()
+
+	var wg sync.WaitGroup // readers + writers only; the poller drains after
+	stop := make(chan struct{})
+	pollerDone := make(chan struct{})
+	// A poller reads Stats concurrently; its snapshots must be well-formed
+	// (never negative, monotonic in total bytes).
+	go func() {
+		defer close(pollerDone)
+		var last units.Bytes
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := a.Stats()
+			total := s.BytesRead + s.BytesWritten
+			if total < last {
+				t.Error("stats went backwards")
+				return
+			}
+			last = total
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(w)}, payload)
+			for i := 0; i < iterations; i++ {
+				if err := a.Put(fmt.Sprintf("w%d", w), data); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				if _, err := a.Get(fmt.Sprintf("seed%d", r)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	// Release the poller once the workers drain.
+	wg.Wait()
+	close(stop)
+	<-pollerDone
+
+	s := a.Stats()
+	wantWritten := base.BytesWritten + units.Bytes(writers*iterations*payload)
+	wantRead := base.BytesRead + units.Bytes(readers*iterations*payload)
+	if s.BytesWritten != wantWritten {
+		t.Errorf("BytesWritten = %v, want %v", s.BytesWritten, wantWritten)
+	}
+	if s.BytesRead != wantRead {
+		t.Errorf("BytesRead = %v, want %v", s.BytesRead, wantRead)
+	}
+	if s.WriteOps != base.WriteOps+writers*iterations {
+		t.Errorf("WriteOps = %d, want %d", s.WriteOps, base.WriteOps+writers*iterations)
+	}
+	if s.ReadOps != base.ReadOps+readers*iterations {
+		t.Errorf("ReadOps = %d, want %d", s.ReadOps, base.ReadOps+readers*iterations)
+	}
+	var perDev units.Bytes
+	for _, b := range s.PerDeviceBytes {
+		perDev += b
+	}
+	if want := s.BytesRead + s.BytesWritten; perDev != want {
+		t.Errorf("per-device traffic sums to %v, want %v", perDev, want)
+	}
+}
+
+// TestTracerRecordsIO checks SetTracer yields object- and device-level
+// spans on the NVMe lanes, and that ReadInto traces like Get.
+func TestTracerRecordsIO(t *testing.T) {
+	a := openMem(t, 2)
+	tr := obs.NewTracer(256)
+	a.SetTracer(tr)
+	data := bytes.Repeat([]byte{7}, 200) // 4 chunks at stripe 64 -> 2 devices
+	if err := a.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(data))
+	if err := a.ReadInto("k", dst); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	count := func(lane, name string) int {
+		n := 0
+		for _, s := range spans {
+			if s.Lane == lane && s.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(obs.LaneNVMeWrite, "k"); got != 1 {
+		t.Errorf("object write spans = %d, want 1", got)
+	}
+	if got := count(obs.LaneNVMeRead, "k"); got != 2 {
+		t.Errorf("object read spans = %d, want 2 (Get + ReadInto)", got)
+	}
+	// 200 bytes over stripe 64 is 4 chunks striped over both devices, so
+	// each transfer has a span per device.
+	for _, dev := range []string{"ssd0", "ssd1"} {
+		if got := count(obs.LaneNVMeWrite, dev); got != 1 {
+			t.Errorf("device %s write spans = %d, want 1", dev, got)
+		}
+		if got := count(obs.LaneNVMeRead, dev); got != 2 {
+			t.Errorf("device %s read spans = %d, want 2", dev, got)
+		}
+	}
+	// Disabling works mid-stream.
+	a.SetTracer(nil)
+	before, _ := tr.Recorded()
+	if err := a.Put("k2", data); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := tr.Recorded(); after != before {
+		t.Error("spans recorded after SetTracer(nil)")
 	}
 }

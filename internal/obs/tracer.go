@@ -1,0 +1,188 @@
+// Package obs is the live engine's observability layer: a low-overhead
+// wall-clock span tracer and a metrics registry. The simulator predicts
+// what *should* overlap (package sim); this package records what actually
+// did — per-lane wall-clock spans for GPU-side compute, activation
+// prefetch/offload, NVMe reads and writes, and CPU Adam chunks — so
+// simulated schedules can be validated against engine reality (the
+// calibration report in cmd/ratelbench).
+//
+// Design constraints, in order:
+//
+//  1. A nil *Tracer is a valid disabled tracer: every method is nil-safe
+//     and the disabled path costs two branches and zero allocations, so
+//     instrumentation can stay unconditionally wired into hot paths.
+//  2. The enabled record path is also allocation-free at steady state:
+//     spans land in a preallocated ring buffer and label strings are
+//     passed in (callers precompute them once), never built per span.
+//  3. The buffer is a ring: tracing a long run keeps the most recent
+//     spans rather than growing without bound; Dropped() reports loss.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lanes name the engine-side resources a span can occupy. They mirror the
+// simulator's sim.ResourceID set where a counterpart exists (the
+// calibration report joins on that mapping): LaneCompute plays the role of
+// sim.GPUCompute (the mini engine computes on CPU, standing in for the
+// CUDA engine), LaneAdam is sim.CPUAdam, and LaneNVMeRead/LaneNVMeWrite
+// together are sim.SSDBus.
+const (
+	LaneCompute   = "gpu"        // forward/backward/recompute kernels
+	LanePrefetch  = "prefetch"   // backward-stage activation prefetch pipeline
+	LaneOffload   = "offload"    // forward-stage activation offload/pin
+	LaneNVMeRead  = "nvme-read"  // NVMe array object reads
+	LaneNVMeWrite = "nvme-write" // NVMe array object writes
+	LaneAdam      = "cpu-adam"   // out-of-core optimizer chunk updates
+	LaneStep      = "step"       // whole-iteration markers
+)
+
+// Span is one recorded wall-clock interval on a lane. Times are offsets
+// from the tracer's epoch (monotonic, see time.Since), so spans from
+// concurrent goroutines share one timeline.
+type Span struct {
+	Lane  string
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration is the span's extent.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Tracer records spans into a fixed-capacity ring buffer. All methods are
+// safe for concurrent use and safe on a nil receiver (disabled tracing).
+type Tracer struct {
+	epoch time.Time
+
+	mu   sync.Mutex
+	buf  []Span
+	next uint64 // spans ever recorded; ring slot = next % cap
+}
+
+// DefaultCapacity is the ring size NewTracer uses for capacity <= 0:
+// enough for hundreds of fully-traced mini-engine steps.
+const DefaultCapacity = 1 << 16
+
+// NewTracer creates an enabled tracer holding up to capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{epoch: time.Now(), buf: make([]Span, capacity)}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now is the current offset on the tracer's timeline (0 when disabled).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}
+
+// Scope is an open span returned by StartSpan; call End exactly once.
+// It is a value, not a pointer: starting a span allocates nothing.
+type Scope struct {
+	t     *Tracer
+	lane  string
+	name  string
+	start time.Duration
+}
+
+// StartSpan opens a span on lane. The lane and name strings are stored by
+// reference; pass precomputed labels, not per-call concatenations, to keep
+// the path allocation-free.
+func (t *Tracer) StartSpan(lane, name string) Scope {
+	if t == nil {
+		return Scope{}
+	}
+	return Scope{t: t, lane: lane, name: name, start: time.Since(t.epoch)}
+}
+
+// End closes the span and records it. End on a Scope from a nil tracer is
+// a no-op.
+func (s Scope) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.record(Span{Lane: s.lane, Name: s.name, Start: s.start, End: time.Since(s.t.epoch)})
+}
+
+// RecordSpan records a span whose interval the caller measured itself
+// (e.g. a goroutine timing its own work with t.Now()).
+func (t *Tracer) RecordSpan(lane, name string, start, end time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(Span{Lane: lane, Name: name, Start: start, End: end})
+}
+
+// Instant records a zero-duration marker (stage boundaries, step edges).
+func (t *Tracer) Instant(lane, name string) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.epoch)
+	t.record(Span{Lane: lane, Name: name, Start: now, End: now})
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = s
+	t.next++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans sorted by start time (a copy).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := t.next
+	capacity := uint64(len(t.buf))
+	var out []Span
+	if n <= capacity {
+		out = append(out, t.buf[:n]...)
+	} else {
+		// Ring wrapped: oldest retained span is at slot n % cap.
+		at := n % capacity
+		out = append(out, t.buf[at:]...)
+		out = append(out, t.buf[:at]...)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Recorded reports how many spans were ever recorded and how many fell out
+// of the ring.
+func (t *Tracer) Recorded() (total, dropped uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total = t.next
+	if capacity := uint64(len(t.buf)); total > capacity {
+		dropped = total - capacity
+	}
+	return total, dropped
+}
+
+// Reset discards all recorded spans; the epoch is unchanged so offsets
+// before and after a Reset remain comparable.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next = 0
+	t.mu.Unlock()
+}

@@ -12,8 +12,11 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"ratel/internal/nn"
+	"ratel/internal/obs"
 	"ratel/internal/tensor"
 	"ratel/internal/tensor/pool"
 )
@@ -117,6 +120,37 @@ type OutOfCoreAdam struct {
 	step      int
 	gradScale float64 // loss-scale divisor; 0 or 1 means unscaled
 	clipNorm  float64 // per-group L2 clip; 0 disables
+
+	tracer     *obs.Tracer       // optional: records per-chunk Adam spans
+	adamLabels map[string]string // group -> "group/opt-adam", precomputed
+
+	kernelParams atomic.Int64 // params the Adam kernel has updated
+	kernelNanos  atomic.Int64 // wall-clock spent inside the Adam kernel
+}
+
+// KernelStats reports cumulative CPU-optimizer kernel work: parameters
+// updated and wall-clock spent in the Adam kernel (excluding state
+// streaming). Their quotient is the live Adam params/s rate the metrics
+// registry exports and the calibration report compares against
+// agoffload.MeasureAdamRate.
+func (o *OutOfCoreAdam) KernelStats() (params int64, busy time.Duration) {
+	return o.kernelParams.Load(), time.Duration(o.kernelNanos.Load())
+}
+
+// SetTracer installs a wall-clock span tracer: every UpdateGroup records
+// one span per parameter group (the paper's per-tensor optimizer chunk) on
+// obs.LaneAdam around the Adam kernel, named after the simulator's
+// "<group>/opt-adam" task labels so measured and simulated timelines join
+// by name. Call before training starts.
+func (o *OutOfCoreAdam) SetTracer(tr *obs.Tracer) { o.tracer = tr }
+
+// adamLabel returns the group's precomputed span label (built at InitGroup
+// so the UpdateGroup hot path never concatenates).
+func (o *OutOfCoreAdam) adamLabel(group string) string {
+	if l, ok := o.adamLabels[group]; ok {
+		return l
+	}
+	return group
 }
 
 // SetClipNorm enables per-group gradient clipping: each parameter group's
@@ -149,6 +183,10 @@ func (o *OutOfCoreAdam) key(group, kind string) string {
 // working weights) and zero moments, and rounds the working weights to fp16
 // (the P16 copies the GPU computes with).
 func (o *OutOfCoreAdam) InitGroup(g nn.ParamGroup) error {
+	if o.adamLabels == nil {
+		o.adamLabels = make(map[string]string)
+	}
+	o.adamLabels[g.Name] = g.Name + "/opt-adam"
 	flat := flattenWeights(g)
 	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(flat)); err != nil {
 		return fmt.Errorf("opt: init %s: %w", g.Name, err)
@@ -216,9 +254,14 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 			}
 		}
 	}
+	sp := o.tracer.StartSpan(obs.LaneAdam, o.adamLabel(g.Name))
+	kernelStart := time.Now()
 	if err := AdamStep(o.cfg, o.step, p32, m, v, grad); err != nil {
 		return fmt.Errorf("opt: update %s: %w", g.Name, err)
 	}
+	o.kernelNanos.Add(time.Since(kernelStart).Nanoseconds())
+	o.kernelParams.Add(int64(n))
+	sp.End()
 	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(p32)); err != nil {
 		return err
 	}

@@ -32,18 +32,30 @@ type job struct {
 	chunks int64
 	run    func(chunk int)
 	fin    chan struct{}
+	pool   *Pool
 }
 
-// work steals chunks until the job is exhausted.
-func (j *job) work() {
+// work steals chunks until the job is exhausted, crediting claimed chunks
+// to the worker or submitter counter (one atomic add per participant, not
+// per chunk, to keep stealing cheap).
+func (j *job) work(worker bool) {
+	var claimed int64
 	for {
 		c := j.cursor.Add(1) - 1
 		if c >= j.chunks {
-			return
+			break
 		}
+		claimed++
 		j.run(int(c))
 		if j.done.Add(1) == j.chunks {
 			close(j.fin)
+		}
+	}
+	if claimed > 0 {
+		if worker {
+			j.pool.stats.workerChunks.Add(claimed)
+		} else {
+			j.pool.stats.submitterChunks.Add(claimed)
 		}
 	}
 }
@@ -56,6 +68,48 @@ type Pool struct {
 
 	mu      sync.Mutex
 	spawned int // worker goroutines started so far
+
+	stats struct {
+		jobs            atomic.Int64
+		inlineRuns      atomic.Int64
+		submitterChunks atomic.Int64
+		workerChunks    atomic.Int64
+	}
+}
+
+// Stats is a snapshot of a pool's scheduling counters: how much work was
+// dispatched in parallel, how much ran inline on the caller, and how chunk
+// stealing split between the submitting goroutine and the workers (the
+// pool-utilization signal the metrics registry exports).
+type Stats struct {
+	// Jobs is the number of parallel-for jobs dispatched to workers.
+	Jobs int64
+	// InlineRuns counts invocations that ran entirely on the caller —
+	// Limit() 1, a single chunk, or work under the ForWork serial cutoff.
+	InlineRuns int64
+	// SubmitterChunks and WorkerChunks split claimed chunks of parallel
+	// jobs by who stole them; their sum is the total chunk count.
+	SubmitterChunks int64
+	WorkerChunks    int64
+}
+
+// Stats reads the pool's counters atomically enough for monitoring: each
+// field is an atomic load, so sums are consistent once the pool is idle.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Jobs:            p.stats.jobs.Load(),
+		InlineRuns:      p.stats.inlineRuns.Load(),
+		SubmitterChunks: p.stats.submitterChunks.Load(),
+		WorkerChunks:    p.stats.workerChunks.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (benchmark hook: measure one region).
+func (p *Pool) ResetStats() {
+	p.stats.jobs.Store(0)
+	p.stats.inlineRuns.Store(0)
+	p.stats.submitterChunks.Store(0)
+	p.stats.workerChunks.Store(0)
 }
 
 // New creates a pool that runs jobs with up to workers participants
@@ -100,7 +154,7 @@ func (p *Pool) SetLimit(n int) {
 	for p.spawned < n-1 {
 		go func() {
 			for j := range p.jobs {
-				j.work()
+				j.work(true)
 			}
 		}()
 		p.spawned++
@@ -123,12 +177,14 @@ func (p *Pool) Run(chunks int, run func(chunk int)) {
 	}
 	lim := p.Limit()
 	if lim <= 1 || chunks == 1 {
+		p.stats.inlineRuns.Add(1)
 		for i := 0; i < chunks; i++ {
 			run(i)
 		}
 		return
 	}
-	j := &job{chunks: int64(chunks), run: run, fin: make(chan struct{})}
+	p.stats.jobs.Add(1)
+	j := &job{chunks: int64(chunks), run: run, fin: make(chan struct{}), pool: p}
 	offers := lim - 1
 	if offers > chunks-1 {
 		offers = chunks - 1
@@ -142,7 +198,7 @@ func (p *Pool) Run(chunks int, run func(chunk int)) {
 			i = offers
 		}
 	}
-	j.work()
+	j.work(false)
 	<-j.fin
 }
 
@@ -195,8 +251,15 @@ func ForWork(n, grain int, work int64, body func(lo, hi int)) {
 	}
 	p := Default()
 	if work < SerialCutoff || p.Limit() <= 1 {
+		p.stats.inlineRuns.Add(1)
 		body(0, n)
 		return
 	}
 	p.For(n, grain, body)
 }
+
+// DefaultStats is Default().Stats.
+func DefaultStats() Stats { return Default().Stats() }
+
+// ResetDefaultStats is Default().ResetStats.
+func ResetDefaultStats() { Default().ResetStats() }

@@ -131,6 +131,87 @@ func TestConcurrentSubmitters(t *testing.T) {
 	wg.Wait()
 }
 
+// TestStatsCountChunks checks the scheduling counters: every chunk of a
+// parallel job is credited to exactly one of submitter/workers, inline
+// invocations are counted, and ResetStats zeroes everything.
+func TestStatsCountChunks(t *testing.T) {
+	p := New(4)
+	p.ResetStats()
+
+	const chunks = 64
+	p.Run(chunks, func(int) {})
+	st := p.Stats()
+	if st.Jobs != 1 {
+		t.Errorf("Jobs = %d, want 1", st.Jobs)
+	}
+	if got := st.SubmitterChunks + st.WorkerChunks; got != chunks {
+		t.Errorf("submitter+worker chunks = %d, want %d", got, chunks)
+	}
+	if st.SubmitterChunks == 0 {
+		t.Error("submitter claimed no chunks; it must always participate")
+	}
+	if st.InlineRuns != 0 {
+		t.Errorf("InlineRuns = %d, want 0", st.InlineRuns)
+	}
+
+	// Single-chunk and limit-1 invocations run inline.
+	p.Run(1, func(int) {})
+	one := New(1)
+	one.Run(8, func(int) {})
+	if got := p.Stats().InlineRuns; got != 1 {
+		t.Errorf("single-chunk InlineRuns = %d, want 1", got)
+	}
+	if got := one.Stats().InlineRuns; got != 1 {
+		t.Errorf("limit-1 InlineRuns = %d, want 1", got)
+	}
+	if got := one.Stats().Jobs; got != 0 {
+		t.Errorf("limit-1 pool dispatched %d jobs, want 0", got)
+	}
+
+	p.ResetStats()
+	if got := p.Stats(); got != (Stats{}) {
+		t.Errorf("after ResetStats: %+v", got)
+	}
+}
+
+// TestForWorkCountsInline checks the serial-cutoff path is visible in the
+// default pool's counters (ForWork always routes through Default()).
+func TestForWorkCountsInline(t *testing.T) {
+	before := DefaultStats()
+	ForWork(100, 1, 10 /* far under SerialCutoff */, func(lo, hi int) {})
+	after := DefaultStats()
+	if after.InlineRuns != before.InlineRuns+1 {
+		t.Errorf("InlineRuns went %d -> %d, want +1", before.InlineRuns, after.InlineRuns)
+	}
+	if after.Jobs != before.Jobs {
+		t.Errorf("Jobs went %d -> %d, want unchanged", before.Jobs, after.Jobs)
+	}
+}
+
+// TestStatsConcurrent hammers the counters from many submitters so the
+// race detector can vet them, then checks conservation of chunk counts.
+func TestStatsConcurrent(t *testing.T) {
+	p := New(4)
+	p.ResetStats()
+	var wg sync.WaitGroup
+	const submitters, chunks = 8, 32
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(chunks, func(int) {})
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Jobs != submitters {
+		t.Errorf("Jobs = %d, want %d", st.Jobs, submitters)
+	}
+	if got := st.SubmitterChunks + st.WorkerChunks; got != submitters*chunks {
+		t.Errorf("total chunks = %d, want %d", got, submitters*chunks)
+	}
+}
+
 func TestEnvWorkers(t *testing.T) {
 	def := runtime.NumCPU()
 	for _, tc := range []struct {

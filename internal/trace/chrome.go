@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"ratel/internal/obs"
+	"ratel/internal/sim"
+)
+
+// This file is the shared export path to the Chrome trace-event format
+// (the JSON Array Format, loadable by Perfetto / chrome://tracing):
+// simulated timelines (sim.Result) and live engine timelines ([]obs.Span)
+// serialize to the same schema, so a simulated schedule and the real run
+// it predicts can be compared in one viewer.
+//
+// Process/thread mapping: the simulator exports as pid PIDSim with one
+// thread per serial resource; the engine exports as pid PIDEngine with one
+// thread per lane. Metadata events (ph "M") carry the names.
+
+// Export process IDs. Two pids so a merged file shows sim and engine as
+// separate process groups.
+const (
+	PIDSim    = 1
+	PIDEngine = 2
+)
+
+// ChromeEvent is one Chrome trace-event record. Ph "X" is a complete span
+// (Ts/Dur in microseconds); ph "M" is metadata (process/thread names).
+type ChromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome serializes events as a Chrome trace-event JSON array.
+func WriteChrome(events []ChromeEvent, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}
+
+// metaEvents names a process and its threads.
+func metaEvents(pid int, process string, threads []string) []ChromeEvent {
+	events := []ChromeEvent{{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]interface{}{"name": process},
+	}}
+	for tid, name := range threads {
+		events = append(events, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+	return events
+}
+
+// ChromeFromSim converts a simulated timeline: one thread per resource (in
+// the canonical row order), simulated seconds mapped to microseconds.
+func ChromeFromSim(res sim.Result) []ChromeEvent {
+	tids := make(map[sim.ResourceID]int, len(resourceOrder))
+	names := make([]string, len(resourceOrder))
+	for i, r := range resourceOrder {
+		tids[r] = i
+		names[i] = string(r)
+	}
+	events := metaEvents(PIDSim, "sim", names)
+	for _, s := range sortedSpans(res) {
+		tid, ok := tids[s.Task.Resource]
+		if !ok {
+			// Resource outside the canonical set: append a fresh thread.
+			tid = len(names)
+			names = append(names, string(s.Task.Resource))
+			tids[s.Task.Resource] = tid
+			events = append(events, metaEvents(PIDSim, "sim", names)[tid+1])
+		}
+		events = append(events, ChromeEvent{
+			Name: s.Task.Label,
+			Ph:   "X",
+			TS:   float64(s.Start) * 1e6,
+			Dur:  float64(s.End-s.Start) * 1e6,
+			PID:  PIDSim,
+			TID:  tid,
+		})
+	}
+	return events
+}
+
+// ChromeFromSpans converts a live engine timeline: one thread per lane,
+// wall-clock offsets mapped to microseconds.
+func ChromeFromSpans(spans []obs.Span) []ChromeEvent {
+	lanes := obs.Lanes(spans)
+	tids := make(map[string]int, len(lanes))
+	for i, l := range lanes {
+		tids[l] = i
+	}
+	events := metaEvents(PIDEngine, "engine", lanes)
+	for _, s := range spans {
+		events = append(events, ChromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.End-s.Start) / float64(time.Microsecond),
+			PID:  PIDEngine,
+			TID:  tids[s.Lane],
+		})
+	}
+	return events
+}
+
+// WriteEngineJSON exports a live engine timeline as Chrome trace-event
+// JSON (the rateltrain --trace artifact).
+func WriteEngineJSON(spans []obs.Span, w io.Writer) error {
+	return WriteChrome(ChromeFromSpans(spans), w)
+}

@@ -35,7 +35,7 @@ func WriteCSV(res sim.Result, w io.Writer) error {
 	return cw.Error()
 }
 
-// jsonSpan is the JSON export record.
+// jsonSpan is the bespoke span record WriteSpansJSON emits.
 type jsonSpan struct {
 	ID       int     `json:"id"`
 	Label    string  `json:"label"`
@@ -44,8 +44,18 @@ type jsonSpan struct {
 	End      float64 `json:"end_s"`
 }
 
-// WriteJSON exports the timeline as a JSON array, Chrome-trace-style.
+// WriteJSON exports the timeline in the Chrome trace-event format
+// (Perfetto / chrome://tracing loadable): complete events with
+// microsecond timestamps, one thread per resource. For the flat
+// span-array schema this function used to emit, use WriteSpansJSON.
 func WriteJSON(res sim.Result, w io.Writer) error {
+	return WriteChrome(ChromeFromSim(res), w)
+}
+
+// WriteSpansJSON exports the timeline as a flat JSON span array
+// (id/label/resource/start_s/end_s) for external plotting scripts that
+// consume the pre-Chrome schema.
+func WriteSpansJSON(res sim.Result, w io.Writer) error {
 	spans := sortedSpans(res)
 	out := make([]jsonSpan, 0, len(spans))
 	for _, s := range spans {

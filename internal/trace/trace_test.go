@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
+	"ratel/internal/obs"
 	"ratel/internal/sim"
 )
 
@@ -97,9 +99,55 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
-func TestWriteJSON(t *testing.T) {
+func TestWriteJSONIsChromeTraceFormat(t *testing.T) {
 	var buf strings.Builder
 	if err := WriteJSON(timeline(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	var complete, meta []map[string]interface{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			complete = append(complete, ev)
+		case "M":
+			meta = append(meta, ev)
+		default:
+			t.Errorf("unexpected event phase %v", ev["ph"])
+		}
+	}
+	if len(complete) != 4 {
+		t.Fatalf("got %d complete events, want 4", len(complete))
+	}
+	// Metadata names the process and the five canonical resource threads.
+	if len(meta) != 6 {
+		t.Errorf("got %d metadata events, want 6", len(meta))
+	}
+	// Sorted by start time: the forward task comes first, at ts 0 with a
+	// 4-second (4e6 µs) duration, and every event addresses pid/tid.
+	first := complete[0]
+	if first["name"] != "fwd" {
+		t.Errorf("first event = %v, want fwd", first["name"])
+	}
+	if first["ts"] != 0.0 || first["dur"] != 4e6 {
+		t.Errorf("fwd ts/dur = %v/%v, want 0/4e6 µs", first["ts"], first["dur"])
+	}
+	for _, ev := range complete {
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", ev)
+		}
+		if _, ok := ev["tid"]; !ok {
+			t.Fatalf("event missing tid: %v", ev)
+		}
+	}
+}
+
+func TestWriteSpansJSONKeepsLegacySchema(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteSpansJSON(timeline(t), &buf); err != nil {
 		t.Fatal(err)
 	}
 	var spans []map[string]interface{}
@@ -109,8 +157,63 @@ func TestWriteJSON(t *testing.T) {
 	if len(spans) != 4 {
 		t.Fatalf("json has %d spans, want 4", len(spans))
 	}
-	// Sorted by start time: the forward task comes first.
-	if spans[0]["label"] != "fwd" {
-		t.Errorf("first span = %v, want fwd", spans[0]["label"])
+	if spans[0]["label"] != "fwd" || spans[0]["resource"] != "gpu" {
+		t.Errorf("first span = %v, want fwd on gpu", spans[0])
+	}
+	if _, ok := spans[0]["start_s"]; !ok {
+		t.Error("legacy schema missing start_s")
+	}
+}
+
+func TestWriteEngineJSON(t *testing.T) {
+	spans := []obs.Span{
+		{Lane: obs.LaneCompute, Name: "block0/bwd", Start: 0, End: 3 * time.Millisecond},
+		{Lane: obs.LaneAdam, Name: "block0/opt-adam", Start: time.Millisecond, End: 2 * time.Millisecond},
+	}
+	var buf strings.Builder
+	if err := WriteEngineJSON(spans, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	var sawAdam bool
+	for _, ev := range events {
+		if ev["ph"] == "X" && ev["name"] == "block0/opt-adam" {
+			sawAdam = true
+			if ev["ts"] != 1e3 || ev["dur"] != 1e3 {
+				t.Errorf("adam span ts/dur = %v/%v, want 1e3/1e3 µs", ev["ts"], ev["dur"])
+			}
+			if ev["pid"] != float64(PIDEngine) {
+				t.Errorf("engine event pid = %v, want %d", ev["pid"], PIDEngine)
+			}
+		}
+	}
+	if !sawAdam {
+		t.Error("engine export missing the adam span")
+	}
+}
+
+// TestMergedExportSharesSchema pins the tentpole property: sim and engine
+// timelines serialize to the same event schema, so one file can hold both.
+func TestMergedExportSharesSchema(t *testing.T) {
+	events := append(ChromeFromSim(timeline(t)), ChromeFromSpans([]obs.Span{
+		{Lane: obs.LaneAdam, Name: "opt", Start: 0, End: time.Millisecond},
+	})...)
+	var buf strings.Builder
+	if err := WriteChrome(events, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []ChromeEvent
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("merged export not decodable into the shared schema: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range decoded {
+		pids[ev.PID] = true
+	}
+	if !pids[PIDSim] || !pids[PIDEngine] {
+		t.Errorf("merged export pids = %v, want both %d and %d", pids, PIDSim, PIDEngine)
 	}
 }
