@@ -3,21 +3,26 @@
 test:
 	go build ./... && go test ./...
 
-# Tier-2 check: race-detector pass over the packages that run on the
-# shared worker pool or record telemetry concurrently (tensor kernels,
-# attention fan-out, parallel Adam, NVMe array, span tracer, engine).
+# Tier-2 check: race-detector pass over the whole module.
 .PHONY: race
 race:
-	go test -race ./internal/tensor/... ./internal/nn/... ./internal/opt/... ./internal/agoffload/... ./internal/nvme/... ./internal/obs/... ./internal/engine/...
+	go test -race ./...
 
 # Static analysis over the whole module.
 .PHONY: vet
 vet:
 	go vet ./...
 
-# Tier-2 umbrella: static analysis + race detector.
+# Repo-specific analyzers (simdet, unitsafe, spanpair, poolcapture,
+# errdrop — see DESIGN.md §8). Also runs as a vet tool:
+#   go build -o bin/ratelvet ./cmd/ratelvet && go vet -vettool=bin/ratelvet ./...
+.PHONY: lint
+lint:
+	go run ./cmd/ratelvet ./...
+
+# Tier-2 umbrella: static analysis + repo analyzers + race detector.
 .PHONY: check
-check: vet race
+check: vet lint race
 
 # Kernel micro-benchmarks (BENCH_kernels.json is a committed snapshot).
 .PHONY: bench-kernels

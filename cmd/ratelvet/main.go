@@ -1,0 +1,189 @@
+// Command ratelvet runs the repo's domain-specific static analyzers
+// (simdet, unitsafe, spanpair, poolcapture, errdrop — see DESIGN.md §8).
+//
+// Standalone:
+//
+//	go run ./cmd/ratelvet ./...
+//
+// As a vet tool, speaking the cmd/go unitchecker protocol so findings join
+// the normal vet cache and diagnostics pipeline:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/ratelvet ./...
+//
+// Findings print as file:line:col: [analyzer] message. Exit status is 0
+// when clean, 1 on usage or load errors, and 2 when findings exist (the
+// same convention go vet's unitchecker uses).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ratel/internal/analysis"
+	"ratel/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Protocol probes from cmd/go come first and must answer on stdout.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]") // no tool-specific flags
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetUnit(args[0])
+		}
+	}
+	return runStandalone(args)
+}
+
+// printVersion answers go vet's -V=full buildid probe. The executable's
+// own hash is the version: any rebuild invalidates cached vet results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	name = strings.TrimSuffix(name, ".exe")
+	sum := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", name, sum)
+}
+
+// runStandalone loads the given patterns (default ./...) from the current
+// directory and reports findings from every registered analyzer.
+func runStandalone(patterns []string) int {
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "ratelvet: unknown flag %q (the only flags are the vet protocol's -V=full and -flags)\n", p)
+			return 1
+		}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if pkg.TypeError != nil {
+			fmt.Fprintf(os.Stderr, "ratelvet: %s: %v\n", pkg.PkgPath, pkg.TypeError)
+			exit = 1
+			continue
+		}
+		findings, err := analysis.Run(pkg, registry.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}
+
+// vetConfig is the subset of cmd/go's vet config file that ratelvet needs.
+// cmd/go writes one per package and invokes the tool with its path as the
+// sole argument.
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package as directed by a vet config file.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ratelvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ratelvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency package: cmd/go only wants facts, and ratelvet
+		// exports none. Diagnostics are reported when the package is a
+		// vet root.
+		return writeVetx(cfg.VetxOutput)
+	}
+
+	// Source files import by the paths on the left of ImportMap; export
+	// data is keyed by the canonical paths on the right. Flatten the two
+	// hops into the single map CheckPackage resolves through.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for canon, file := range cfg.PackageFile {
+		exports[canon] = file
+	}
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+
+	pkg, err := analysis.CheckPackage(cfg.ImportPath, cfg.Dir, cfg.GoFiles, exports)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ratelvet: %v\n", err)
+		return 1
+	}
+	if pkg.TypeError != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput)
+		}
+		fmt.Fprintf(os.Stderr, "ratelvet: %s: %v\n", cfg.ImportPath, pkg.TypeError)
+		return 1
+	}
+
+	findings, err := analysis.Run(pkg, registry.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ratelvet: %v\n", err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput); code != 0 {
+		return code
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	return 2
+}
+
+// writeVetx records the (empty — ratelvet exports no facts) vetx output
+// that cmd/go requires for its action cache.
+func writeVetx(path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "ratelvet: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -37,7 +37,7 @@ func main() {
 
 	pl := sess.Plan()
 	fmt.Printf("activation plan: %v — swap %v across %d layers, recompute %.2f GFLOP/iter\n",
-		pl.Case, pl.AG2M, len(pl.Swapped), float64(pl.FLOPr)/1e9)
+		pl.Case, pl.AG2M, len(pl.Swapped), pl.FLOPr.GFLOPf())
 
 	// The training loop matches plain PyTorch-style code: note there is no
 	// optimizer.step() — updates happen as gradients arrive (§IV-C).

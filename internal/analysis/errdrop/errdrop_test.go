@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "errd")
+}

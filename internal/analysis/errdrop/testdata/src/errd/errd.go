@@ -1,0 +1,57 @@
+// Package errd is errdrop's golden testdata. It imports the real nvme and
+// trace packages so callee package paths resolve as they do in the engine.
+package errd
+
+import (
+	"fmt"
+	"io"
+
+	"ratel/internal/nvme"
+	"ratel/internal/sim"
+	"ratel/internal/trace"
+)
+
+func statementDrop(a *nvme.Array, data []byte) {
+	a.Put("weights", data) // want `call drops the error returned by nvme.Put`
+}
+
+func deferDrop(a *nvme.Array) {
+	defer a.Close() // want `deferred call drops the error returned by nvme.Close`
+}
+
+func blankSingle(res sim.Result, w io.Writer) {
+	_ = trace.WriteJSON(res, w) // want `error returned by trace.WriteJSON assigned to blank identifier`
+}
+
+func blankMulti(a *nvme.Array) []byte {
+	data, _ := a.Get("weights") // want `error returned by nvme.Get assigned to blank identifier`
+	return data
+}
+
+func checkedIsFine(a *nvme.Array, data []byte) error {
+	if err := a.Put("weights", data); err != nil {
+		return err
+	}
+	return a.Close()
+}
+
+func deferClosureIsFine(a *nvme.Array) (err error) {
+	defer func() {
+		if cerr := a.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+func capturedMultiIsFine(a *nvme.Array) ([]byte, error) {
+	return a.Get("weights")
+}
+
+func noErrorResultIsFine(res sim.Result) string {
+	return trace.Gantt(res, 80)
+}
+
+func unwatchedPackageIsFine(w io.Writer) {
+	fmt.Fprintln(w, "status") // fmt is not a watched write path
+}

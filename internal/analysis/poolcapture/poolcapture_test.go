@@ -1,0 +1,20 @@
+package poolcapture_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/poolcapture"
+)
+
+func TestPoolcapture(t *testing.T) {
+	analysistest.Run(t, poolcapture.Analyzer, "poold")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{"ratel/internal/tensor", "ratel/internal/opt", "ratel/internal/engine"} {
+		if !poolcapture.Analyzer.AppliesTo(pkg) {
+			t.Errorf("poolcapture should cover %s", pkg)
+		}
+	}
+}

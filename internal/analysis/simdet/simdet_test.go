@@ -1,0 +1,29 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, simdet.Analyzer, "simd")
+}
+
+func TestScope(t *testing.T) {
+	a := simdet.Analyzer
+	for _, pkg := range []string{
+		"ratel/internal/sim", "ratel/internal/itersim", "ratel/internal/plan",
+		"ratel/internal/cost", "ratel/internal/strategy",
+	} {
+		if !a.AppliesTo(pkg) {
+			t.Errorf("simdet should cover %s", pkg)
+		}
+	}
+	for _, pkg := range []string{"ratel/internal/engine", "ratel/internal/nvme", "ratel/internal/simx"} {
+		if a.AppliesTo(pkg) {
+			t.Errorf("simdet should not cover %s", pkg)
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package spanpair enforces obs span hygiene in the live-engine packages:
+// every span begun must be ended on every return path (a leaked span skews
+// the busy-fraction folding the sim-vs-real calibration depends on), and
+// span labels on hot paths must be precomputed, not built per call (the
+// tracer's record path is allocation-free by contract; a fmt.Sprintf label
+// breaks that silently).
+package spanpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ratel/internal/analysis"
+)
+
+const obsPkg = "ratel/internal/obs"
+
+// Analyzer is the spanpair check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc: `every obs span must be ended on all return paths, with precomputed labels
+
+Tracks variables holding obs.Scope values through structured control flow:
+a return reachable while a span is open, a span reassigned while open, or
+a StartSpan result that is discarded outright are all flagged. defer
+sp.End() closes the span for every path. Passing the scope to another
+function or goroutine transfers responsibility and stops tracking.
+
+Also flags span labels built per call (fmt.Sprintf or non-constant string
+concatenation in the name argument of StartSpan / RecordSpan / Instant):
+the tracer stores label strings by reference and its record path is
+allocation-free by contract, so labels must be precomputed.`,
+	Scope: []string{
+		"ratel/internal/engine",
+		"ratel/internal/nvme",
+		"ratel/internal/opt",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					newScanner(pass).scanFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				newScanner(pass).scanFunc(n.Body)
+			case *ast.CallExpr:
+				checkLabel(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLabel flags per-call span label construction.
+func checkLabel(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || analysis.FuncPkgPath(fn) != obsPkg {
+		return
+	}
+	switch fn.Name() {
+	case "StartSpan", "RecordSpan", "Instant":
+	default:
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	name := ast.Unparen(call.Args[1])
+	switch e := name.(type) {
+	case *ast.CallExpr:
+		if analysis.IsPkgCall(pass.TypesInfo, e, "fmt", "Sprintf", "Sprint") {
+			pass.Reportf(e.Pos(), "span label built with fmt.%s on a hot path: precompute the label once and pass it in", analysis.CalleeFunc(pass.TypesInfo, e).Name())
+		}
+	case *ast.BinaryExpr:
+		tv := pass.TypesInfo.Types[name]
+		if e.Op == token.ADD && tv.Value == nil && isString(tv.Type) {
+			pass.Reportf(e.Pos(), "span label concatenated per call on a hot path: precompute the label once and pass it in")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// scanner walks one function body (func literals are separate roots),
+// tracking which obs.Scope variables are open along each structured path.
+type scanner struct {
+	pass *analysis.Pass
+}
+
+func newScanner(pass *analysis.Pass) *scanner { return &scanner{pass: pass} }
+
+// open maps a tracked span variable to the position where it was started.
+type open map[*types.Var]token.Pos
+
+func (o open) clone() open {
+	c := make(open, len(o))
+	for k, v := range o {
+		c[k] = v
+	}
+	return c
+}
+
+func (s *scanner) scanFunc(body *ast.BlockStmt) {
+	spans := make(open)
+	terminated := s.scan(body.List, spans)
+	if !terminated {
+		for v, pos := range spans {
+			s.pass.Reportf(pos, "span %q is not ended before the function returns", v.Name())
+		}
+	}
+}
+
+// scan walks a statement sequence, returning whether it always terminates
+// (returns or branches away) before falling off the end.
+func (s *scanner) scan(stmts []ast.Stmt, spans open) bool {
+	for _, st := range stmts {
+		if s.scanStmt(st, spans) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scanner) scanStmt(st ast.Stmt, spans open) bool {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		s.assign(st, spans)
+	case *ast.ExprStmt:
+		s.exprStmt(st, spans)
+	case *ast.DeferStmt:
+		s.deferStmt(st, spans)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.escape(r, spans)
+		}
+		for v, pos := range spans {
+			s.pass.Reportf(st.Pos(), "return with span %q still open (started at %s)", v.Name(), s.pass.Fset.Position(pos))
+		}
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, spans)
+		}
+		thenSpans := spans.clone()
+		thenTerm := s.scan(st.Body.List, thenSpans)
+		elseSpans := spans.clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = s.scanStmt(st.Else, elseSpans)
+		}
+		merge(spans, thenSpans, thenTerm, elseSpans, elseTerm)
+		return thenTerm && elseTerm
+	case *ast.BlockStmt:
+		return s.scan(st.List, spans)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return s.branches(st, spans)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, spans)
+		}
+		bodySpans := spans.clone()
+		if !s.scan(st.Body.List, bodySpans) {
+			union(spans, bodySpans)
+		}
+	case *ast.RangeStmt:
+		bodySpans := spans.clone()
+		if !s.scan(st.Body.List, bodySpans) {
+			union(spans, bodySpans)
+		}
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, spans)
+	case *ast.BranchStmt:
+		// break/continue/goto: the span may be closed after the loop;
+		// stop scanning this sequence without a leak verdict.
+		return true
+	case *ast.GoStmt:
+		s.call(st.Call, spans)
+	case *ast.DeclStmt:
+		s.decl(st, spans)
+	default:
+		// Anything else (send, incdec, decl): a use of an open span
+		// transfers responsibility and stops tracking.
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.escape(e, spans)
+			}
+			return true
+		})
+	}
+	return false
+}
+
+// branches handles switch / type-switch / select: each clause runs from the
+// pre-state; the post-state is the union of the fall-through paths.
+func (s *scanner) branches(st ast.Stmt, spans open) bool {
+	var clauses [][]ast.Stmt
+	hasDefault := false
+	collect := func(body []ast.Stmt, isDefault bool) {
+		clauses = append(clauses, body)
+		hasDefault = hasDefault || isDefault
+	}
+	var alwaysRuns bool
+	switch st := st.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, spans)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			collect(cc.Body, cc.List == nil)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, spans)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			collect(cc.Body, cc.List == nil)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			collect(c.(*ast.CommClause).Body, false)
+		}
+		alwaysRuns = len(clauses) > 0 // a blocking select executes some clause
+	}
+
+	pre := spans.clone()
+	allTerm := len(clauses) > 0
+	merged := make(open)
+	for _, body := range clauses {
+		cs := pre.clone()
+		if !s.scan(body, cs) {
+			allTerm = false
+			union(merged, cs)
+		}
+	}
+	if !hasDefault && !alwaysRuns {
+		union(merged, pre) // the no-case-matched path
+		allTerm = false
+	}
+	for v := range spans {
+		delete(spans, v)
+	}
+	union(spans, merged)
+	return allTerm
+}
+
+// merge computes the post-if state from the two branch outcomes.
+func merge(dst, thenSpans open, thenTerm bool, elseSpans open, elseTerm bool) {
+	for v := range dst {
+		delete(dst, v)
+	}
+	if !thenTerm {
+		union(dst, thenSpans)
+	}
+	if !elseTerm {
+		union(dst, elseSpans)
+	}
+}
+
+func union(dst, src open) {
+	for v, pos := range src {
+		if _, ok := dst[v]; !ok {
+			dst[v] = pos
+		}
+	}
+}
+
+// decl tracks `var sp = tr.StartSpan(...)` declarations.
+func (s *scanner) decl(st *ast.DeclStmt, spans open) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			var rhs ast.Expr
+			if len(vs.Values) == len(vs.Names) {
+				rhs = vs.Values[i]
+			} else if len(vs.Values) == 1 {
+				rhs = vs.Values[0]
+			}
+			if rhs == nil || !s.yieldsScope(rhs, i, len(vs.Names)) {
+				continue
+			}
+			if v, ok := s.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				spans[v] = rhs.Pos()
+			}
+		}
+	}
+}
+
+// assign tracks span openings and catches reassignment of an open span.
+func (s *scanner) assign(st *ast.AssignStmt, spans open) {
+	for _, r := range st.Rhs {
+		s.escape(r, spans)
+	}
+	for i, lhs := range st.Lhs {
+		var rhs ast.Expr
+		if len(st.Rhs) == len(st.Lhs) {
+			rhs = st.Rhs[i]
+		} else if len(st.Rhs) == 1 {
+			rhs = st.Rhs[0]
+		}
+		if rhs == nil || !s.yieldsScope(rhs, i, len(st.Lhs)) {
+			continue
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue // stored into a field or index: not trackable
+		}
+		if id.Name == "_" {
+			s.pass.Reportf(rhs.Pos(), "span discarded: the returned obs.Scope must be ended")
+			continue
+		}
+		v := analysis.UsedVar(s.pass.TypesInfo, id)
+		if v == nil {
+			continue
+		}
+		if pos, isOpen := spans[v]; isOpen {
+			s.pass.Reportf(st.Pos(), "span %q reassigned while still open (started at %s)", v.Name(), s.pass.Fset.Position(pos))
+		}
+		spans[v] = rhs.Pos()
+	}
+}
+
+// yieldsScope reports whether expression r produces an obs.Scope in
+// position i of an n-way assignment.
+func (s *scanner) yieldsScope(r ast.Expr, i, n int) bool {
+	t := s.pass.TypesInfo.Types[r].Type
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if i >= tup.Len() {
+			return false
+		}
+		t = tup.At(i).Type()
+	} else if n > 1 && i > 0 {
+		return false
+	}
+	return analysis.NamedType(t, obsPkg, "Scope")
+}
+
+func (s *scanner) exprStmt(st *ast.ExprStmt, spans open) {
+	call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if v := s.endReceiver(call); v != nil {
+		delete(spans, v)
+		return
+	}
+	if s.yieldsScope(call, 0, 1) {
+		s.pass.Reportf(call.Pos(), "StartSpan result discarded: the returned obs.Scope must be ended")
+		return
+	}
+	s.call(call, spans)
+}
+
+func (s *scanner) deferStmt(st *ast.DeferStmt, spans open) {
+	if v := s.endReceiver(st.Call); v != nil {
+		delete(spans, v) // defer closes the span on every path from here
+		return
+	}
+	// defer func() { ...; sp.End(); ... }() and friends: any End inside
+	// the deferred expression closes its span for all paths.
+	s.closeEndsWithin(st.Call, spans)
+	s.call(st.Call, spans)
+}
+
+// call treats any remaining use of an open span inside a call as a
+// responsibility transfer (the callee or goroutine now owns it).
+func (s *scanner) call(call *ast.CallExpr, spans open) {
+	s.closeEndsWithin(call, spans)
+	for _, a := range call.Args {
+		s.escape(a, spans)
+	}
+	// A closure invoked or spawned here may capture and end the span.
+	ast.Inspect(call.Fun, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			s.escape(e, spans)
+		}
+		return true
+	})
+}
+
+// closeEndsWithin clears tracking for spans ended anywhere inside n.
+func (s *scanner) closeEndsWithin(n ast.Node, spans open) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if c, ok := m.(*ast.CallExpr); ok {
+			if v := s.endReceiver(c); v != nil {
+				delete(spans, v)
+			}
+		}
+		return true
+	})
+}
+
+// endReceiver returns the tracked variable v when call is v.End().
+func (s *scanner) endReceiver(call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	fn := analysis.CalleeFunc(s.pass.TypesInfo, call)
+	if fn == nil || analysis.FuncPkgPath(fn) != obsPkg {
+		return nil
+	}
+	return analysis.UsedVar(s.pass.TypesInfo, sel.X)
+}
+
+// escape stops tracking a span variable that is used as a value (passed,
+// stored, sent, or returned): the receiver of that value owns the End.
+func (s *scanner) escape(e ast.Expr, spans open) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Closure bodies are separate scan roots, but a closure
+			// capturing the span may end it: handled by closeEndsWithin
+			// at the call site; here just stop descending.
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := s.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if _, tracked := spans[v]; tracked {
+				delete(spans, v)
+			}
+		}
+		return true
+	})
+}

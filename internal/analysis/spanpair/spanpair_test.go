@@ -1,0 +1,23 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, spanpair.Analyzer, "spand")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{"ratel/internal/engine", "ratel/internal/nvme", "ratel/internal/opt"} {
+		if !spanpair.Analyzer.AppliesTo(pkg) {
+			t.Errorf("spanpair should cover %s", pkg)
+		}
+	}
+	if spanpair.Analyzer.AppliesTo("ratel/internal/sim") {
+		t.Error("spanpair should not cover the simulator")
+	}
+}

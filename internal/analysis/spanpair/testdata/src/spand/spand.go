@@ -1,0 +1,127 @@
+// Package spand is spanpair's golden testdata. It imports the real obs
+// package so the analyzer resolves obs.Scope exactly as it does in the
+// engine.
+package spand
+
+import (
+	"errors"
+	"fmt"
+
+	"ratel/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+const label = "precomputed"
+
+func leakOnErrorPath(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartSpan("lane", label)
+	if fail {
+		return errBoom // want `return with span "sp" still open`
+	}
+	sp.End()
+	return nil
+}
+
+func endOnBothPathsIsFine(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartSpan("lane", label)
+	if fail {
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func deferIsFine(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartSpan("lane", label)
+	defer sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func deferredClosureIsFine(tr *obs.Tracer) {
+	sp := tr.StartSpan("lane", label)
+	defer func() { sp.End() }()
+}
+
+func discarded(tr *obs.Tracer) {
+	tr.StartSpan("lane", label) // want `StartSpan result discarded`
+}
+
+func discardedBlank(tr *obs.Tracer) {
+	_ = tr.StartSpan("lane", label) // want `span discarded`
+}
+
+func reassignedWhileOpen(tr *obs.Tracer) {
+	sp := tr.StartSpan("lane", label)
+	sp = tr.StartSpan("lane", label) // want `span "sp" reassigned while still open`
+	sp.End()
+}
+
+func reuseAfterEndIsFine(tr *obs.Tracer) {
+	sp := tr.StartSpan("lane", label)
+	sp.End()
+	sp = tr.StartSpan("lane", label)
+	sp.End()
+}
+
+func leakAtFunctionEnd(tr *obs.Tracer) {
+	sp := tr.StartSpan("lane", label) // want `span "sp" is not ended before the function returns`
+	if false {
+		sp.End() // ends only on one conditional path
+	}
+}
+
+func loopOpenCloseIsFine(tr *obs.Tracer, n int) {
+	var sp obs.Scope
+	for i := 0; i < n; i++ {
+		sp = tr.StartSpan("lane", label)
+		sp.End()
+	}
+}
+
+func switchAllPathsIsFine(tr *obs.Tracer, mode int) {
+	sp := tr.StartSpan("lane", label)
+	switch mode {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+func switchLeak(tr *obs.Tracer, mode int) error {
+	sp := tr.StartSpan("lane", label)
+	switch mode {
+	case 0:
+		return errBoom // want `return with span "sp" still open`
+	}
+	sp.End()
+	return nil
+}
+
+func handedOffIsFine(tr *obs.Tracer, sink func(obs.Scope)) {
+	sp := tr.StartSpan("lane", label)
+	sink(sp) // responsibility transferred
+}
+
+func sprintfLabel(tr *obs.Tracer, i int) {
+	sp := tr.StartSpan("lane", fmt.Sprintf("block%d", i)) // want `span label built with fmt.Sprintf`
+	sp.End()
+}
+
+func concatLabel(tr *obs.Tracer, name string) {
+	tr.Instant("lane", "prefix/"+name) // want `span label concatenated per call`
+}
+
+func constantConcatIsFine(tr *obs.Tracer) {
+	tr.Instant("lane", "prefix/"+"suffix")
+}
+
+func variableLabelIsFine(tr *obs.Tracer, key string) {
+	sp := tr.StartSpan("lane", key)
+	sp.End()
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix is the suppression-comment marker. The full form is
+//
+//	//ratelvet:ignore <analyzer> <reason>
+//
+// placed either on the flagged line or on its own line immediately above.
+// The reason is mandatory: a suppression that does not say why it is safe
+// is rejected with a diagnostic of its own, as is a suppression naming an
+// analyzer that does not exist (a typo would otherwise silently disable
+// nothing).
+const IgnorePrefix = "ratelvet:ignore"
+
+// suppression is one parsed //ratelvet:ignore comment.
+type suppression struct {
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// collectSuppressions parses every ignore comment in a file.
+func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, IgnorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+			fields := strings.Fields(rest)
+			s := suppression{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			if len(fields) > 0 {
+				s.analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				s.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// suppressionSet indexes a package's suppressions for diagnostic filtering.
+type suppressionSet struct {
+	// byFileLine maps file -> line -> analyzers suppressed on that line.
+	byFileLine map[string]map[int][]string
+}
+
+// newSuppressionSet gathers a package's suppressions and reports the
+// malformed ones (missing reason, unknown analyzer) through report.
+func newSuppressionSet(pkg *Package, known map[string]bool, report func(Diagnostic)) suppressionSet {
+	set := suppressionSet{byFileLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, s := range collectSuppressions(pkg.Fset, f) {
+			switch {
+			case s.analyzer == "":
+				report(Diagnostic{Pos: s.pos, Analyzer: "ratelvet",
+					Message: "ratelvet:ignore needs an analyzer name and a reason"})
+				continue
+			case known != nil && !known[s.analyzer]:
+				report(Diagnostic{Pos: s.pos, Analyzer: "ratelvet",
+					Message: "ratelvet:ignore names unknown analyzer " + strconv(s.analyzer)})
+				continue
+			case s.reason == "":
+				report(Diagnostic{Pos: s.pos, Analyzer: "ratelvet",
+					Message: "ratelvet:ignore " + s.analyzer + " needs a reason (//ratelvet:ignore " + s.analyzer + " <why this is safe>)"})
+				continue
+			}
+			file := pkg.Fset.Position(s.pos).Filename
+			lines := set.byFileLine[file]
+			if lines == nil {
+				lines = make(map[int][]string)
+				set.byFileLine[file] = lines
+			}
+			// The suppression covers its own line and the next one, so it
+			// works both trailing a statement and on the line above it.
+			lines[s.line] = append(lines[s.line], s.analyzer)
+			lines[s.line+1] = append(lines[s.line+1], s.analyzer)
+		}
+	}
+	return set
+}
+
+func strconv(s string) string { return "\"" + s + "\"" }
+
+// suppressed reports whether a diagnostic from analyzer at position pos is
+// covered by an ignore comment.
+func (set suppressionSet) suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, a := range set.byFileLine[p.Filename][p.Line] {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+// Package unitd is unitsafe's golden testdata.
+package unitd
+
+import (
+	"time"
+
+	"ratel/internal/units"
+)
+
+func manualTransfer(b units.Bytes, bw units.BytesPerSecond) float64 {
+	return float64(b) / float64(bw) // want `manual Bytes/BytesPerSecond division`
+}
+
+func manualCompute(f units.FLOPs, thp units.FLOPsPerSecond) float64 {
+	return float64(f) / float64(thp) // want `manual FLOPs/FLOPsPerSecond division`
+}
+
+func helperIsFine(b units.Bytes, bw units.BytesPerSecond) units.Seconds {
+	return units.TransferTime(b, bw)
+}
+
+func rawCountOverBandwidth(n int, bw units.BytesPerSecond) float64 {
+	return float64(n) / float64(bw) // want `raw count divided by units.BytesPerSecond`
+}
+
+func floatRatioIsFine(a, b float64) float64 {
+	return a / b // no units involved
+}
+
+func magnitudeScale(s units.Seconds) time.Duration {
+	return time.Duration(float64(s) * float64(time.Second)) // want `scaling units.Seconds by a bare magnitude constant`
+}
+
+func magnitudeDivide(f units.FLOPs, iter float64) float64 {
+	return 3 * float64(f) / iter / 1e12 // want `scaling units.FLOPs by a bare magnitude constant`
+}
+
+func accessorIsFine(b units.Bytes) float64 {
+	return b.GiBf()
+}
+
+func smallScalerIsFine(b units.Bytes) float64 {
+	return float64(b) * 2 // plain doubling, not a unit conversion
+}
+
+func elementCount(xs []float32) units.Bytes {
+	return units.Bytes(len(xs)) // want `counts elements, not bytes`
+}
+
+func byteCountIsFine(blob []byte) units.Bytes {
+	return units.Bytes(len(blob))
+}
+
+func sizedElementCountIsFine(xs []float32) units.Bytes {
+	return units.Bytes(4 * len(xs))
+}

@@ -1,0 +1,21 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/unitsafe"
+)
+
+func TestUnitsafe(t *testing.T) {
+	analysistest.Run(t, unitsafe.Analyzer, "unitd")
+}
+
+func TestScope(t *testing.T) {
+	if unitsafe.Analyzer.AppliesTo("ratel/internal/units") {
+		t.Error("unitsafe must not flag the units package that defines the helpers")
+	}
+	if !unitsafe.Analyzer.AppliesTo("ratel/internal/nvme") {
+		t.Error("unitsafe should cover the rest of the module")
+	}
+}

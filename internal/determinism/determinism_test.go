@@ -1,0 +1,74 @@
+// Package determinism_test is a regression gate for the repo's core
+// guarantee: the planner and the discrete-event simulator are pure
+// functions of their inputs. Two back-to-back runs must produce
+// byte-identical plan descriptions and trace JSON — any divergence means
+// map-iteration order, wall-clock reads, or scheduling races leaked into
+// results (exactly what the simdet analyzer exists to keep out).
+package determinism_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ratel/internal/capacity"
+	"ratel/internal/hw"
+	"ratel/internal/itersim"
+	"ratel/internal/model"
+	"ratel/internal/plan"
+	"ratel/internal/strategy"
+	"ratel/internal/trace"
+	"ratel/internal/units"
+)
+
+// artifacts is one full planner+simulator run rendered to bytes.
+type artifacts struct {
+	planDesc   string
+	traceJSON  []byte
+	chromeJSON []byte
+}
+
+func runOnce(t *testing.T) artifacts {
+	t.Helper()
+	cfg := model.MustByName("13B")
+	srv := hw.EvalServer(hw.RTX4090, 768*units.GiB, 12)
+	const batch = 32
+
+	profile := capacity.PlannerProfile(strategy.Ratel, cfg, batch, srv)
+	pl, err := plan.Optimize(profile)
+	if err != nil {
+		t.Fatalf("plan.Optimize: %v", err)
+	}
+
+	rep, err := itersim.Simulate(strategy.Ratel, cfg, batch, srv)
+	if err != nil {
+		t.Fatalf("itersim.Simulate: %v", err)
+	}
+
+	var tj bytes.Buffer
+	if err := trace.WriteJSON(rep.Result, &tj); err != nil {
+		t.Fatalf("trace.WriteJSON: %v", err)
+	}
+	var cj bytes.Buffer
+	if err := trace.WriteChrome(trace.ChromeFromSim(rep.Result), &cj); err != nil {
+		t.Fatalf("trace.WriteChrome: %v", err)
+	}
+	return artifacts{planDesc: pl.Describe(), traceJSON: tj.Bytes(), chromeJSON: cj.Bytes()}
+}
+
+func TestPlannerAndSimulatorAreDeterministic(t *testing.T) {
+	first := runOnce(t)
+	second := runOnce(t)
+
+	if first.planDesc != second.planDesc {
+		t.Errorf("plan description differs between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			first.planDesc, second.planDesc)
+	}
+	if !bytes.Equal(first.traceJSON, second.traceJSON) {
+		t.Errorf("trace JSON differs between identical runs (%d vs %d bytes)",
+			len(first.traceJSON), len(second.traceJSON))
+	}
+	if !bytes.Equal(first.chromeJSON, second.chromeJSON) {
+		t.Errorf("Chrome trace JSON differs between identical runs (%d vs %d bytes)",
+			len(first.chromeJSON), len(second.chromeJSON))
+	}
+}

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -202,14 +203,13 @@ func New(cfg Config) (*Engine, error) {
 	e.optimizer.SetTracer(cfg.Tracer)
 	if cfg.ClipGroupNorm > 0 {
 		if err := e.optimizer.SetClipNorm(cfg.ClipGroupNorm); err != nil {
-			a.Close()
-			return nil, err
+			return nil, errors.Join(err, a.Close())
 		}
 	}
 	if cfg.DynamicLossScale {
 		if cfg.GradMode != agoffload.Serialized {
-			a.Close()
-			return nil, fmt.Errorf("engine: dynamic loss scaling requires the serialized gradient mode (updates must wait for overflow validation)")
+			err := fmt.Errorf("engine: dynamic loss scaling requires the serialized gradient mode (updates must wait for overflow validation)")
+			return nil, errors.Join(err, a.Close())
 		}
 		initial := cfg.LossScale
 		if initial == 0 {
@@ -217,15 +217,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 		scaler, err := opt.NewLossScaler(initial)
 		if err != nil {
-			a.Close()
-			return nil, err
+			return nil, errors.Join(err, a.Close())
 		}
 		e.scaler = scaler
 	}
 	for _, g := range m.ParamGroups() {
 		if err := e.optimizer.InitGroup(g); err != nil {
-			a.Close()
-			return nil, err
+			return nil, errors.Join(err, a.Close())
 		}
 	}
 	return e, nil

@@ -166,7 +166,7 @@ func calibExperiment(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	simSpan := time.Duration(float64(res.Makespan) * float64(time.Second))
+	simSpan := res.Makespan.Duration()
 
 	// ---- Report ----
 	fmt.Fprintf(w, "calibration: %d measured engine steps (3 blocks on SSD, optimized offloading)\n", steps)
@@ -177,7 +177,7 @@ func calibExperiment(w io.Writer) error {
 	fmt.Fprintf(w, "\n%-12s %14s %7s %14s %7s %8s\n", "resource", "measured-busy", "frac", "sim-busy", "frac", "drift")
 	for _, r := range []sim.ResourceID{sim.GPUCompute, sim.CPUAdam, sim.SSDBus} {
 		mBusy := measured[r]
-		sBusy := time.Duration(float64(res.Busy[r]) * float64(time.Second))
+		sBusy := res.Busy[r].Duration()
 		fmt.Fprintf(w, "%-12s %14v %6.1f%% %14v %6.1f%% %+7.1f%%\n",
 			string(r),
 			mBusy.Round(time.Microsecond), frac(mBusy, measuredSpan),

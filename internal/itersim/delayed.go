@@ -5,6 +5,7 @@ import (
 	"ratel/internal/model"
 	"ratel/internal/sim"
 	"ratel/internal/strategy"
+	"ratel/internal/units"
 )
 
 // SimulateDelayedOverlap models the one-step delayed update (footnote 4):
@@ -32,7 +33,7 @@ func SimulateDelayedOverlap(p strategy.Policy, cfg model.Config, batch int, srv 
 	iter := float64(effective)
 	rep.TokensPerSec = float64(cfg.TokensPerIteration(batch)) / iter
 	rep.ImagesPerSec = float64(cfg.ImagesPerIteration(batch)) / iter
-	rep.TFLOPS = 3 * float64(cfg.ForwardFLOPs(batch)) / iter / 1e12
+	rep.TFLOPS = units.Throughput(3*cfg.ForwardFLOPs(batch), effective).TFLOPSf()
 	rep.OptimizerShare = 0
 	if rep.BackwardEnd > rep.Makespan {
 		rep.BackwardEnd = rep.Makespan

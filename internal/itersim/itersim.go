@@ -435,7 +435,7 @@ func simulate(p strategy.Policy, cfg model.Config, batch int, srv hw.Server, nSh
 	if iter > 0 {
 		rep.TokensPerSec = float64(cfg.TokensPerIteration(batch)) / iter
 		rep.ImagesPerSec = float64(cfg.ImagesPerIteration(batch)) / iter
-		rep.TFLOPS = (3 * float64(cfg.ForwardFLOPs(batch))) / iter / 1e12
+		rep.TFLOPS = units.Throughput(3*cfg.ForwardFLOPs(batch), rep.Makespan).TFLOPSf()
 		rep.GPUBusyFrac = res.Utilization(sim.GPUCompute)
 		rep.OptimizerShare = float64(rep.OptimizerTail) / iter
 	}

@@ -45,7 +45,7 @@ func SimulateMultiGPU(p strategy.Policy, cfg model.Config, globalBatch int, srv 
 	iter := float64(rep.Makespan)
 	rep.TokensPerSec = float64(cfg.TokensPerIteration(globalBatch)) / iter
 	rep.ImagesPerSec = float64(cfg.ImagesPerIteration(globalBatch)) / iter
-	rep.TFLOPS = 3 * float64(cfg.ForwardFLOPs(globalBatch)) / iter / 1e12
+	rep.TFLOPS = units.Throughput(3*cfg.ForwardFLOPs(globalBatch), rep.Makespan).TFLOPSf()
 	rep.Batch = globalBatch
 	rep.OptimizerShare = float64(rep.OptimizerTail) / iter
 	return rep, nil
@@ -76,7 +76,7 @@ func SimulateTensorParallel(p strategy.Policy, cfg model.Config, batch int, srv 
 	rep.OptimizerTail = opt
 	rep.TokensPerSec = float64(cfg.TokensPerIteration(batch)) / float64(iter)
 	rep.ImagesPerSec = float64(cfg.ImagesPerIteration(batch)) / float64(iter)
-	rep.TFLOPS = 3 * float64(cfg.ForwardFLOPs(batch)) / float64(iter) / 1e12
+	rep.TFLOPS = units.Throughput(3*cfg.ForwardFLOPs(batch), iter).TFLOPSf()
 	rep.OptimizerShare = float64(opt) / float64(iter)
 	return rep, nil
 }

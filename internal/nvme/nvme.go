@@ -258,6 +258,7 @@ func (a *Array) Put(key string, data []byte) error {
 
 	sp := a.tracer.Load().StartSpan(obs.LaneNVMeWrite, key)
 	if err := a.transfer(obj, data, true); err != nil {
+		sp.End()
 		a.releaseChunks(obj)
 		return err
 	}
@@ -303,6 +304,7 @@ func (a *Array) Get(key string) ([]byte, error) {
 	dst := make([]byte, obj.size)
 	sp := a.tracer.Load().StartSpan(obs.LaneNVMeRead, key)
 	if err := a.transfer(obj, dst, false); err != nil {
+		sp.End()
 		return nil, err
 	}
 	sp.End()
@@ -343,6 +345,7 @@ func (a *Array) ReadInto(key string, dst []byte) error {
 	}
 	sp := a.tracer.Load().StartSpan(obs.LaneNVMeRead, key)
 	if err := a.transfer(obj, dst, false); err != nil {
+		sp.End()
 		return err
 	}
 	sp.End()
@@ -535,7 +538,7 @@ func (a *Array) throttleDevice(d *device, n int, bw units.BytesPerSecond) {
 	}
 	var dur time.Duration
 	if bw > 0 {
-		dur = time.Duration(float64(n) / float64(bw) * float64(time.Second))
+		dur = units.TransferDuration(units.Bytes(n), bw)
 	}
 	dur += a.cfg.OpLatency
 	d.mu.Lock()
@@ -556,7 +559,7 @@ func (a *Array) throttleHost(n int) {
 	if a.cfg.HostCap <= 0 {
 		return
 	}
-	dur := time.Duration(float64(n) / float64(a.cfg.HostCap) * float64(time.Second))
+	dur := units.TransferDuration(units.Bytes(n), a.cfg.HostCap)
 	a.hostMu.Lock()
 	time.Sleep(dur)
 	a.hostMu.Unlock()

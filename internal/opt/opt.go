@@ -257,6 +257,7 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	sp := o.tracer.StartSpan(obs.LaneAdam, o.adamLabel(g.Name))
 	kernelStart := time.Now()
 	if err := AdamStep(o.cfg, o.step, p32, m, v, grad); err != nil {
+		sp.End()
 		return fmt.Errorf("opt: update %s: %w", g.Name, err)
 	}
 	o.kernelNanos.Add(time.Since(kernelStart).Nanoseconds())

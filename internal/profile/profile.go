@@ -58,7 +58,9 @@ func SSDBandwidth(a *nvme.Array, objBytes, rounds int) (read, write units.BytesP
 	readDur := time.Since(start)
 
 	for i := 0; i < rounds; i++ {
-		_ = a.Delete(fmt.Sprintf("profile/bw/%d", i))
+		if err := a.Delete(fmt.Sprintf("profile/bw/%d", i)); err != nil {
+			return 0, 0, fmt.Errorf("profile: cleanup: %w", err)
+		}
 	}
 
 	total := float64(objBytes * rounds)

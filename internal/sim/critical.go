@@ -14,11 +14,20 @@ func CriticalPath(res Result) []Span {
 	if len(res.Spans) == 0 {
 		return nil
 	}
+	// Walk spans in sorted task-ID order so byResource slices and the
+	// chosen terminal span never depend on map iteration order.
+	ids := make([]int, 0, len(res.Spans))
+	for id := range res.Spans {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
 	// Index spans by resource for queue-predecessor lookup.
 	byResource := make(map[ResourceID][]Span)
 	var last Span
 	found := false
-	for _, s := range res.Spans {
+	for _, id := range ids {
+		s := res.Spans[id]
 		byResource[s.Task.Resource] = append(byResource[s.Task.Resource], s)
 		if !found || s.End > last.End || (s.End == last.End && s.Task.ID > last.Task.ID) {
 			last = s

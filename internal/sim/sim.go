@@ -69,8 +69,16 @@ func (r Result) Utilization(res ResourceID) float64 {
 // counting partial overlap of spans. It supports the paper's per-stage PCIe
 // utilization breakdowns (Fig. 1).
 func (r Result) WindowBusy(res ResourceID, from, to units.Seconds) units.Seconds {
+	// Accumulate in sorted task-ID order: float addition is not
+	// associative, so map order would make the sum run-dependent.
+	ids := make([]int, 0, len(r.Spans))
+	for id := range r.Spans {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var busy units.Seconds
-	for _, s := range r.Spans {
+	for _, id := range ids {
+		s := r.Spans[id]
 		if s.Task.Resource != res {
 			continue
 		}
@@ -192,9 +200,22 @@ func Run(tasks []Task) (Result, error) {
 	var events completionHeap
 	var now units.Seconds
 
+	// Dispatch scans resources in a fixed sorted order so the completion
+	// heap's contents never depend on map iteration order.
+	resOrder := make([]ResourceID, 0, len(ready))
+	seenRes := make(map[ResourceID]bool, len(ready))
+	for _, t := range tasks {
+		if !seenRes[t.Resource] {
+			seenRes[t.Resource] = true
+			resOrder = append(resOrder, t.Resource)
+		}
+	}
+	sort.Slice(resOrder, func(i, j int) bool { return resOrder[i] < resOrder[j] })
+
 	dispatch := func() {
-		for resID, h := range ready {
-			if running[resID] || h.Len() == 0 {
+		for _, resID := range resOrder {
+			h, ok := ready[resID]
+			if !ok || running[resID] || h.Len() == 0 {
 				continue
 			}
 			id := heap.Pop(h).(int)

@@ -6,6 +6,7 @@ package units
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Bytes is a tensor or transfer size in bytes.
@@ -58,6 +59,19 @@ type Seconds float64
 // String renders s with millisecond precision.
 func (s Seconds) String() string { return fmt.Sprintf("%.3fs", float64(s)) }
 
+// Duration converts s to a wall-clock time.Duration, saturating at the
+// representable range so +Inf (infeasible placements) stays ordered.
+func (s Seconds) Duration() time.Duration {
+	v := float64(s) * float64(time.Second)
+	switch {
+	case v >= math.MaxInt64:
+		return time.Duration(math.MaxInt64)
+	case v <= math.MinInt64:
+		return time.Duration(math.MinInt64)
+	}
+	return time.Duration(v)
+}
+
 // BytesPerSecond is a link or device bandwidth.
 type BytesPerSecond float64
 
@@ -81,11 +95,20 @@ func TransferTime(b Bytes, bw BytesPerSecond) Seconds {
 	return Seconds(float64(b) / float64(bw))
 }
 
+// TransferDuration is TransferTime for callers pacing real I/O with
+// time.Duration (the NVMe throttles).
+func TransferDuration(b Bytes, bw BytesPerSecond) time.Duration {
+	return TransferTime(b, bw).Duration()
+}
+
 // FLOPs is a floating-point operation count.
 type FLOPs float64
 
 // TFLOPf reports f in teraFLOPs.
 func (f FLOPs) TFLOPf() float64 { return float64(f) / 1e12 }
+
+// GFLOPf reports f in gigaFLOPs.
+func (f FLOPs) GFLOPf() float64 { return float64(f) / 1e9 }
 
 // FLOPsPerSecond is a compute throughput.
 type FLOPsPerSecond float64
@@ -95,6 +118,16 @@ func TFLOPS(v float64) FLOPsPerSecond { return FLOPsPerSecond(v * 1e12) }
 
 // TFLOPSf reports the throughput in teraFLOP/s.
 func (t FLOPsPerSecond) TFLOPSf() float64 { return float64(t) / 1e12 }
+
+// Throughput reports the rate achieved by executing f FLOPs in s seconds.
+// Non-positive times yield 0 rather than Inf: a report of "0 TFLOPS" for a
+// degenerate measurement window is less misleading than an infinite one.
+func Throughput(f FLOPs, s Seconds) FLOPsPerSecond {
+	if s <= 0 {
+		return 0
+	}
+	return FLOPsPerSecond(float64(f) / float64(s))
+}
 
 // ComputeTime reports how long executing f FLOPs takes at throughput thp.
 func ComputeTime(f FLOPs, thp FLOPsPerSecond) Seconds {
