@@ -14,22 +14,34 @@ vet:
 	go vet ./...
 
 # Repo-specific analyzers (simdet, unitsafe, spanpair, poolcapture,
-# errdrop — see DESIGN.md §8). Also runs as a vet tool:
+# errdrop, bufreuse — see DESIGN.md §8). Also runs as a vet tool:
 #   go build -o bin/ratelvet ./cmd/ratelvet && go vet -vettool=bin/ratelvet ./...
 .PHONY: lint
 lint:
 	go run ./cmd/ratelvet ./...
 
-# Tier-2 umbrella: static analysis + repo analyzers + race detector.
+# Tier-2 umbrella: static analysis + repo analyzers + race detector +
+# one-iteration benchmark smoke (benchmarks must at least run).
 .PHONY: check
-check: vet lint race
+check: vet lint race bench-smoke
 
 # Kernel micro-benchmarks (BENCH_kernels.json is a committed snapshot).
 .PHONY: bench-kernels
 bench-kernels:
 	go test -bench 'BenchmarkMatMul_|BenchmarkAdamStep_' -benchmem ./internal/tensor ./internal/opt
 
-# Full evaluation reproduction: one benchmark per paper figure/table.
+# Data-path benchmarks (BENCH_datapath.json is a committed snapshot).
+.PHONY: bench-datapath
+bench-datapath:
+	go test -run '^$$' -bench 'BenchmarkCacheRoundTrip|BenchmarkTrainStep_Swap' -benchtime=100x -benchmem ./internal/engine
+
+# Every benchmark in the module at measurement settings.
 .PHONY: bench
 bench:
-	go test -bench=. -benchmem
+	go test -run '^$$' -bench . -benchmem ./...
+
+# Smoke: run every benchmark exactly once so they can't rot. Wired into
+# `make check` (and CI through it).
+.PHONY: bench-smoke
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime=1x ./...

@@ -1,0 +1,225 @@
+// Package bufreuse guards the buffer-ownership protocol of the offload
+// data path: a buffer handed to (*nvme.BufPool).Put or transferred with
+// (*nvme.Array).PutFrom is released — the pool may immediately hand the
+// same backing array to another caller, so any later read, write, or
+// re-release through the old variable is a use-after-free in all but name.
+// The scope is the code that actually borrows pooled buffers (engine and
+// nvme); elsewhere the pool types do not appear.
+package bufreuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ratel/internal/analysis"
+)
+
+const nvmePkg = "ratel/internal/nvme"
+
+// Analyzer is the bufreuse check.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufreuse",
+	Doc: `pooled buffers must not be used after release
+
+Flags uses of a buffer variable after it was passed to (*BufPool).Put or
+(*Array).PutFrom (both release ownership to the pool). Reassigning the
+variable (e.g. from a fresh Get) clears the taint. The analysis is
+positional within one function: releases inside loops whose uses precede
+them textually, and buffers released through fields or escaping the
+function, are out of scope — the ownership comment on BufPool covers
+those by contract.`,
+	Scope: []string{"ratel/internal/engine", "ratel/internal/nvme"},
+	Run:   run,
+}
+
+// release is one ownership-transfer call site: v is dead between the call
+// and limit — the end of the region control can still reach after the
+// release (a release followed by a return taints only its own block, the
+// idiom of error-path cleanup).
+type release struct {
+	v     *types.Var
+	via   string
+	call  *ast.CallExpr
+	limit token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+				return false // checkBody descends into nested literals itself
+			case *ast.FuncLit:
+				// Only reached for literals outside any FuncDecl (package-level
+				// var initializers); nested ones are covered above.
+				checkBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody runs the positional use-after-release scan over one function
+// body, nested closures included: a closure that touches a released buffer
+// runs no earlier than its creation point, so linear position order is a
+// sound approximation in the release-then-capture direction.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var releases []release
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r, ok := releaseCall(pass.TypesInfo, call); ok {
+			r.limit = taintLimit(body, call)
+			releases = append(releases, r)
+		}
+		return true
+	})
+	if len(releases) == 0 {
+		return
+	}
+
+	// Stores to a released variable through a bare-identifier LHS re-point it
+	// (typically at a fresh Get) and clear the taint; the LHS identifier
+	// itself is a store target, not a use of the released buffer.
+	type store struct {
+		v   *types.Var
+		end ast.Node
+	}
+	var stores []store
+	lhsTargets := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lhsTargets[id] = true
+			if v := analysis.UsedVar(pass.TypesInfo, id); v != nil {
+				stores = append(stores, store{v: v, end: as})
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhsTargets[id] {
+			return true
+		}
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if v == nil {
+			return true
+		}
+		for _, r := range releases {
+			if r.v != v || id.Pos() <= r.call.End() || id.Pos() > r.limit {
+				continue
+			}
+			cleared := false
+			for _, s := range stores {
+				if s.v == v && s.end.End() > r.call.End() && s.end.End() <= id.Pos() {
+					cleared = true
+					break
+				}
+			}
+			if !cleared {
+				pass.Reportf(id.Pos(), "pooled buffer %q used after %s released it: ownership transferred to the pool, the bytes may already back another caller's data", id.Name, r.via)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// releaseCall recognizes the two ownership-transfer entry points and
+// resolves the released argument to a bare variable.
+func releaseCall(info *types.Info, call *ast.CallExpr) (release, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || analysis.FuncPkgPath(fn) != nvmePkg {
+		return release{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return release{}, false
+	}
+	var argIdx int
+	var via string
+	switch {
+	case fn.Name() == "Put" && analysis.NamedType(sig.Recv().Type(), nvmePkg, "BufPool"):
+		argIdx, via = 0, "BufPool.Put"
+	case fn.Name() == "PutFrom" && analysis.NamedType(sig.Recv().Type(), nvmePkg, "Array"):
+		argIdx, via = 1, "Array.PutFrom"
+	default:
+		return release{}, false
+	}
+	if len(call.Args) <= argIdx {
+		return release{}, false
+	}
+	v := analysis.UsedVar(info, call.Args[argIdx])
+	if v == nil {
+		return release{}, false
+	}
+	return release{v: v, via: via, call: call}, true
+}
+
+// taintLimit bounds how far past the release control can still flow: when
+// the release's enclosing block goes on to return or panic, execution
+// never re-enters the surrounding code, so only that block is tainted —
+// the error-path cleanup idiom (Put then return err). Blocks that fall
+// through escalate to their parent, up to the whole function body.
+func taintLimit(body *ast.BlockStmt, call *ast.CallExpr) token.Pos {
+	for _, b := range enclosingBlocks(body, call) {
+		if terminatesAfter(b, call.End()) {
+			return b.End()
+		}
+	}
+	return body.End()
+}
+
+// enclosingBlocks lists the blocks containing the call, innermost first.
+func enclosingBlocks(body *ast.BlockStmt, call *ast.CallExpr) []*ast.BlockStmt {
+	var chain []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || n.Pos() > call.Pos() || n.End() < call.End() {
+			return false
+		}
+		if b, ok := n.(*ast.BlockStmt); ok {
+			chain = append([]*ast.BlockStmt{b}, chain...)
+		}
+		return true
+	})
+	return chain
+}
+
+// terminatesAfter reports whether the block, from pos onward, contains a
+// top-level statement that leaves the function (return or panic). Branch
+// statements do not count: break/continue re-enter the surrounding code.
+func terminatesAfter(b *ast.BlockStmt, pos token.Pos) bool {
+	for _, st := range b.List {
+		if st.Pos() < pos {
+			continue
+		}
+		switch st := st.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package bufreuse_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/bufreuse"
+)
+
+func TestBufreuse(t *testing.T) {
+	analysistest.Run(t, bufreuse.Analyzer, "bufd")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{"ratel/internal/engine", "ratel/internal/nvme"} {
+		if !bufreuse.Analyzer.AppliesTo(pkg) {
+			t.Errorf("bufreuse should cover %s", pkg)
+		}
+	}
+	for _, pkg := range []string{"ratel/internal/tensor", "ratel/internal/obs"} {
+		if bufreuse.Analyzer.AppliesTo(pkg) {
+			t.Errorf("bufreuse should not cover %s", pkg)
+		}
+	}
+}

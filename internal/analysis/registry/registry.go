@@ -4,6 +4,7 @@ package registry
 
 import (
 	"ratel/internal/analysis"
+	"ratel/internal/analysis/bufreuse"
 	"ratel/internal/analysis/errdrop"
 	"ratel/internal/analysis/poolcapture"
 	"ratel/internal/analysis/simdet"
@@ -14,6 +15,7 @@ import (
 // All returns the full analyzer set in stable (alphabetical) order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		bufreuse.Analyzer,
 		errdrop.Analyzer,
 		poolcapture.Analyzer,
 		simdet.Analyzer,

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"ratel/internal/nn"
+	"ratel/internal/tensor"
+)
+
+// blobArena is the engine's steady-state swap memory: every buffer the
+// activation path needs, allocated at most once (blob size is fixed by the
+// geometry) and reused for the rest of training.
+//
+// Safety relies on the backward loop's structure rather than locking:
+//
+//   - enc is the forward encode scratch for the SSD tier. nvme.Put borrows
+//     its argument only for the duration of the call, so the same buffer
+//     serves every block of every step. (Host-tier blobs outlive the encode —
+//     they are pinned until backward — so they come from nvme.Buffers
+//     instead.)
+//   - fetch is the prefetch double buffer, indexed by block parity (i%2). At
+//     most the fetches of two adjacent blocks are ever in flight or being
+//     consumed together — the pipeline launches i-1 while decoding i — and
+//     adjacent blocks have opposite parity, so the slots never collide.
+//   - ring holds the two reusable BlockCaches decodeCacheInto revives,
+//     indexed by the same parity. Block i's cache is consumed by Backward
+//     before block i-1 (or any earlier swap block) is decoded, and Backward
+//     retains nothing from the cache after it returns, so two entries cover
+//     the deepest overlap the pipeline creates.
+type blobArena struct {
+	enc   []byte
+	fetch [2][]byte
+	ring  [2]*nn.BlockCache
+	// ts is the codec's tensor-list scratch: encode and decode both run on
+	// the engine's step goroutine, never concurrently, so one slice serves
+	// every block of every step.
+	ts []*tensor.Tensor
+
+	// blobReuses counts encode/fetch buffer uses served without allocating;
+	// ringReuses counts cache revivals into an existing ring entry. Exposed
+	// via the metrics registry (engine.blob_reuses / engine.ring_reuses).
+	blobReuses atomic.Int64
+	ringReuses atomic.Int64
+}
+
+// encBuf returns the shared forward-encode scratch of n bytes.
+func (ar *blobArena) encBuf(n int) []byte {
+	if ar.enc == nil {
+		ar.enc = make([]byte, n)
+	} else {
+		ar.blobReuses.Add(1)
+	}
+	return ar.enc
+}
+
+// fetchBuf returns block i's prefetch slot of n bytes.
+func (ar *blobArena) fetchBuf(i, n int) []byte {
+	b := &ar.fetch[i&1]
+	if *b == nil {
+		*b = make([]byte, n)
+	} else {
+		ar.blobReuses.Add(1)
+	}
+	return *b
+}
+
+// cacheFor returns block i's ring cache, allocating it on first use.
+func (ar *blobArena) cacheFor(i int, g geometry) *nn.BlockCache {
+	s := &ar.ring[i&1]
+	if *s == nil {
+		*s = newBlockCache(g)
+	} else {
+		ar.ringReuses.Add(1)
+	}
+	return *s
+}
+
+// encode packs c into blob through the arena's tensor-list scratch — the
+// allocation-free form of encodeCacheInto.
+func (ar *blobArena) encode(blob []byte, c *nn.BlockCache) error {
+	ar.ts = appendCacheTensors(ar.ts[:0], c)
+	return encodeTensors(blob, ar.ts)
+}
+
+// decode revives c from blob with input installed as the block input — the
+// allocation-free form of decodeCacheInto.
+func (ar *blobArena) decode(c *nn.BlockCache, blob []byte, input *tensor.Tensor) error {
+	c.X = input
+	ar.ts = appendCacheTensors(ar.ts[:0], c)
+	return decodeTensors(blob, ar.ts)
+}

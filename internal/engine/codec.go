@@ -17,14 +17,21 @@ func geometryOf(cfg nn.Config) geometry {
 	return geometry{batch: cfg.Batch, seq: cfg.Seq, hidden: cfg.Hidden, heads: cfg.Heads}
 }
 
-// cacheTensors lists a block cache's tensors in serialization order. The
-// block output Y is excluded: backward never reads it.
-func cacheTensors(c *nn.BlockCache) []*tensor.Tensor {
-	ts := []*tensor.Tensor{c.LN1Out, c.Attn.QKV}
+// appendCacheTensors appends a block cache's tensors in serialization order
+// to ts, reusing its capacity — the engine's steady-state codec scratch.
+// The block output Y is excluded: backward never reads it.
+func appendCacheTensors(ts []*tensor.Tensor, c *nn.BlockCache) []*tensor.Tensor {
+	ts = append(ts, c.LN1Out, c.Attn.QKV)
 	for _, hs := range c.Attn.Probs {
 		ts = append(ts, hs...)
 	}
 	return append(ts, c.Attn.Ctx, c.AttnY, c.Res1, c.LN2Out, c.FC1Out, c.GeluOut)
+}
+
+// cacheTensors lists a block cache's tensors in serialization order.
+func cacheTensors(c *nn.BlockCache) []*tensor.Tensor {
+	ts := make([]*tensor.Tensor, 0, 8+len(c.Attn.Probs)*len(c.Attn.Probs[0]))
+	return appendCacheTensors(ts, c)
 }
 
 // cacheShapes mirrors cacheTensors for decoding.
@@ -44,63 +51,115 @@ func (g geometry) cacheShapes() [][]int {
 	)
 }
 
+// blobBytes is the exact fp16 size of an encoded block cache — statically
+// known from the geometry, which is what lets the engine preallocate every
+// swap buffer once.
+func (g geometry) blobBytes() int {
+	n := 0
+	for _, s := range g.cacheShapes() {
+		n += tensor.Numel(s...)
+	}
+	return 2 * n
+}
+
+// newBlockCache allocates an empty block cache with every serialized tensor
+// shaped per the geometry — the ring entries decodeCacheInto revives. X and
+// Y are left nil: X is installed per decode, Y is never serialized.
+func newBlockCache(g geometry) *nn.BlockCache {
+	n := g.batch * g.seq
+	c := &nn.BlockCache{Attn: &nn.AttnCache{}}
+	c.LN1Out = tensor.New(n, g.hidden)
+	c.Attn.QKV = tensor.New(n, 3*g.hidden)
+	c.Attn.Probs = make([][]*tensor.Tensor, g.batch)
+	for bi := range c.Attn.Probs {
+		c.Attn.Probs[bi] = make([]*tensor.Tensor, g.heads)
+		for h := range c.Attn.Probs[bi] {
+			c.Attn.Probs[bi][h] = tensor.New(g.seq, g.seq)
+		}
+	}
+	c.Attn.Ctx = tensor.New(n, g.hidden)
+	c.AttnY = tensor.New(n, g.hidden)
+	c.Res1 = tensor.New(n, g.hidden)
+	c.LN2Out = tensor.New(n, g.hidden)
+	c.FC1Out = tensor.New(n, 4*g.hidden)
+	c.GeluOut = tensor.New(n, 4*g.hidden)
+	return c
+}
+
 // encodeCache packs a block cache's activations as binary16 — the A16 bytes
 // the engine offloads. Every tensor is already on the fp16 grid, so the
-// encoding is lossless.
+// encoding is lossless. The blob is preallocated at its exact size; the
+// steady-state path avoids even that by encoding into an arena buffer with
+// encodeCacheInto.
 func encodeCache(c *nn.BlockCache, g geometry) []byte {
-	var out []byte
-	for _, t := range cacheTensors(c) {
-		out = append(out, tensor.ToFP16Bytes(t.Data)...)
-	}
+	out := make([]byte, g.blobBytes())
+	// The length is exact by construction, so the Into error is impossible.
+	_ = encodeCacheInto(out, c, g)
 	return out
 }
 
-// decodeCache restores a block cache from its fp16 bytes and the saved
-// block input.
-func decodeCache(blob []byte, input *tensor.Tensor, g geometry) (*nn.BlockCache, error) {
-	c := &nn.BlockCache{X: input, Attn: &nn.AttnCache{}}
+// encodeCacheInto packs the cache into dst, which must be exactly
+// g.blobBytes() long. dst is fully overwritten, so dirty reused buffers
+// encode the same bits as fresh ones.
+func encodeCacheInto(dst []byte, c *nn.BlockCache, g geometry) error {
+	return encodeTensors(dst, cacheTensors(c))
+}
+
+// encodeTensors packs ts as fp16 into dst, which must hold exactly the
+// tensors' combined encoded size.
+func encodeTensors(dst []byte, ts []*tensor.Tensor) error {
 	off := 0
-	next := func(shape []int) (*tensor.Tensor, error) {
-		n := tensor.Numel(shape...)
-		end := off + 2*n
-		if end > len(blob) {
-			return nil, fmt.Errorf("engine: activation blob truncated at %d of %d bytes", off, len(blob))
+	for _, t := range ts {
+		end := off + 2*t.Numel()
+		if end > len(dst) {
+			return fmt.Errorf("engine: encode blob %d bytes, need more than %d", len(dst), off)
 		}
-		t := tensor.New(shape...)
-		if err := tensor.FromFP16Bytes(blob[off:end], t.Data); err != nil {
-			return nil, err
+		if err := tensor.ToFP16BytesInto(dst[off:end], t.Data); err != nil {
+			return err
 		}
 		off = end
-		return t, nil
 	}
+	if off != len(dst) {
+		return fmt.Errorf("engine: encode blob %d bytes, want %d", len(dst), off)
+	}
+	return nil
+}
 
-	shapes := g.cacheShapes()
-	var err error
-	if c.LN1Out, err = next(shapes[0]); err != nil {
+// decodeCache restores a block cache from its fp16 bytes and the saved
+// block input, allocating fresh tensors. The engine's backward path decodes
+// into a reusable ring with decodeCacheInto instead.
+func decodeCache(blob []byte, input *tensor.Tensor, g geometry) (*nn.BlockCache, error) {
+	c := newBlockCache(g)
+	if err := decodeCacheInto(c, blob, input, g); err != nil {
 		return nil, err
-	}
-	if c.Attn.QKV, err = next(shapes[1]); err != nil {
-		return nil, err
-	}
-	c.Attn.Probs = make([][]*tensor.Tensor, g.batch)
-	idx := 2
-	for bi := 0; bi < g.batch; bi++ {
-		c.Attn.Probs[bi] = make([]*tensor.Tensor, g.heads)
-		for h := 0; h < g.heads; h++ {
-			if c.Attn.Probs[bi][h], err = next(shapes[idx]); err != nil {
-				return nil, err
-			}
-			idx++
-		}
-	}
-	for _, dst := range []**tensor.Tensor{&c.Attn.Ctx, &c.AttnY, &c.Res1, &c.LN2Out, &c.FC1Out, &c.GeluOut} {
-		if *dst, err = next(shapes[idx]); err != nil {
-			return nil, err
-		}
-		idx++
-	}
-	if off != len(blob) {
-		return nil, fmt.Errorf("engine: activation blob has %d trailing bytes", len(blob)-off)
 	}
 	return c, nil
+}
+
+// decodeCacheInto revives c — a cache built by newBlockCache(g) — from its
+// fp16 bytes, installing input as the block input. Every serialized tensor
+// is fully overwritten, so ring entries carry no state between blocks.
+func decodeCacheInto(c *nn.BlockCache, blob []byte, input *tensor.Tensor, g geometry) error {
+	c.X = input
+	return decodeTensors(blob, cacheTensors(c))
+}
+
+// decodeTensors unpacks fp16 blob bytes into ts, fully overwriting each
+// tensor.
+func decodeTensors(blob []byte, ts []*tensor.Tensor) error {
+	off := 0
+	for _, t := range ts {
+		end := off + 2*t.Numel()
+		if end > len(blob) {
+			return fmt.Errorf("engine: activation blob truncated at %d of %d bytes", off, len(blob))
+		}
+		if err := tensor.FromFP16Bytes(blob[off:end], t.Data); err != nil {
+			return err
+		}
+		off = end
+	}
+	if off != len(blob) {
+		return fmt.Errorf("engine: activation blob has %d trailing bytes", len(blob)-off)
+	}
+	return nil
 }

@@ -141,6 +141,20 @@ type Engine struct {
 	prevGrads map[string][]float32 // pending gradients in DelayedUpdate mode
 	scaler    *opt.LossScaler      // dynamic loss scaling, nil when static/off
 
+	// groups caches ParamGroups at construction — group boundaries and the
+	// P/G tensors they reference are fixed for the model's lifetime.
+	groups []nn.ParamGroup
+	// arena and blobLen are the preallocated swap-path buffers (see arena.go);
+	// blobLen is the fixed fp16 size of one block's activation blob.
+	arena   blobArena
+	blobLen int
+	// stepChs are the per-submission optimizer result channels, one per
+	// param group, reused every step (each is drained before the step ends,
+	// so reuse never observes a stale value). pendingScr is the matching
+	// slice scratch. Engine steps are serial, so neither needs locking.
+	stepChs    []chan error
+	pendingScr []chan error
+
 	// Telemetry (see telemetry.go). tracer may be nil; ins instruments are
 	// detached no-ops when Config.Metrics is nil.
 	tracer           *obs.Tracer
@@ -195,10 +209,12 @@ func New(cfg Config) (*Engine, error) {
 		hostPool:  memctl.NewPool("host", cfg.HostMemory),
 		geom:      geometryOf(cfg.Model),
 		hostActs:  make(map[int]*hostAct),
+		groups:    m.ParamGroups(),
 		tracer:    cfg.Tracer,
 		labels:    makeBlockLabels(len(m.Blocks)),
 		ins:       makeInstruments(cfg.Metrics),
 	}
+	e.blobLen = e.geom.blobBytes()
 	a.SetTracer(cfg.Tracer)
 	e.optimizer.SetTracer(cfg.Tracer)
 	if cfg.ClipGroupNorm > 0 {
@@ -221,7 +237,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.scaler = scaler
 	}
-	for _, g := range m.ParamGroups() {
+	for _, g := range e.groups {
 		if err := e.optimizer.InitGroup(g); err != nil {
 			return nil, errors.Join(err, a.Close())
 		}
@@ -282,7 +298,7 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 	stepSp := e.tracer.StartSpan(obs.LaneStep, labelStep)
 	defer stepSp.End()
 
-	groups := m.ParamGroups() // embedding, block0..N-1, head
+	groups := e.groups // embedding, block0..N-1, head
 
 	// Optimizer pipeline for the Optimized mode: handlers run on a worker
 	// goroutine, overlapping the remaining backward computation. Naive
@@ -304,13 +320,15 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 			}
 		}()
 	}
+	pending = e.pendingScr[:0]
+	defer func() { e.pendingScr = pending[:0] }()
 	submit := func(g nn.ParamGroup) error {
 		if e.cfg.DelayedUpdate {
 			return nil // handled after backward, one step late
 		}
 		switch e.cfg.GradMode {
 		case agoffload.Optimized:
-			errCh := make(chan error, 1)
+			errCh := e.stepCh(len(pending))
 			jobs <- gradJob{group: g, errCh: errCh}
 			pending = append(pending, errCh)
 			return nil
@@ -387,6 +405,15 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 	return loss, nil
 }
 
+// stepCh returns the i'th reusable optimizer result channel, growing the
+// set on first use.
+func (e *Engine) stepCh(i int) chan error {
+	for len(e.stepChs) <= i {
+		e.stepChs = append(e.stepChs, make(chan error, 1))
+	}
+	return e.stepChs[i]
+}
+
 // countTokens sums the sequence lengths of one batch.
 func countTokens(tokens [][]int) int {
 	n := 0
@@ -423,7 +450,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 	stepStart := time.Now()
 	stepSp := e.tracer.StartSpan(obs.LaneStep, labelStep)
 	defer stepSp.End()
-	groups := m.ParamGroups()
+	groups := e.groups
 
 	var totalLoss float64
 	var fwdTotal, bwdTotal time.Duration
@@ -458,6 +485,8 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 			}
 		}()
 	}
+	pending = e.pendingScr[:0]
+	defer func() { e.pendingScr = pending[:0] }()
 	scale := float32(1) / float32(len(micro))
 	submit := func(g nn.ParamGroup) error {
 		for _, p := range g.Params {
@@ -465,7 +494,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 		}
 		switch e.cfg.GradMode {
 		case agoffload.Optimized:
-			errCh := make(chan error, 1)
+			errCh := e.stepCh(len(pending))
 			jobs <- gradJob{group: g, errCh: errCh}
 			pending = append(pending, errCh)
 			return nil
@@ -564,15 +593,21 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		}
 		switch e.cfg.Swap[i] {
 		case SwapSSD:
-			// Offload the cache: host staging, then the NVMe store.
+			// Offload the cache: host staging, then the NVMe store. Put
+			// borrows the blob only for the call, so the arena's one encode
+			// scratch serves every SSD block of every step.
 			sp = tr.StartSpan(obs.LaneOffload, e.labels[i].offload)
-			blob := encodeCache(c, e.geom)
+			blob := e.arena.encBuf(e.blobLen)
+			if err := e.arena.encode(blob, c); err != nil {
+				sp.End()
+				return fail(err)
+			}
 			res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
 			if err != nil {
 				sp.End()
 				return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
 			}
-			if err := e.array.Put(actKey(i), blob); err != nil {
+			if err := e.array.Put(e.labels[i].actKey, blob); err != nil {
 				sp.End()
 				res.Release()
 				return fail(fmt.Errorf("engine: offload block %d activations: %w", i, err))
@@ -583,13 +618,26 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			e.stats.ActBytesOffload += units.Bytes(len(blob))
 			e.mu.Unlock()
 		case SwapHost:
-			// Pin the cache in main memory until backward consumes it.
+			// Pin the cache in main memory until backward consumes it. The
+			// blob outlives this call, so it comes from the shared buffer
+			// pool and returns there when backward decodes it.
 			sp = tr.StartSpan(obs.LaneOffload, e.labels[i].pin)
-			blob := encodeCache(c, e.geom)
+			blob := nvme.Buffers.Get(e.blobLen)
+			if err := e.arena.encode(blob, c); err != nil {
+				sp.End()
+				nvme.Buffers.Put(blob)
+				return fail(err)
+			}
 			res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
 			sp.End()
 			if err != nil {
+				nvme.Buffers.Put(blob)
 				return fail(fmt.Errorf("engine: host tier for block %d: %w", i, err))
+			}
+			if stale := e.hostActs[i]; stale != nil {
+				// Left over from a failed step: recycle before overwriting.
+				stale.res.Release()
+				nvme.Buffers.Put(stale.blob)
 			}
 			e.hostActs[i] = &hostAct{blob: blob, res: res}
 			e.mu.Lock()
@@ -635,7 +683,10 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 
 	// Pipelined data transfer (the Ratel_hook prefetching of Fig. 4): the
 	// SSD read for block i-1's activations overlaps block i's backward
-	// computation. Prefetching changes only timing, never values.
+	// computation. Prefetching changes only timing, never values. Each fetch
+	// reads into the arena's parity slot for its block: only adjacent blocks
+	// are ever in flight together, and adjacent blocks have opposite parity,
+	// so the two slots never collide (see blobArena).
 	type fetchResult struct {
 		blob []byte
 		err  error
@@ -648,11 +699,12 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		ch := make(chan fetchResult, 1)
 		prefetch[i] = ch
 		label := e.labels[i].prefetch
+		buf := e.arena.fetchBuf(i, e.blobLen)
 		go func() {
 			start := tr.Now()
-			blob, err := e.array.Get(actKey(i))
+			err := e.array.ReadInto(e.labels[i].actKey, buf)
 			tr.RecordSpan(obs.LanePrefetch, label, start, tr.Now())
-			ch <- fetchResult{blob: blob, err: err}
+			ch <- fetchResult{blob: buf, err: err}
 		}()
 	}
 	// On any exit, wait out in-flight prefetches (consumed entries are
@@ -676,13 +728,15 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 				blob, err = res.blob, res.err
 			} else {
 				sp = tr.StartSpan(obs.LanePrefetch, e.labels[i].fetch)
-				blob, err = e.array.Get(actKey(i))
+				blob = e.arena.fetchBuf(i, e.blobLen)
+				err = e.array.ReadInto(e.labels[i].actKey, blob)
 				sp.End()
 			}
 			if err != nil {
 				return fail(fmt.Errorf("engine: fetch block %d activations: %w", i, err))
 			}
-			if c, err = decodeCache(blob, inputs[i], e.geom); err != nil {
+			c = e.arena.cacheFor(i, e.geom)
+			if err = e.arena.decode(c, blob, inputs[i]); err != nil {
 				return fail(err)
 			}
 			e.mu.Lock()
@@ -693,13 +747,16 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			if ha == nil {
 				return fail(fmt.Errorf("engine: block %d host-tier cache missing", i))
 			}
-			if c, err = decodeCache(ha.blob, inputs[i], e.geom); err != nil {
+			c = e.arena.cacheFor(i, e.geom)
+			if err = e.arena.decode(c, ha.blob, inputs[i]); err != nil {
 				return fail(err)
 			}
+			blobLen := len(ha.blob)
 			ha.res.Release()
+			nvme.Buffers.Put(ha.blob)
 			delete(e.hostActs, i)
 			e.mu.Lock()
-			e.stats.ActBytesFetched += units.Bytes(len(ha.blob))
+			e.stats.ActBytesFetched += units.Bytes(blobLen)
 			e.mu.Unlock()
 		default:
 			sp = tr.StartSpan(obs.LaneCompute, e.labels[i].recompute)
@@ -771,7 +828,7 @@ func (e *Engine) FlushDelayed() error {
 		return nil
 	}
 	e.optimizer.BeginStep()
-	for _, g := range e.model.ParamGroups() {
+	for _, g := range e.groups {
 		installGrads(g, e.prevGrads[g.Name])
 		if err := e.optimizer.UpdateGroup(g); err != nil {
 			return err

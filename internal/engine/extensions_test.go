@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"ratel/internal/agoffload"
 	"ratel/internal/nn"
+	"ratel/internal/tensor"
 	"ratel/internal/units"
 )
 
@@ -566,22 +568,39 @@ func TestClipGroupNorm(t *testing.T) {
 }
 
 // TestPrefetchEquivalence: the prefetch pipeline changes timing only —
-// training with and without it is bit-identical.
+// training with and without it is bit-identical, across swap tier mixes
+// (pure SSD, and SSD interleaved with pinned host blobs from the shared
+// buffer pool) and worker-pool widths (serial and parallel codecs).
 func TestPrefetchEquivalence(t *testing.T) {
-	swap := map[int]Tier{0: SwapSSD, 1: SwapSSD, 2: SwapSSD}
-	with := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: swap})
-	without := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: swap, DisablePrefetch: true})
-	a := trainK(t, with, 3)
-	b := trainK(t, without, 3)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("loss[%d] differs with prefetch: %v vs %v", i, a[i], b[i])
-		}
+	swaps := []struct {
+		name string
+		swap map[int]Tier
+	}{
+		{"all-ssd", map[int]Tier{0: SwapSSD, 1: SwapSSD, 2: SwapSSD}},
+		{"mixed", map[int]Tier{0: SwapSSD, 1: SwapHost, 2: SwapSSD}},
 	}
-	pa, pb := paramsSnapshot(with.Model()), paramsSnapshot(without.Model())
-	for i := range pa {
-		if pa[i] != pb[i] {
-			t.Fatal("prefetch changed training values")
+	old := tensor.Parallelism()
+	defer tensor.SetParallelism(old)
+	for _, threads := range []int{1, 4} {
+		tensor.SetParallelism(threads)
+		for _, sc := range swaps {
+			t.Run(fmt.Sprintf("%s/threads=%d", sc.name, threads), func(t *testing.T) {
+				with := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: sc.swap})
+				without := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: sc.swap, DisablePrefetch: true})
+				a := trainK(t, with, 3)
+				b := trainK(t, without, 3)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("loss[%d] differs with prefetch: %v vs %v", i, a[i], b[i])
+					}
+				}
+				pa, pb := paramsSnapshot(with.Model()), paramsSnapshot(without.Model())
+				for i := range pa {
+					if pa[i] != pb[i] {
+						t.Fatal("prefetch changed training values")
+					}
+				}
+			})
 		}
 	}
 }

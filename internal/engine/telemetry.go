@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ratel/internal/nvme"
 	"ratel/internal/obs"
 	"ratel/internal/tensor/pool"
 	"ratel/internal/units"
@@ -25,6 +26,7 @@ type blockLabels struct {
 	pin       string // "blockN/act-pin"       lane offload (host tier)
 	prefetch  string // "blockN/act-prefetch"  lane prefetch
 	fetch     string // "blockN/act-fetch"     lane prefetch (sync fallback)
+	actKey    string // "act/blockN"           NVMe object key, not a span
 }
 
 func makeBlockLabels(layers int) []blockLabels {
@@ -39,6 +41,7 @@ func makeBlockLabels(layers int) []blockLabels {
 			pin:       p + "/act-pin",
 			prefetch:  p + "/act-prefetch",
 			fetch:     p + "/act-fetch",
+			actKey:    actKey(i),
 		}
 	}
 	return out
@@ -131,6 +134,15 @@ type instruments struct {
 	poolInline    *obs.Gauge
 	poolSubmitter *obs.Gauge
 	poolWorker    *obs.Gauge
+
+	// Buffer-reuse health: the nvme buffer pool's hit/miss/steal counters
+	// and the arena's blob/ring revival counts. A healthy steady state shows
+	// misses and steals flat while hits and reuses climb.
+	bufHits    *obs.Gauge
+	bufMisses  *obs.Gauge
+	bufSteals  *obs.Gauge
+	blobReuses *obs.Gauge
+	ringReuses *obs.Gauge
 }
 
 func makeInstruments(r *obs.Registry) instruments {
@@ -162,6 +174,12 @@ func makeInstruments(r *obs.Registry) instruments {
 		poolInline:    r.Gauge("pool.inline_runs"),
 		poolSubmitter: r.Gauge("pool.submitter_chunks"),
 		poolWorker:    r.Gauge("pool.worker_chunks"),
+
+		bufHits:    r.Gauge("nvme.buf_hits"),
+		bufMisses:  r.Gauge("nvme.buf_misses"),
+		bufSteals:  r.Gauge("nvme.buf_steals"),
+		blobReuses: r.Gauge("engine.blob_reuses"),
+		ringReuses: r.Gauge("engine.ring_reuses"),
 	}
 }
 
@@ -223,4 +241,11 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	ins.poolInline.Set(float64(ps.InlineRuns))
 	ins.poolSubmitter.Set(float64(ps.SubmitterChunks))
 	ins.poolWorker.Set(float64(ps.WorkerChunks))
+
+	bs := nvme.Buffers.Stats()
+	ins.bufHits.Set(float64(bs.Hits))
+	ins.bufMisses.Set(float64(bs.Misses))
+	ins.bufSteals.Set(float64(bs.Steals))
+	ins.blobReuses.Set(float64(e.arena.blobReuses.Load()))
+	ins.ringReuses.Set(float64(e.arena.ringReuses.Load()))
 }

@@ -141,6 +141,20 @@ func TestRegistryUpdatedPerStep(t *testing.T) {
 	if got := snap["engine.act_offload_bytes"]; got != float64(st.ActBytesOffload) {
 		t.Fatalf("act_offload_bytes %v != stats %v", got, st.ActBytesOffload)
 	}
+	// Buffer-reuse counters: after 3 steps the SSD-swap block has revived
+	// its arena blob and ring cache at least once past the first step.
+	for _, name := range []string{"engine.blob_reuses", "engine.ring_reuses"} {
+		if snap[name] <= 0 {
+			t.Fatalf("%s = %v, want > 0 (snapshot %v)", name, snap[name], snap)
+		}
+	}
+	// The shared nvme pool counters must at least be exported (hits can be
+	// zero in an SSD-only config that never touches host-pinned blobs).
+	for _, name := range []string{"nvme.buf_hits", "nvme.buf_misses", "nvme.buf_steals"} {
+		if _, ok := snap[name]; !ok {
+			t.Fatalf("%s missing from snapshot %v", name, snap)
+		}
+	}
 }
 
 // TestStatsAccumulateAcrossMicroBatches: engine.Stats() must count data

@@ -16,6 +16,44 @@ type Attention struct {
 	Dim   int
 	QKV   *Linear // [d, 3d]
 	Out   *Linear // [d, d]
+
+	// scratch holds one headScratch per (batch, head) task, allocated on
+	// first use and reused for the layer's lifetime: per-head temporaries
+	// dominated steady-state allocation churn. Forward and Backward never run
+	// concurrently on one layer, and each task touches only its own entry, so
+	// no locking is needed.
+	scratch    []headScratch
+	scratchSeq int
+}
+
+// headScratch is one attention task's reusable temporaries. Every tensor is
+// fully overwritten on each use (the Into kernels zero-or-write every cell,
+// and dscores is explicitly zeroed before its causal fill), so reuse is
+// bit-transparent.
+type headScratch struct {
+	q, k, v, out     *tensor.Tensor // [seq, dh]
+	dout, dv, dq, dk *tensor.Tensor // [seq, dh]
+	dprobs, dscores  *tensor.Tensor // [seq, seq]
+}
+
+// scratchFor returns the per-task scratch table for the given geometry,
+// (re)allocating when batch or seq changed since the last call.
+func (a *Attention) scratchFor(batch, seq int) []headScratch {
+	if a.scratch != nil && a.scratchSeq == seq && len(a.scratch) == batch*a.Heads {
+		return a.scratch
+	}
+	dh := a.Dim / a.Heads
+	ws := make([]headScratch, batch*a.Heads)
+	for i := range ws {
+		ws[i] = headScratch{
+			q: tensor.New(seq, dh), k: tensor.New(seq, dh), v: tensor.New(seq, dh),
+			out: tensor.New(seq, dh), dout: tensor.New(seq, dh),
+			dv: tensor.New(seq, dh), dq: tensor.New(seq, dh), dk: tensor.New(seq, dh),
+			dprobs: tensor.New(seq, seq), dscores: tensor.New(seq, seq),
+		}
+	}
+	a.scratch, a.scratchSeq = ws, seq
+	return ws
 }
 
 // NewAttention builds a causal multi-head attention layer.
@@ -60,21 +98,23 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *
 		cache.Probs[bi] = make([]*tensor.Tensor, a.Heads)
 	}
 	ctx := tensor.New(n, d)
-	// Each (batch, head) task writes disjoint column slices of ctx and its
-	// own cache.Probs cell, so heads fan out across the worker pool with
-	// bit-identical results at any thread count.
+	ws := a.scratchFor(batch, seq)
+	// Each (batch, head) task writes disjoint column slices of ctx, its own
+	// cache.Probs cell, and its own scratch entry, so heads fan out across
+	// the worker pool with bit-identical results at any thread count.
 	err = a.forEachHead(batch, seq, func(bi, h int) error {
-		q := tensor.New(seq, dh)
-		k := tensor.New(seq, dh)
-		v := tensor.New(seq, dh)
+		w := &ws[bi*a.Heads+h]
+		q, k, v := w.q, w.k, w.v
 		for s := 0; s < seq; s++ {
 			row := qkv.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
 			copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
 			copy(k.Data[s*dh:(s+1)*dh], row[d+h*dh:d+(h+1)*dh])
 			copy(v.Data[s*dh:(s+1)*dh], row[2*d+h*dh:2*d+(h+1)*dh])
 		}
-		scores, err := tensor.MatMulT(q, k)
-		if err != nil {
+		// scores is the one per-head tensor that survives the task: it is
+		// retained as cache.Probs[bi][h], so it cannot come from scratch.
+		scores := tensor.New(seq, seq)
+		if err := tensor.MatMulTInto(scores, q, k); err != nil {
 			return err
 		}
 		scores.Scale(scale)
@@ -84,12 +124,11 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seq int) (*tensor.Tensor, *
 		}
 		roundGrid(scores)
 		cache.Probs[bi][h] = scores
-		out, err := tensor.MatMul(scores, v)
-		if err != nil {
+		if err := tensor.MatMulInto(w.out, scores, v); err != nil {
 			return err
 		}
 		for s := 0; s < seq; s++ {
-			copy(ctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh], out.Data[s*dh:(s+1)*dh])
+			copy(ctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh], w.out.Data[s*dh:(s+1)*dh])
 		}
 		return nil
 	})
@@ -126,14 +165,14 @@ func (a *Attention) Backward(x *tensor.Tensor, cache *AttnCache, dy *tensor.Tens
 		return nil, err
 	}
 	dqkv := tensor.New(batch*seq, 3*d)
-	// Each (batch, head) task writes disjoint column slices of dqkv; the
-	// parameter-gradient accumulations (Out.Backward above, QKV.Backward
-	// below) stay outside the parallel region.
+	ws := a.scratchFor(batch, seq)
+	// Each (batch, head) task writes disjoint column slices of dqkv and its
+	// own scratch entry; the parameter-gradient accumulations (Out.Backward
+	// above, QKV.Backward below) stay outside the parallel region.
 	err = a.forEachHead(batch, seq, func(bi, h int) error {
+		w := &ws[bi*a.Heads+h]
 		// Re-slice q, k, v for this head.
-		q := tensor.New(seq, dh)
-		k := tensor.New(seq, dh)
-		v := tensor.New(seq, dh)
+		q, k, v := w.q, w.k, w.v
 		for s := 0; s < seq; s++ {
 			row := cache.QKV.Data[(bi*seq+s)*3*d : (bi*seq+s+1)*3*d]
 			copy(q.Data[s*dh:(s+1)*dh], row[h*dh:(h+1)*dh])
@@ -142,22 +181,25 @@ func (a *Attention) Backward(x *tensor.Tensor, cache *AttnCache, dy *tensor.Tens
 		}
 		probs := cache.Probs[bi][h]
 
-		dout := tensor.New(seq, dh)
+		dout := w.dout
 		for s := 0; s < seq; s++ {
 			copy(dout.Data[s*dh:(s+1)*dh], dctx.Data[(bi*seq+s)*d+h*dh:(bi*seq+s)*d+(h+1)*dh])
 		}
 		// dV = probsᵀ·dout, dprobs = dout·vᵀ.
-		dv, err := tensor.TMatMul(probs, dout)
-		if err != nil {
+		dv := w.dv
+		if err := tensor.TMatMulInto(dv, probs, dout); err != nil {
 			return err
 		}
-		dprobs, err := tensor.MatMulT(dout, v)
-		if err != nil {
+		dprobs := w.dprobs
+		if err := tensor.MatMulTInto(dprobs, dout, v); err != nil {
 			return err
 		}
 		// Softmax backward per row: ds = (dp - Σ dp∘p) ∘ p, then the
-		// 1/sqrt(dh) scale.
-		dscores := tensor.New(seq, seq)
+		// 1/sqrt(dh) scale. Only the causal (lower) triangle is filled; the
+		// explicit Zero restores the upper triangle the matmuls below read,
+		// which a fresh allocation used to provide implicitly.
+		dscores := w.dscores
+		dscores.Zero()
 		for i := 0; i < seq; i++ {
 			var dot float64
 			for j := 0; j <= i; j++ {
@@ -169,12 +211,12 @@ func (a *Attention) Backward(x *tensor.Tensor, cache *AttnCache, dy *tensor.Tens
 			}
 		}
 		// dQ = dscores·k, dK = dscoresᵀ·q.
-		dq, err := tensor.MatMul(dscores, k)
-		if err != nil {
+		dq := w.dq
+		if err := tensor.MatMulInto(dq, dscores, k); err != nil {
 			return err
 		}
-		dk, err := tensor.TMatMul(dscores, q)
-		if err != nil {
+		dk := w.dk
+		if err := tensor.TMatMulInto(dk, dscores, q); err != nil {
 			return err
 		}
 		for s := 0; s < seq; s++ {
@@ -200,17 +242,20 @@ func (a *Attention) forEachHead(batch, seq int, fn func(bi, h int) error) error 
 	dh := a.Dim / a.Heads
 	// Per head: two seq x seq x dh matmuls dominate (~4*seq*seq*dh ops).
 	work := int64(tasks) * 4 * int64(seq) * int64(seq) * int64(dh)
-	errs := make([]error, tasks)
-	run := func(t int) {
-		errs[t] = fn(t/a.Heads, t%a.Heads)
-	}
 	if work < pool.SerialCutoff || pool.Default().Limit() <= 1 {
+		// Serial path: no error slice or dispatch closure; the first failing
+		// task short-circuits the rest (their outputs are scratch).
 		for t := 0; t < tasks; t++ {
-			run(t)
+			if err := fn(t/a.Heads, t%a.Heads); err != nil {
+				return err
+			}
 		}
-	} else {
-		pool.Run(tasks, run)
+		return nil
 	}
+	errs := make([]error, tasks)
+	pool.Run(tasks, func(t int) {
+		errs[t] = fn(t/a.Heads, t%a.Heads)
+	})
 	for _, e := range errs {
 		if e != nil {
 			return e

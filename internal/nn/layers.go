@@ -25,6 +25,11 @@ type Linear struct {
 	W      *tensor.Tensor // [in, out]
 	B      *tensor.Tensor // [out]
 	DW, DB *tensor.Tensor
+
+	// dwScr is Backward's weight-gradient staging buffer, reused across
+	// steps. TMatMulInto fully overwrites it, so dirty reuse is
+	// bit-transparent; it never escapes the method.
+	dwScr *tensor.Tensor
 }
 
 // NewLinear initializes a linear layer with scaled-normal weights.
@@ -56,11 +61,13 @@ func (l *Linear) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // Backward accumulates DW += xᵀ·dy and DB += Σrows(dy), returning
 // dx = dy·Wᵀ.
 func (l *Linear) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
-	dw, err := tensor.TMatMul(x, dy)
-	if err != nil {
+	if l.dwScr == nil {
+		l.dwScr = tensor.New(l.W.Shape...)
+	}
+	if err := tensor.TMatMulInto(l.dwScr, x, dy); err != nil {
 		return nil, fmt.Errorf("nn: %s backward: %w", l.Name, err)
 	}
-	if err := tensor.AddInPlace(l.DW, dw); err != nil {
+	if err := tensor.AddInPlace(l.DW, l.dwScr); err != nil {
 		return nil, err
 	}
 	rows, cols, err := dy.Dims2()
@@ -99,6 +106,7 @@ type LayerNorm struct {
 	DGamma, DBeta *tensor.Tensor
 	dim           int
 	eps           float64
+	xhat          []float64 // backward per-row scratch, fully rewritten each row
 }
 
 // NewLayerNorm initializes gamma=1, beta=0.
@@ -126,28 +134,35 @@ func (ln *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	// they shard across the worker pool bit-identically at any thread
 	// count. Backward stays serial: it accumulates DGamma/DBeta across
 	// rows, a reduction the determinism policy keeps off the pool.
-	pool.ForWork(n, 1, 4*int64(n)*int64(d), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x.Data[i*d : (i+1)*d]
-			var mean float64
-			for _, v := range row {
-				mean += float64(v)
-			}
-			mean /= float64(d)
-			var varsum float64
-			for _, v := range row {
-				diff := float64(v) - mean
-				varsum += diff * diff
-			}
-			inv := 1 / math.Sqrt(varsum/float64(d)+ln.eps)
-			out := y.Data[i*d : (i+1)*d]
-			for j, v := range row {
-				out[j] = float32((float64(v)-mean)*inv)*ln.Gamma.Data[j] + ln.Beta.Data[j]
-			}
-		}
-	})
+	work := 4 * int64(n) * int64(d)
+	if pool.InlineWork(work) {
+		ln.forwardRows(x, y, d, 0, n)
+	} else {
+		pool.ForWork(n, 1, work, func(lo, hi int) { ln.forwardRows(x, y, d, lo, hi) })
+	}
 	roundGrid(y)
 	return y, nil
+}
+
+func (ln *LayerNorm) forwardRows(x, y *tensor.Tensor, d, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varsum float64
+		for _, v := range row {
+			diff := float64(v) - mean
+			varsum += diff * diff
+		}
+		inv := 1 / math.Sqrt(varsum/float64(d)+ln.eps)
+		out := y.Data[i*d : (i+1)*d]
+		for j, v := range row {
+			out[j] = float32((float64(v)-mean)*inv)*ln.Gamma.Data[j] + ln.Beta.Data[j]
+		}
+	}
 }
 
 // Backward recomputes the row statistics from x (deterministically) and
@@ -158,6 +173,10 @@ func (ln *LayerNorm) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: %s backward: bad shape", ln.Name)
 	}
 	dx := tensor.New(n, d)
+	if len(ln.xhat) != d {
+		ln.xhat = make([]float64, d)
+	}
+	xhat := ln.xhat
 	for i := 0; i < n; i++ {
 		row := x.Data[i*d : (i+1)*d]
 		dyr := dy.Data[i*d : (i+1)*d]
@@ -174,7 +193,6 @@ func (ln *LayerNorm) Backward(x, dy *tensor.Tensor) (*tensor.Tensor, error) {
 		inv := 1 / math.Sqrt(varsum/float64(d)+ln.eps)
 
 		var sumDyG, sumDyGX float64
-		xhat := make([]float64, d)
 		for j := range row {
 			xhat[j] = (float64(row[j]) - mean) * inv
 			dg := float64(dyr[j]) * float64(ln.Gamma.Data[j])

@@ -52,6 +52,11 @@ type Model struct {
 
 	step uint64 // forward-pass counter driving dropout masks
 	drop *Dropout
+
+	// params caches the flat parameter list: the model's structure is fixed
+	// after construction, and per-step callers (ZeroGrads) must not rebuild
+	// the per-layer slices every iteration.
+	params []Param
 }
 
 // NextStep advances the dropout counter; call once per training pass
@@ -231,20 +236,24 @@ func CrossEntropy(logits *tensor.Tensor, targets [][]int) (float64, *tensor.Tens
 }
 
 // Params lists every parameter in a stable order: embeddings, blocks, final
-// norm, head.
+// norm, head. The returned slice is cached and shared — treat it as
+// read-only.
 func (m *Model) Params() []Param {
-	ps := []Param{
-		{"tok_emb", m.TokEmb, m.DTokEmb},
-		{"pos_emb", m.PosEmb, m.DPosEmb},
+	if m.params == nil {
+		ps := []Param{
+			{"tok_emb", m.TokEmb, m.DTokEmb},
+			{"pos_emb", m.PosEmb, m.DPosEmb},
+		}
+		for _, b := range m.Blocks {
+			ps = append(ps, b.Params()...)
+		}
+		ps = append(ps, m.FinalLN.Params()...)
+		if !m.Cfg.TieEmbeddings {
+			ps = append(ps, m.Head.Params()...)
+		}
+		m.params = ps
 	}
-	for _, b := range m.Blocks {
-		ps = append(ps, b.Params()...)
-	}
-	ps = append(ps, m.FinalLN.Params()...)
-	if !m.Cfg.TieEmbeddings {
-		ps = append(ps, m.Head.Params()...)
-	}
-	return ps
+	return m.params
 }
 
 // ParamGroups partitions parameters into the offloading/optimizer chunks

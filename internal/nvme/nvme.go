@@ -211,8 +211,39 @@ func (a *Array) InjectFault(dev int, err error) {
 	d.mu.Unlock()
 }
 
-// Put stores data under key, replacing any previous object.
+// Put stores data under key, replacing any previous object. data is
+// borrowed only for the duration of the call and never retained, so callers
+// may recycle it immediately after Put returns (see PutFrom).
+//
+// Overwriting a key with an object of the same size reuses the existing
+// chunk layout in place — no chunk free/realloc churn on the steady-state
+// swap path, where every block's blob has a fixed size. If the in-place
+// write fails partway, the stored object's contents are undefined (with
+// Checksums enabled, subsequent reads fail with ErrCorrupt).
 func (a *Array) Put(key string, data []byte) error {
+	a.mu.RLock()
+	old, ok := a.objs[key]
+	a.mu.RUnlock()
+	if ok && old.size == len(data) {
+		obj := old
+		if a.cfg.Checksums {
+			obj.crc = crc32.Checksum(data, crcTable)
+		}
+		sp := a.tracer.Load().StartSpan(obs.LaneNVMeWrite, key)
+		err := a.transfer(obj, data, true)
+		sp.End()
+		if err != nil {
+			return err
+		}
+		a.mu.Lock()
+		a.objs[key] = obj
+		a.mu.Unlock()
+		a.statMu.Lock()
+		a.bytesWritten += int64(len(data))
+		a.writeOps++
+		a.statMu.Unlock()
+		return nil
+	}
 	if err := a.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
 		return err
 	}
@@ -272,6 +303,18 @@ func (a *Array) Put(key string, data []byte) error {
 	a.writeOps++
 	a.statMu.Unlock()
 	return nil
+}
+
+// PutFrom stores data under key and then recycles data into the shared
+// buffer pool (Buffers). Ownership of data transfers to the array at the
+// call: the caller must not read, write, or retain data afterwards — even
+// when PutFrom returns an error, the buffer is gone. It is the write half of
+// the borrowed-buffer protocol (ReadInto is the read half); pair it with
+// Buffers.Get so steady-state spills allocate nothing.
+func (a *Array) PutFrom(key string, data []byte) error {
+	err := a.Put(key, data)
+	Buffers.Put(data)
+	return err
 }
 
 // Size reports the stored size of key.
@@ -463,12 +506,24 @@ func (a *Array) chunkIO(dev int, off int64, p []byte, write bool) error {
 	return nil
 }
 
+// inlineTransferMax is the largest untimed object moved without goroutine
+// fan-out; above it, parallel memcpy across devices is worth the spawns.
+const inlineTransferMax = 256 << 10
+
 // transfer moves all chunks of obj between buf and the devices, one worker
 // per device, applying the configured throttles.
+//
+// Chunks are allocated round-robin, so chunk indexes congruent mod the
+// device count share a device: worker w phase-strides through indexes
+// w, w+D, w+2D, ... and owns exactly one device. This replaces the old
+// per-call device→indexes map (plus error channel and per-device index
+// slices) with one flat error slice — the only allocations left on the
+// per-transfer path are the goroutines themselves.
 func (a *Array) transfer(obj object, buf []byte, write bool) error {
-	perDev := make(map[int][]int) // device -> chunk indexes
-	for i, c := range obj.chunks {
-		perDev[c.dev] = append(perDev[c.dev], i)
+	nchunks := len(obj.chunks)
+	if nchunks == 0 {
+		a.throttleHost(obj.size)
+		return nil
 	}
 	bw := a.cfg.ReadBW
 	if write {
@@ -480,53 +535,81 @@ func (a *Array) transfer(obj object, buf []byte, write bool) error {
 	if write {
 		lane = obs.LaneNVMeWrite
 	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(perDev))
-	stripe := a.cfg.StripeSize
-	for dev, idxs := range perDev {
-		wg.Add(1)
-		go func(dev int, idxs []int) {
-			defer wg.Done()
-			devSpan := tr.StartSpan(lane, a.devLabels[dev])
-			defer devSpan.End()
-			d := a.devs[dev]
-			var devBytes int64
-			for _, i := range idxs {
-				c := obj.chunks[i]
-				p := buf[i*stripe : i*stripe+c.n]
-				err := a.chunkIO(dev, c.off, p, write)
-				switch {
-				case err != nil && !write && c.mirrorDev >= 0:
-					// RAID-1 read fallback.
-					if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, false); merr != nil {
-						errCh <- fmt.Errorf("nvme: primary failed (%v) and mirror failed: %w", err, merr)
-						return
-					}
-				case err != nil:
-					errCh <- err
-					return
-				case write && c.mirrorDev >= 0:
-					if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, true); merr != nil {
-						errCh <- fmt.Errorf("nvme: mirror write: %w", merr)
-						return
-					}
-				}
-				devBytes += int64(c.n)
-				a.throttleDevice(d, c.n, bw)
+	ndevs := len(a.devs)
+	workers := ndevs
+	if nchunks < workers {
+		workers = nchunks
+	}
+	// Small transfers with no device timing modeled run their per-device
+	// strides inline, sequentially: without bandwidth or latency sleeps the
+	// goroutine fan-out buys nothing below ~memcpy scale, and the spawn plus
+	// error-slice churn dominates the steady-state allocation profile. With
+	// throttling on, workers must overlap their sleeps (that is the RAID-0
+	// speedup being modeled), so the parallel path stays.
+	inline := workers == 1 ||
+		(bw <= 0 && a.cfg.OpLatency <= 0 && obj.size <= inlineTransferMax)
+	if inline {
+		for w := 0; w < workers; w++ {
+			if err := a.transferWorker(obj, buf, write, w, bw, lane, tr); err != nil {
+				return err
 			}
-			a.statMu.Lock()
-			a.perDevBytes[dev] += devBytes
-			a.statMu.Unlock()
-		}(dev, idxs)
+		}
+		a.throttleHost(obj.size)
+		return nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = a.transferWorker(obj, buf, write, w, bw, lane, tr)
+		}(w)
 	}
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	a.throttleHost(obj.size)
+	return nil
+}
+
+// transferWorker moves the chunks of one phase-stride class (indexes
+// congruent to w mod device count — all on one device) between buf and the
+// backing store.
+func (a *Array) transferWorker(obj object, buf []byte, write bool, w int, bw units.BytesPerSecond, lane string, tr *obs.Tracer) error {
+	dev := obj.chunks[w].dev
+	devSpan := tr.StartSpan(lane, a.devLabels[dev])
+	defer devSpan.End()
+	d := a.devs[dev]
+	ndevs := len(a.devs)
+	stripe := a.cfg.StripeSize
+	var devBytes int64
+	for i := w; i < len(obj.chunks); i += ndevs {
+		c := obj.chunks[i]
+		p := buf[i*stripe : i*stripe+c.n]
+		err := a.chunkIO(c.dev, c.off, p, write)
+		switch {
+		case err != nil && !write && c.mirrorDev >= 0:
+			// RAID-1 read fallback.
+			if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, false); merr != nil {
+				return fmt.Errorf("nvme: primary failed (%v) and mirror failed: %w", err, merr)
+			}
+		case err != nil:
+			return err
+		case write && c.mirrorDev >= 0:
+			if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, true); merr != nil {
+				return fmt.Errorf("nvme: mirror write: %w", merr)
+			}
+		}
+		devBytes += int64(c.n)
+		a.throttleDevice(d, c.n, bw)
+	}
+	a.statMu.Lock()
+	a.perDevBytes[dev] += devBytes
+	a.statMu.Unlock()
 	return nil
 }
 

@@ -12,6 +12,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,7 +56,12 @@ func AdamStep(cfg AdamConfig, t int, p32, m, v, grad []float32) error {
 	b1c := 1 - math.Pow(cfg.Beta1, float64(t))
 	b2c := 1 - math.Pow(cfg.Beta2, float64(t))
 	// ~20 scalar ops per element (sqrt included).
-	pool.ForWork(len(p32), adamChunkGrain, 20*int64(len(p32)), func(lo, hi int) {
+	work := 20 * int64(len(p32))
+	if pool.InlineWork(work) {
+		adamChunk(cfg, b1c, b2c, p32, m, v, grad)
+		return nil
+	}
+	pool.ForWork(len(p32), adamChunkGrain, work, func(lo, hi int) {
 		adamChunk(cfg, b1c, b2c, p32[lo:hi], m[lo:hi], v[lo:hi], grad[lo:hi])
 	})
 	return nil
@@ -85,10 +91,20 @@ func adamChunk(cfg AdamConfig, b1c, b2c float64, p32, m, v, grad []float32) {
 }
 
 // Store is the storage the out-of-core optimizer streams model states
-// through; *nvme.Array satisfies it.
+// through; *nvme.Array satisfies it. Put must not retain data after it
+// returns — the optimizer encodes into reusable scratch buffers. Get returns
+// a buffer the caller owns.
 type Store interface {
 	Put(key string, data []byte) error
 	Get(key string) ([]byte, error)
+}
+
+// ReadIntoStore is the optional allocation-free read path: stores that
+// implement it (nvme.Array, MemStore) let the optimizer stream state into
+// its own scratch buffer instead of allocating per Get. dst must be exactly
+// the stored object's size.
+type ReadIntoStore interface {
+	ReadInto(key string, dst []byte) error
 }
 
 // MemStore is an in-memory Store for tests and the in-memory reference
@@ -110,12 +126,27 @@ func (s MemStore) Get(key string) ([]byte, error) {
 	return append([]byte(nil), b...), nil
 }
 
+// ReadInto copies the stored bytes into dst, which must have the object's
+// exact size.
+func (s MemStore) ReadInto(key string, dst []byte) error {
+	b, ok := s[key]
+	if !ok {
+		return fmt.Errorf("opt: memstore: missing %q", key)
+	}
+	if len(dst) != len(b) {
+		return fmt.Errorf("opt: memstore: ReadInto %q: dst %d bytes, object %d", key, len(dst), len(b))
+	}
+	copy(dst, b)
+	return nil
+}
+
 // OutOfCoreAdam keeps fp32 master weights and Adam moments in a Store and
 // updates one parameter group at a time — the paper's CPU optimizer
 // operating on model states homed on NVMe.
 type OutOfCoreAdam struct {
 	cfg       AdamConfig
 	store     Store
+	readInto  ReadIntoStore // store's optional in-place read path, nil if absent
 	prefix    string
 	step      int
 	gradScale float64 // loss-scale divisor; 0 or 1 means unscaled
@@ -123,9 +154,27 @@ type OutOfCoreAdam struct {
 
 	tracer     *obs.Tracer       // optional: records per-chunk Adam spans
 	adamLabels map[string]string // group -> "group/opt-adam", precomputed
+	keys       map[string]groupKeys
+
+	// scr is the UpdateGroup scratch: state and gradient staging plus the
+	// byte codec buffer, sized to the largest group seen and reused for the
+	// optimizer's lifetime. scrMu serializes UpdateGroup — the engine's
+	// pipeline runs group updates on one worker, so the lock is uncontended
+	// and exists only to keep concurrent misuse safe.
+	scrMu sync.Mutex
+	scr   struct {
+		p32, m, v, grad []float32
+		enc             []byte
+	}
 
 	kernelParams atomic.Int64 // params the Adam kernel has updated
 	kernelNanos  atomic.Int64 // wall-clock spent inside the Adam kernel
+}
+
+// groupKeys are a group's precomputed store keys (the hot path must not
+// Sprintf per transfer).
+type groupKeys struct {
+	p32, m, v string
 }
 
 // KernelStats reports cumulative CPU-optimizer kernel work: parameters
@@ -169,7 +218,9 @@ func (o *OutOfCoreAdam) SetClipNorm(n float64) error {
 // NewOutOfCoreAdam creates an optimizer over the given store. prefix
 // namespaces its keys.
 func NewOutOfCoreAdam(store Store, cfg AdamConfig, prefix string) *OutOfCoreAdam {
-	return &OutOfCoreAdam{cfg: cfg, store: store, prefix: prefix}
+	o := &OutOfCoreAdam{cfg: cfg, store: store, prefix: prefix}
+	o.readInto, _ = store.(ReadIntoStore)
+	return o
 }
 
 // Step reports the number of completed optimizer steps.
@@ -177,6 +228,24 @@ func (o *OutOfCoreAdam) Step() int { return o.step }
 
 func (o *OutOfCoreAdam) key(group, kind string) string {
 	return o.prefix + "/" + group + "/" + kind
+}
+
+// groupKeysFor returns the group's precomputed keys, building and caching
+// them on first use.
+func (o *OutOfCoreAdam) groupKeysFor(group string) groupKeys {
+	if ks, ok := o.keys[group]; ok {
+		return ks
+	}
+	if o.keys == nil {
+		o.keys = make(map[string]groupKeys)
+	}
+	ks := groupKeys{
+		p32: o.key(group, "p32"),
+		m:   o.key(group, "m"),
+		v:   o.key(group, "v"),
+	}
+	o.keys[group] = ks
+	return ks
 }
 
 // InitGroup seeds the store with the group's fp32 masters (from the current
@@ -187,6 +256,7 @@ func (o *OutOfCoreAdam) InitGroup(g nn.ParamGroup) error {
 		o.adamLabels = make(map[string]string)
 	}
 	o.adamLabels[g.Name] = g.Name + "/opt-adam"
+	o.groupKeysFor(g.Name) // precompute store keys off the hot path
 	flat := flattenWeights(g)
 	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(flat)); err != nil {
 		return fmt.Errorf("opt: init %s: %w", g.Name, err)
@@ -216,17 +286,24 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	if o.step < 1 {
 		return fmt.Errorf("opt: UpdateGroup(%s) before BeginStep", g.Name)
 	}
+	o.scrMu.Lock()
+	defer o.scrMu.Unlock()
+	ks := o.groupKeysFor(g.Name)
 	n := g.NumParams()
-	p32, err := o.loadFP32(g.Name, "p32", n)
-	if err != nil {
+	p32 := scrF32(&o.scr.p32, n)
+	m := scrF32(&o.scr.m, n)
+	v := scrF32(&o.scr.v, n)
+	if cap(o.scr.enc) < 4*n {
+		o.scr.enc = make([]byte, 4*n)
+	}
+	buf := o.scr.enc[:4*n]
+	if err := o.loadFP32Into(p32, buf, ks.p32, g.Name, "p32"); err != nil {
 		return err
 	}
-	m, err := o.loadFP32(g.Name, "m", n)
-	if err != nil {
+	if err := o.loadFP32Into(m, buf, ks.m, g.Name, "m"); err != nil {
 		return err
 	}
-	v, err := o.loadFP32(g.Name, "v", n)
-	if err != nil {
+	if err := o.loadFP32Into(v, buf, ks.v, g.Name, "v"); err != nil {
 		return err
 	}
 
@@ -234,12 +311,14 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	if o.gradScale > 0 {
 		inv = 1 / o.gradScale
 	}
-	grad := make([]float32, 0, n)
+	grad := scrF32(&o.scr.grad, n)
+	idx := 0
 	for _, p := range g.Params {
 		for _, gv := range p.G.Data {
 			// G16 boundary: gradients cross PCIe in fp16 (at loss-scaled
 			// magnitude), then unscale in fp32.
-			grad = append(grad, float32(float64(tensor.RoundFP16(gv))*inv))
+			grad[idx] = float32(float64(tensor.RoundFP16(gv)) * inv)
+			idx++
 		}
 	}
 	if o.clipNorm > 0 {
@@ -263,13 +342,13 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	o.kernelNanos.Add(time.Since(kernelStart).Nanoseconds())
 	o.kernelParams.Add(int64(n))
 	sp.End()
-	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(p32)); err != nil {
+	if err := o.saveFP32(buf, ks.p32, p32); err != nil {
 		return err
 	}
-	if err := o.store.Put(o.key(g.Name, "m"), tensor.ToFP32Bytes(m)); err != nil {
+	if err := o.saveFP32(buf, ks.m, m); err != nil {
 		return err
 	}
-	if err := o.store.Put(o.key(g.Name, "v"), tensor.ToFP32Bytes(v)); err != nil {
+	if err := o.saveFP32(buf, ks.v, v); err != nil {
 		return err
 	}
 	// Install P16 = fp16(P32) working copies.
@@ -281,6 +360,48 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 		}
 	}
 	return nil
+}
+
+// scrF32 returns a scratch slice of length n backed by *s, growing the
+// backing array when the group is larger than any seen before. Contents are
+// unspecified; every caller fully overwrites its slice.
+func scrF32(s *[]float32, n int) []float32 {
+	if cap(*s) < n {
+		*s = make([]float32, n)
+	}
+	return (*s)[:n]
+}
+
+// loadFP32Into streams one state tensor into dst, using the store's in-place
+// read path when available (buf is the shared byte staging buffer, exactly
+// 4*len(dst) bytes).
+func (o *OutOfCoreAdam) loadFP32Into(dst []float32, buf []byte, key, group, kind string) error {
+	if o.readInto != nil {
+		if err := o.readInto.ReadInto(key, buf); err != nil {
+			return fmt.Errorf("opt: load %s/%s: %w", group, kind, err)
+		}
+		if err := tensor.FromFP32Bytes(buf, dst); err != nil {
+			return fmt.Errorf("opt: decode %s/%s: %w", group, kind, err)
+		}
+		return nil
+	}
+	b, err := o.store.Get(key)
+	if err != nil {
+		return fmt.Errorf("opt: load %s/%s: %w", group, kind, err)
+	}
+	if err := tensor.FromFP32Bytes(b, dst); err != nil {
+		return fmt.Errorf("opt: decode %s/%s: %w", group, kind, err)
+	}
+	return nil
+}
+
+// saveFP32 encodes vals into buf and writes it to the store. Safe because
+// Store.Put must not retain its argument.
+func (o *OutOfCoreAdam) saveFP32(buf []byte, key string, vals []float32) error {
+	if err := tensor.ToFP32BytesInto(buf, vals); err != nil {
+		return err
+	}
+	return o.store.Put(key, buf)
 }
 
 // MasterWeights returns the group's current fp32 masters (a copy), for

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"ratel/internal/tensor/pool"
 )
 
 // Half-precision support: the engine stores every offloaded tensor (P16,
@@ -82,43 +84,103 @@ func RoundFP16(f float32) float32 { return HalfToFloat32(Float32ToHalf(f)) }
 // Elements are independent, so chunks shard across the worker pool with
 // bit-identical results at any thread count.
 func (t *Tensor) RoundFP16InPlace() {
-	parallelFor(len(t.Data), elemGrain, 4*int64(len(t.Data)), func(lo, hi int) {
-		d := t.Data[lo:hi]
-		for i, v := range d {
-			d[i] = RoundFP16(v)
-		}
-	})
+	d := t.Data
+	work := 4 * int64(len(d))
+	if pool.InlineWork(work) {
+		roundFP16Chunk(d, 0, len(d))
+		return
+	}
+	parallelFor(len(d), elemGrain, work, func(lo, hi int) { roundFP16Chunk(d, lo, hi) })
+}
+
+func roundFP16Chunk(d []float32, lo, hi int) {
+	c := d[lo:hi]
+	for i, v := range c {
+		c[i] = RoundFP16(v)
+	}
 }
 
 // ToFP16Bytes encodes values as packed little-endian binary16.
 func ToFP16Bytes(values []float32) []byte {
 	out := make([]byte, 2*len(values))
-	for i, v := range values {
-		binary.LittleEndian.PutUint16(out[2*i:], Float32ToHalf(v))
-	}
+	// The length is exact, so the Into variant's only error is impossible.
+	_ = ToFP16BytesInto(out, values)
 	return out
 }
 
+// ToFP16BytesInto encodes values as packed little-endian binary16 into dst,
+// which the caller owns and which must hold exactly 2*len(values) bytes.
+// Elements are independent, so chunks shard across the worker pool with
+// bit-identical output at any thread count.
+func ToFP16BytesInto(dst []byte, values []float32) error {
+	if len(dst) != 2*len(values) {
+		return fmt.Errorf("tensor: fp16 encode %d values into %d bytes", len(values), len(dst))
+	}
+	work := 4 * int64(len(values))
+	if pool.InlineWork(work) {
+		fp16EncodeChunk(dst, values, 0, len(values))
+		return nil
+	}
+	parallelFor(len(values), elemGrain, work, func(lo, hi int) { fp16EncodeChunk(dst, values, lo, hi) })
+	return nil
+}
+
+func fp16EncodeChunk(dst []byte, values []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		binary.LittleEndian.PutUint16(dst[2*i:], Float32ToHalf(values[i]))
+	}
+}
+
 // FromFP16Bytes decodes packed binary16 into dst, which must hold
-// len(b)/2 values.
+// len(b)/2 values. Chunks shard across the worker pool; per-element
+// decoding is unchanged, so output is bit-identical at any thread count.
 func FromFP16Bytes(b []byte, dst []float32) error {
 	if len(b)%2 != 0 || len(dst) != len(b)/2 {
 		return fmt.Errorf("tensor: fp16 decode %d bytes into %d values", len(b), len(dst))
 	}
-	for i := range dst {
+	work := 4 * int64(len(dst))
+	if pool.InlineWork(work) {
+		fp16DecodeChunk(b, dst, 0, len(dst))
+		return nil
+	}
+	parallelFor(len(dst), elemGrain, work, func(lo, hi int) { fp16DecodeChunk(b, dst, lo, hi) })
+	return nil
+}
+
+func fp16DecodeChunk(b []byte, dst []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		dst[i] = HalfToFloat32(binary.LittleEndian.Uint16(b[2*i:]))
 	}
-	return nil
 }
 
 // ToFP32Bytes encodes values as packed little-endian float32 (the P32/OS32
 // representation in the NVMe store).
 func ToFP32Bytes(values []float32) []byte {
 	out := make([]byte, 4*len(values))
-	for i, v := range values {
-		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
-	}
+	_ = ToFP32BytesInto(out, values)
 	return out
+}
+
+// ToFP32BytesInto encodes values as packed little-endian float32 into dst,
+// which the caller owns and which must hold exactly 4*len(values) bytes —
+// the allocation-free spill path of the out-of-core optimizer.
+func ToFP32BytesInto(dst []byte, values []float32) error {
+	if len(dst) != 4*len(values) {
+		return fmt.Errorf("tensor: fp32 encode %d values into %d bytes", len(values), len(dst))
+	}
+	work := 2 * int64(len(values))
+	if pool.InlineWork(work) {
+		fp32EncodeChunk(dst, values, 0, len(values))
+		return nil
+	}
+	parallelFor(len(values), elemGrain, work, func(lo, hi int) { fp32EncodeChunk(dst, values, lo, hi) })
+	return nil
+}
+
+func fp32EncodeChunk(dst []byte, values []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(values[i]))
+	}
 }
 
 // FromFP32Bytes decodes packed float32 into dst.
@@ -126,8 +188,17 @@ func FromFP32Bytes(b []byte, dst []float32) error {
 	if len(b)%4 != 0 || len(dst) != len(b)/4 {
 		return fmt.Errorf("tensor: fp32 decode %d bytes into %d values", len(b), len(dst))
 	}
-	for i := range dst {
+	work := 2 * int64(len(dst))
+	if pool.InlineWork(work) {
+		fp32DecodeChunk(b, dst, 0, len(dst))
+		return nil
+	}
+	parallelFor(len(dst), elemGrain, work, func(lo, hi int) { fp32DecodeChunk(b, dst, lo, hi) })
+	return nil
+}
+
+func fp32DecodeChunk(b []byte, dst []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
 	}
-	return nil
 }

@@ -258,6 +258,23 @@ func ForWork(n, grain int, work int64, body func(lo, hi int)) {
 	p.For(n, grain, body)
 }
 
+// InlineWork reports whether a job with the given estimated work (in
+// scalar ops) would run inline on the caller, recording it as an inline run
+// when so. Hot kernels call this BEFORE constructing their parallel-for
+// closure: a func literal passed to ForWork escapes to the heap, so on the
+// serial path — tiny tensors, or Limit() 1 — branching first lets the
+// kernel run a named panel function directly and allocate nothing. The
+// parallel branch then calls ForWork as usual, paying the closure only when
+// the dispatch is real.
+func InlineWork(work int64) bool {
+	p := Default()
+	if work < SerialCutoff || p.Limit() <= 1 {
+		p.stats.inlineRuns.Add(1)
+		return true
+	}
+	return false
+}
+
 // DefaultStats is Default().Stats.
 func DefaultStats() Stats { return Default().Stats() }
 

@@ -98,39 +98,77 @@ const jBlock = 64
 // count, so the result is bit-identical to the serial kernel. Zero entries
 // of a are NOT skipped: 0·NaN and 0·Inf must propagate as NaN.
 func MatMul(a, b *Tensor) (*Tensor, error) {
-	m, k, err := a.Dims2()
+	m, _, err := a.Dims2()
 	if err != nil {
 		return nil, err
+	}
+	_, n, err := b.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	c := New(m, n)
+	if err := MatMulInto(c, a, b); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MatMulInto computes c = a·b into the caller-owned c, which must already
+// have shape [m,n]. c is fully overwritten (zeroed, then accumulated), so a
+// dirty reused buffer yields the same bits as a fresh one — the in-place
+// counterpart of MatMul for scratch-reusing callers.
+func MatMulInto(c, a, b *Tensor) error {
+	m, k, err := a.Dims2()
+	if err != nil {
+		return err
 	}
 	k2, n, err := b.Dims2()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if k != k2 {
-		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
+		return fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
 	}
-	c := New(m, n)
-	panel := func(lo, hi int) {
-		for p0 := 0; p0 < k; p0 += kBlock {
-			p1 := p0 + kBlock
-			if p1 > k {
-				p1 = k
-			}
-			for i := lo; i < hi; i++ {
-				arow := a.Data[i*k : (i+1)*k]
-				crow := c.Data[i*n : (i+1)*n]
-				for p := p0; p < p1; p++ {
-					av := arow[p]
-					brow := b.Data[p*n : (p+1)*n]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
+	if err := checkDst(c, m, n, "matmul"); err != nil {
+		return err
+	}
+	cd, ad, bd := c.Data, a.Data, b.Data
+	work := int64(m) * int64(k) * int64(n)
+	if pool.InlineWork(work) {
+		matMulPanel(cd, ad, bd, k, n, 0, m)
+		return nil
+	}
+	parallelRows(m, work, func(lo, hi int) { matMulPanel(cd, ad, bd, k, n, lo, hi) })
+	return nil
+}
+
+// matMulPanel computes rows [lo,hi) of c = a·b (zero, then accumulate in
+// increasing p). Named rather than a closure so the serial path allocates
+// nothing.
+func matMulPanel(cd, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		crow := cd[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+	}
+	for p0 := 0; p0 < k; p0 += kBlock {
+		p1 := p0 + kBlock
+		if p1 > k {
+			p1 = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for p := p0; p < p1; p++ {
+				av := arow[p]
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
 				}
 			}
 		}
 	}
-	parallelRows(m, int64(m)*int64(k)*int64(n), panel)
-	return c, nil
 }
 
 // MatMulT computes c = a·bᵀ for [m,k]x[n,k].
@@ -139,40 +177,69 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 // increasing p exactly as the serial kernel does, so the result is
 // bit-identical at any thread count.
 func MatMulT(a, b *Tensor) (*Tensor, error) {
-	m, k, err := a.Dims2()
+	m, _, err := a.Dims2()
 	if err != nil {
 		return nil, err
+	}
+	n, _, err := b.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	c := New(m, n)
+	if err := MatMulTInto(c, a, b); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MatMulTInto computes c = a·bᵀ into the caller-owned c [m,n]. Every cell
+// is written (no accumulation), so reused buffers need no zeroing and the
+// bits match MatMulT exactly.
+func MatMulTInto(c, a, b *Tensor) error {
+	m, k, err := a.Dims2()
+	if err != nil {
+		return err
 	}
 	n, k2, err := b.Dims2()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if k != k2 {
-		return nil, fmt.Errorf("tensor: matmulT inner dims %d vs %d", k, k2)
+		return fmt.Errorf("tensor: matmulT inner dims %d vs %d", k, k2)
 	}
-	c := New(m, n)
-	panel := func(lo, hi int) {
-		for j0 := 0; j0 < n; j0 += jBlock {
-			j1 := j0 + jBlock
-			if j1 > n {
-				j1 = n
-			}
-			for i := lo; i < hi; i++ {
-				arow := a.Data[i*k : (i+1)*k]
-				crow := c.Data[i*n : (i+1)*n]
-				for j := j0; j < j1; j++ {
-					brow := b.Data[j*k : (j+1)*k]
-					var s float32
-					for p, av := range arow {
-						s += av * brow[p]
-					}
-					crow[j] = s
+	if err := checkDst(c, m, n, "matmulT"); err != nil {
+		return err
+	}
+	cd, ad, bd := c.Data, a.Data, b.Data
+	work := int64(m) * int64(k) * int64(n)
+	if pool.InlineWork(work) {
+		matMulTPanel(cd, ad, bd, k, n, 0, m)
+		return nil
+	}
+	parallelRows(m, work, func(lo, hi int) { matMulTPanel(cd, ad, bd, k, n, lo, hi) })
+	return nil
+}
+
+// matMulTPanel computes rows [lo,hi) of c = a·bᵀ, writing every cell.
+func matMulTPanel(cd, ad, bd []float32, k, n, lo, hi int) {
+	for j0 := 0; j0 < n; j0 += jBlock {
+		j1 := j0 + jBlock
+		if j1 > n {
+			j1 = n
+		}
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for j := j0; j < j1; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
 				}
+				crow[j] = s
 			}
 		}
 	}
-	parallelRows(m, int64(m)*int64(k)*int64(n), panel)
-	return c, nil
 }
 
 // TMatMul computes c = aᵀ·b for [k,m]x[k,n].
@@ -183,33 +250,81 @@ func MatMulT(a, b *Tensor) (*Tensor, error) {
 // the result is bit-identical at any thread count. Zero entries of a are
 // NOT skipped (NaN/Inf propagation).
 func TMatMul(a, b *Tensor) (*Tensor, error) {
-	k, m, err := a.Dims2()
+	_, m, err := a.Dims2()
 	if err != nil {
 		return nil, err
+	}
+	_, n, err := b.Dims2()
+	if err != nil {
+		return nil, err
+	}
+	c := New(m, n)
+	if err := TMatMulInto(c, a, b); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// TMatMulInto computes c = aᵀ·b into the caller-owned c [m,n]. c is fully
+// overwritten (zeroed, then accumulated), so dirty reused buffers are safe.
+func TMatMulInto(c, a, b *Tensor) error {
+	k, m, err := a.Dims2()
+	if err != nil {
+		return err
 	}
 	k2, n, err := b.Dims2()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if k != k2 {
-		return nil, fmt.Errorf("tensor: tmatmul inner dims %d vs %d", k, k2)
+		return fmt.Errorf("tensor: tmatmul inner dims %d vs %d", k, k2)
 	}
-	c := New(m, n)
-	panel := func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			arow := a.Data[p*m : (p+1)*m]
-			brow := b.Data[p*n : (p+1)*n]
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				crow := c.Data[i*n : (i+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
+	if err := checkDst(c, m, n, "tmatmul"); err != nil {
+		return err
+	}
+	cd, ad, bd := c.Data, a.Data, b.Data
+	work := int64(m) * int64(k) * int64(n)
+	if pool.InlineWork(work) {
+		tMatMulPanel(cd, ad, bd, k, m, n, 0, m)
+		return nil
+	}
+	parallelRows(m, work, func(lo, hi int) { tMatMulPanel(cd, ad, bd, k, m, n, lo, hi) })
+	return nil
+}
+
+// tMatMulPanel computes rows [lo,hi) of c = aᵀ·b (zero, then accumulate in
+// increasing p).
+func tMatMulPanel(cd, ad, bd []float32, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		crow := cd[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+	}
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			crow := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
 			}
 		}
 	}
-	parallelRows(m, int64(m)*int64(k)*int64(n), panel)
-	return c, nil
+}
+
+// checkDst validates that a caller-owned destination has the exact rank-2
+// shape an Into kernel is about to write.
+func checkDst(c *Tensor, m, n int, op string) error {
+	cm, cn, err := c.Dims2()
+	if err != nil {
+		return err
+	}
+	if cm != m || cn != n {
+		return fmt.Errorf("tensor: %s dst %dx%d, want %dx%d", op, cm, cn, m, n)
+	}
+	return nil
 }
 
 // AddInPlace computes a += b elementwise.
@@ -217,13 +332,20 @@ func AddInPlace(a, b *Tensor) error {
 	if len(a.Data) != len(b.Data) {
 		return fmt.Errorf("tensor: add size %d vs %d", len(a.Data), len(b.Data))
 	}
-	parallelElems(len(a.Data), func(lo, hi int) {
-		ad, bd := a.Data[lo:hi], b.Data[lo:hi]
-		for i := range ad {
-			ad[i] += bd[i]
-		}
-	})
+	ad, bd := a.Data, b.Data
+	if pool.InlineWork(int64(len(ad))) {
+		addChunk(ad, bd, 0, len(ad))
+		return nil
+	}
+	parallelFor(len(ad), elemGrain, int64(len(ad)), func(lo, hi int) { addChunk(ad, bd, lo, hi) })
 	return nil
+}
+
+func addChunk(ad, bd []float32, lo, hi int) {
+	a, b := ad[lo:hi], bd[lo:hi]
+	for i := range a {
+		a[i] += b[i]
+	}
 }
 
 // AddBias adds bias (length n) to each row of x [m,n].
@@ -235,39 +357,62 @@ func AddBias(x, bias *Tensor) error {
 	if len(bias.Data) != n {
 		return fmt.Errorf("tensor: bias length %d for %d columns", len(bias.Data), n)
 	}
-	parallelRows(m, int64(m)*int64(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x.Data[i*n : (i+1)*n]
-			for j := range row {
-				row[j] += bias.Data[j]
-			}
-		}
-	})
+	xd, bd := x.Data, bias.Data
+	work := int64(m) * int64(n)
+	if pool.InlineWork(work) {
+		addBiasRows(xd, bd, n, 0, m)
+		return nil
+	}
+	parallelRows(m, work, func(lo, hi int) { addBiasRows(xd, bd, n, lo, hi) })
 	return nil
+}
+
+func addBiasRows(xd, bd []float32, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := xd[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
 }
 
 // Scale multiplies t by s in place.
 func (t *Tensor) Scale(s float32) {
-	parallelElems(len(t.Data), func(lo, hi int) {
-		d := t.Data[lo:hi]
-		for i := range d {
-			d[i] *= s
-		}
-	})
+	d := t.Data
+	if pool.InlineWork(int64(len(d))) {
+		scaleChunk(d, s, 0, len(d))
+		return
+	}
+	parallelFor(len(d), elemGrain, int64(len(d)), func(lo, hi int) { scaleChunk(d, s, lo, hi) })
+}
+
+func scaleChunk(d []float32, s float32, lo, hi int) {
+	c := d[lo:hi]
+	for i := range c {
+		c[i] *= s
+	}
 }
 
 // GELU applies the tanh-approximated GELU elementwise, returning a new
 // tensor.
 func GELU(x *Tensor) *Tensor {
 	y := New(x.Shape...)
+	xd, yd := x.Data, y.Data
 	// ~20 scalar ops per element (tanh), so parallelize by op count.
-	parallelFor(len(x.Data), elemGrain, 20*int64(len(x.Data)), func(lo, hi int) {
-		xd, yd := x.Data[lo:hi], y.Data[lo:hi]
-		for i, v := range xd {
-			yd[i] = geluScalar(v)
-		}
-	})
+	work := 20 * int64(len(xd))
+	if pool.InlineWork(work) {
+		geluChunk(xd, yd, 0, len(xd))
+		return y
+	}
+	parallelFor(len(xd), elemGrain, work, func(lo, hi int) { geluChunk(xd, yd, lo, hi) })
 	return y
+}
+
+func geluChunk(xd, yd []float32, lo, hi int) {
+	xs, ys := xd[lo:hi], yd[lo:hi]
+	for i, v := range xs {
+		ys[i] = geluScalar(v)
+	}
 }
 
 func geluScalar(v float32) float32 {
@@ -282,19 +427,27 @@ func GELUBackward(x, dy *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: gelu backward size %d vs %d", len(x.Data), len(dy.Data))
 	}
 	dx := New(x.Shape...)
-	const c = 0.7978845608028654
-	parallelFor(len(x.Data), elemGrain, 30*int64(len(x.Data)), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			xf := float64(x.Data[i])
-			u := c * (xf + 0.044715*xf*xf*xf)
-			tanh := math.Tanh(u)
-			sech2 := 1 - tanh*tanh
-			du := c * (1 + 3*0.044715*xf*xf)
-			g := 0.5*(1+tanh) + 0.5*xf*sech2*du
-			dx.Data[i] = dy.Data[i] * float32(g)
-		}
-	})
+	xd, dyd, dxd := x.Data, dy.Data, dx.Data
+	work := 30 * int64(len(xd))
+	if pool.InlineWork(work) {
+		geluBackwardChunk(xd, dyd, dxd, 0, len(xd))
+		return dx, nil
+	}
+	parallelFor(len(xd), elemGrain, work, func(lo, hi int) { geluBackwardChunk(xd, dyd, dxd, lo, hi) })
 	return dx, nil
+}
+
+func geluBackwardChunk(xd, dyd, dxd []float32, lo, hi int) {
+	const c = 0.7978845608028654
+	for i := lo; i < hi; i++ {
+		xf := float64(xd[i])
+		u := c * (xf + 0.044715*xf*xf*xf)
+		tanh := math.Tanh(u)
+		sech2 := 1 - tanh*tanh
+		du := c * (1 + 3*0.044715*xf*xf)
+		g := 0.5*(1+tanh) + 0.5*xf*sech2*du
+		dxd[i] = dyd[i] * float32(g)
+	}
 }
 
 // SoftmaxRows applies a numerically-stable softmax to each row in place.
@@ -305,28 +458,36 @@ func SoftmaxRows(x *Tensor) error {
 	if err != nil {
 		return err
 	}
-	parallelRows(m, 10*int64(m)*int64(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x.Data[i*n : (i+1)*n]
-			max := row[0]
-			for _, v := range row {
-				if v > max {
-					max = v
-				}
-			}
-			var sum float64
-			for j, v := range row {
-				e := math.Exp(float64(v - max))
-				row[j] = float32(e)
-				sum += e
-			}
-			inv := float32(1 / sum)
-			for j := range row {
-				row[j] *= inv
+	xd := x.Data
+	work := 10 * int64(m) * int64(n)
+	if pool.InlineWork(work) {
+		softmaxRowsChunk(xd, n, 0, m)
+		return nil
+	}
+	parallelRows(m, work, func(lo, hi int) { softmaxRowsChunk(xd, n, lo, hi) })
+	return nil
+}
+
+func softmaxRowsChunk(xd []float32, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := xd[i*n : (i+1)*n]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
 			}
 		}
-	})
-	return nil
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			row[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
 }
 
 // parallelRows shards rows [0,n) across the pool when the job is worth it
