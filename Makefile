@@ -35,6 +35,13 @@ bench-kernels:
 bench-datapath:
 	go test -run '^$$' -bench 'BenchmarkCacheRoundTrip|BenchmarkTrainStep_Swap' -benchtime=100x -benchmem ./internal/engine
 
+# Activation I/O overlap benchmark: synchronous vs write-behind/read-ahead
+# at depth 1 and 3 under Table III-shaped device throttles
+# (BENCH_overlap.json is a committed snapshot).
+.PHONY: bench-overlap
+bench-overlap:
+	go test -run '^$$' -bench 'BenchmarkTrainStepOverlap' -benchtime=15x -benchmem ./internal/engine
+
 # Every benchmark in the module at measurement settings.
 .PHONY: bench
 bench:

@@ -406,18 +406,18 @@ func BenchmarkNVMeMirror(b *testing.B) {
 	}
 }
 
-// BenchmarkEnginePrefetch measures the backward-stage prefetch pipeline on
-// a latency-throttled array (Ratel_hook's pipelined data transfer, Fig. 4).
-// At mini scale the optimizer's model-state I/O dominates the step, so the
-// two variants run close — the full-scale overlap effect is what the
-// calibrated simulator shows in Fig. 1c; this benchmark documents that the
-// pipeline itself adds no measurable overhead and never changes values
-// (TestPrefetchEquivalence).
+// BenchmarkEnginePrefetch measures the full-duplex activation I/O pipeline
+// on a latency-throttled array (Ratel_hook's pipelined data transfer,
+// Fig. 4). At mini scale the optimizer's model-state I/O dominates the
+// step, so the two variants run close — the isolated overlap effect is
+// measured by BenchmarkTrainStepOverlap (BENCH_overlap.json); this
+// benchmark documents that the pipeline itself adds no measurable overhead
+// and never changes values (TestPipelineEquivalenceMatrix).
 func BenchmarkEnginePrefetch(b *testing.B) {
 	for _, disable := range []bool{true, false} {
-		name := "prefetch-on"
+		name := "pipeline-on"
 		if disable {
-			name = "prefetch-off"
+			name = "pipeline-off"
 		}
 		b.Run(name, func(b *testing.B) {
 			e, err := engine.New(engine.Config{
@@ -426,7 +426,7 @@ func BenchmarkEnginePrefetch(b *testing.B) {
 				Swap:            map[int]engine.Tier{0: engine.SwapSSD, 1: engine.SwapSSD, 2: engine.SwapSSD, 3: engine.SwapSSD},
 				Devices:         2,
 				SSD:             &nvme.Config{OpLatency: time.Millisecond, StripeSize: 1 << 16},
-				DisablePrefetch: disable,
+				DisablePipeline: disable,
 			})
 			if err != nil {
 				b.Fatal(err)

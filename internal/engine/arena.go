@@ -11,68 +11,79 @@ import (
 // activation path needs, allocated at most once (blob size is fixed by the
 // geometry) and reused for the rest of training.
 //
-// Safety relies on the backward loop's structure rather than locking:
+// It is a ring of PipelineDepth+1 slots, each owning one blob buffer and
+// one reusable BlockCache; block i maps to slot i mod len(slots). Safety
+// relies on the pipeline's window discipline rather than locking:
 //
-//   - enc is the forward encode scratch for the SSD tier. nvme.Put borrows
-//     its argument only for the duration of the call, so the same buffer
-//     serves every block of every step. (Host-tier blobs outlive the encode —
-//     they are pinned until backward — so they come from nvme.Buffers
-//     instead.)
-//   - fetch is the prefetch double buffer, indexed by block parity (i%2). At
-//     most the fetches of two adjacent blocks are ever in flight or being
-//     consumed together — the pipeline launches i-1 while decoding i — and
-//     adjacent blocks have opposite parity, so the slots never collide.
-//   - ring holds the two reusable BlockCaches decodeCacheInto revives,
-//     indexed by the same parity. Block i's cache is consumed by Backward
-//     before block i-1 (or any earlier swap block) is decoded, and Backward
-//     retains nothing from the cache after it returns, so two entries cover
-//     the deepest overlap the pipeline creates.
+//   - Forward (write-behind): block i encodes into slot(i) and hands the
+//     blob to the offload queue. The slot's buffer stays in flight until the
+//     writer goroutine finishes the NVMe Put and returns the slot token, and
+//     the window bounds in-flight writes to depth — so by the time block
+//     i+len(slots) wants the same slot, the engine has waited on that exact
+//     token (a recorded stall when the window is full). All writes drain at
+//     the forward/backward barrier, so backward starts with every slot free.
+//   - Backward (read-ahead): the fetch for block i-depth launches only when
+//     block i is consumed, so launched-but-unconsumed fetches span at most
+//     blocks i-depth..i — depth+1 consecutive indices, which map to
+//     distinct slots. The sync fallback (depth 0) touches one slot at a
+//     time.
+//   - The slot's BlockCache is revived by decode and consumed by Backward
+//     before the next block's cache is decoded; Backward retains nothing
+//     from the cache after it returns, so ring reuse is safe at any depth.
 type blobArena struct {
-	enc   []byte
-	fetch [2][]byte
-	ring  [2]*nn.BlockCache
+	slots []arenaSlot
 	// ts is the codec's tensor-list scratch: encode and decode both run on
 	// the engine's step goroutine, never concurrently, so one slice serves
 	// every block of every step.
 	ts []*tensor.Tensor
 
-	// blobReuses counts encode/fetch buffer uses served without allocating;
+	// blobReuses counts slot-buffer uses served without allocating;
 	// ringReuses counts cache revivals into an existing ring entry. Exposed
 	// via the metrics registry (engine.blob_reuses / engine.ring_reuses).
 	blobReuses atomic.Int64
 	ringReuses atomic.Int64
 }
 
-// encBuf returns the shared forward-encode scratch of n bytes.
-func (ar *blobArena) encBuf(n int) []byte {
-	if ar.enc == nil {
-		ar.enc = make([]byte, n)
-	} else {
-		ar.blobReuses.Add(1)
-	}
-	return ar.enc
+// arenaSlot is one ring entry: a blob buffer and the BlockCache it decodes
+// into. Both allocate lazily on first use and persist for the engine's
+// lifetime.
+type arenaSlot struct {
+	blob  []byte
+	cache *nn.BlockCache
 }
 
-// fetchBuf returns block i's prefetch slot of n bytes.
-func (ar *blobArena) fetchBuf(i, n int) []byte {
-	b := &ar.fetch[i&1]
-	if *b == nil {
-		*b = make([]byte, n)
+// init sizes the ring. Must be called before slotBuf/cacheFor; the engine
+// calls it once at construction (depth+1 slots, minimum 2).
+func (ar *blobArena) init(nslots int) {
+	if nslots < 2 {
+		nslots = 2
+	}
+	ar.slots = make([]arenaSlot, nslots)
+}
+
+// slotIndex maps a block to its ring slot.
+func (ar *blobArena) slotIndex(i int) int { return i % len(ar.slots) }
+
+// slotBuf returns block i's ring buffer of n bytes.
+func (ar *blobArena) slotBuf(i, n int) []byte {
+	s := &ar.slots[ar.slotIndex(i)]
+	if s.blob == nil {
+		s.blob = make([]byte, n)
 	} else {
 		ar.blobReuses.Add(1)
 	}
-	return *b
+	return s.blob
 }
 
 // cacheFor returns block i's ring cache, allocating it on first use.
 func (ar *blobArena) cacheFor(i int, g geometry) *nn.BlockCache {
-	s := &ar.ring[i&1]
-	if *s == nil {
-		*s = newBlockCache(g)
+	s := &ar.slots[ar.slotIndex(i)]
+	if s.cache == nil {
+		s.cache = newBlockCache(g)
 	} else {
 		ar.ringReuses.Add(1)
 	}
-	return *s
+	return s.cache
 }
 
 // encode packs c into blob through the arena's tensor-list scratch — the

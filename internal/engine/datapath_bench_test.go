@@ -10,9 +10,9 @@ import (
 )
 
 // BenchmarkCacheRoundTrip measures the full activation swap cycle for one
-// block at a realistic blob size (~576 KiB of fp16): encode into the arena
-// scratch, store on the striped array, read back into the prefetch slot,
-// and revive the ring cache. The steady-state path does all four stages
+// block at a realistic blob size (~576 KiB of fp16): encode into a ring
+// slot, store on the striped array, read back into the adjacent slot, and
+// revive the ring cache. The steady-state path does all four stages
 // without allocating; the pre-arena path allocated the blob, the fetch
 // buffer, and a fresh BlockCache every cycle.
 func BenchmarkCacheRoundTrip(b *testing.B) {
@@ -32,19 +32,20 @@ func BenchmarkCacheRoundTrip(b *testing.B) {
 	defer a.Close()
 
 	var ar blobArena
+	ar.init(DefaultPipelineDepth + 1)
 	n := g.blobBytes()
 	b.SetBytes(int64(n))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		blob := ar.encBuf(n)
+		blob := ar.slotBuf(i, n)
 		if err := ar.encode(blob, src); err != nil {
 			b.Fatal(err)
 		}
 		if err := a.Put("act/bench", blob); err != nil {
 			b.Fatal(err)
 		}
-		fetch := ar.fetchBuf(i, n)
+		fetch := ar.slotBuf(i+1, n)
 		if err := a.ReadInto("act/bench", fetch); err != nil {
 			b.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ratel/internal/agoffload"
+	"ratel/internal/nn"
 	"ratel/internal/nvme"
 	"ratel/internal/tensor"
 )
@@ -148,33 +149,50 @@ func floatsEqual(a, b []float32) bool {
 	return true
 }
 
-// TestBlobArenaDoubleBufferParity: adjacent blocks must land in different
-// fetch slots and ring entries (the pipeline overlap argument), and
-// same-parity blocks must reuse the same backing.
-func TestBlobArenaDoubleBufferParity(t *testing.T) {
-	var ar blobArena
+// TestBlobArenaRingSlots: within any window of ring-size consecutive
+// blocks, every block gets a distinct slot buffer and ring cache (the
+// pipeline overlap argument), and block i+ringsize reuses block i's backing
+// exactly.
+func TestBlobArenaRingSlots(t *testing.T) {
 	g := geometry{batch: 1, seq: 2, hidden: 4, heads: 1}
 	n := g.blobBytes()
-	b2, b3 := ar.fetchBuf(2, n), ar.fetchBuf(3, n)
-	if &b2[0] == &b3[0] {
-		t.Fatal("adjacent blocks share a fetch slot")
+	for _, nslots := range []int{2, 3, 4} {
+		var ar blobArena
+		ar.init(nslots)
+		if got := len(ar.slots); got != nslots {
+			t.Fatalf("init(%d) made %d slots", nslots, got)
+		}
+		bufs := make([]*byte, nslots)
+		caches := make([]*nn.BlockCache, nslots)
+		for i := 0; i < nslots; i++ {
+			bufs[i] = &ar.slotBuf(i, n)[0]
+			caches[i] = ar.cacheFor(i, g)
+			for j := 0; j < i; j++ {
+				if bufs[i] == bufs[j] {
+					t.Fatalf("nslots=%d: blocks %d and %d share a slot buffer", nslots, j, i)
+				}
+				if caches[i] == caches[j] {
+					t.Fatalf("nslots=%d: blocks %d and %d share a ring cache", nslots, j, i)
+				}
+			}
+		}
+		for i := 0; i < nslots; i++ {
+			if &ar.slotBuf(i+nslots, n)[0] != bufs[i] {
+				t.Fatalf("nslots=%d: block %d did not reuse block %d's slot buffer", nslots, i+nslots, i)
+			}
+			if ar.cacheFor(i+nslots, g) != caches[i] {
+				t.Fatalf("nslots=%d: block %d did not reuse block %d's ring cache", nslots, i+nslots, i)
+			}
+		}
+		if ar.blobReuses.Load() == 0 || ar.ringReuses.Load() == 0 {
+			t.Fatal("arena reuse counters did not advance")
+		}
 	}
-	if b4 := ar.fetchBuf(4, n); &b4[0] != &b2[0] {
-		t.Fatal("same-parity block did not reuse its fetch slot")
-	}
-	c1, c2 := ar.cacheFor(1, g), ar.cacheFor(2, g)
-	if c1 == c2 {
-		t.Fatal("adjacent blocks share a ring cache")
-	}
-	if c3 := ar.cacheFor(3, g); c3 != c1 {
-		t.Fatal("same-parity block did not reuse its ring cache")
-	}
-	if ar.blobReuses.Load() == 0 || ar.ringReuses.Load() == 0 {
-		t.Fatal("arena reuse counters did not advance")
-	}
-	// Encode scratch is stable across calls.
-	if e1, e2 := ar.encBuf(n), ar.encBuf(n); &e1[0] != &e2[0] {
-		t.Fatal("encode scratch reallocated")
+	// init clamps degenerate ring sizes to the 2-slot minimum.
+	var ar blobArena
+	ar.init(1)
+	if len(ar.slots) != 2 {
+		t.Fatalf("init(1) made %d slots, want the 2-slot minimum", len(ar.slots))
 	}
 }
 

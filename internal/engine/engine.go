@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ratel/internal/agoffload"
@@ -100,9 +102,17 @@ type Config struct {
 	// global: the global norm is only known after all gradients arrive,
 	// which would re-serialize the optimizer (§IV-C's whole point).
 	ClipGroupNorm float64
-	// DisablePrefetch turns off the backward-stage activation prefetch
-	// pipeline (for ablation benchmarks; values are unaffected either way).
-	DisablePrefetch bool
+	// PipelineDepth bounds the activation I/O window in each direction:
+	// forward may have up to this many write-behind offloads in flight while
+	// compute proceeds, and backward read-ahead launches the fetch for block
+	// i-depth when block i is consumed. 0 means DefaultPipelineDepth;
+	// negative is rejected. Depth changes only timing, never values — the
+	// step barrier makes every depth bit-identical to the synchronous path.
+	PipelineDepth int
+	// DisablePipeline runs all activation I/O synchronously inline with
+	// compute (for ablation benchmarks; values are unaffected either way).
+	// It subsumes the old DisablePrefetch knob: both directions degrade.
+	DisablePipeline bool
 	// Tracer, when non-nil, records wall-clock spans for every training
 	// stage (forward/backward kernels, activation offload and prefetch,
 	// NVMe device I/O, CPU-optimizer chunks). Tracing never changes
@@ -148,6 +158,15 @@ type Engine struct {
 	// blobLen is the fixed fp16 size of one block's activation blob.
 	arena   blobArena
 	blobLen int
+	// depth is the resolved activation I/O window (0 = synchronous); pipe is
+	// the write-behind offload pipeline, nil when depth is 0 (see
+	// pipeline.go). fetchCh/fetchLive are the per-block read-ahead result
+	// channels and their in-flight marks, preallocated so backward's launch
+	// path allocates no channels or maps per step.
+	depth     int
+	pipe      *offloadPipeline
+	fetchCh   []chan error
+	fetchLive []bool
 	// stepChs are the per-submission optimizer result channels, one per
 	// param group, reused every step (each is drained before the step ends,
 	// so reuse never observes a stale value). pendingScr is the matching
@@ -163,6 +182,17 @@ type Engine struct {
 	prevKernelParams int64
 	prevKernelBusy   time.Duration
 	prevSSD          nvme.Stats
+
+	// Per-block data-movement counters, updated inside the hot
+	// forward/backward loops. Atomics rather than e.mu: the loops run once
+	// per block per step, and the offload counter in particular is bumped
+	// while writer goroutines are concurrently active — a mutex here would
+	// serialize the hot path against every Stats() reader. Folded into
+	// Stats() snapshots.
+	actOffload  atomic.Int64
+	actHost     atomic.Int64
+	actFetched  atomic.Int64
+	recomputedN atomic.Int64
 
 	mu       sync.Mutex
 	stats    Stats
@@ -180,6 +210,9 @@ type hostAct struct {
 func New(cfg Config) (*Engine, error) {
 	if cfg.Devices < 1 {
 		cfg.Devices = 1
+	}
+	if cfg.PipelineDepth < 0 {
+		return nil, fmt.Errorf("engine: negative PipelineDepth %d", cfg.PipelineDepth)
 	}
 	m, err := nn.NewModel(cfg.Model)
 	if err != nil {
@@ -215,6 +248,23 @@ func New(cfg Config) (*Engine, error) {
 		ins:       makeInstruments(cfg.Metrics),
 	}
 	e.blobLen = e.geom.blobBytes()
+	// Resolve the activation I/O window: the ring needs depth+1 slots so a
+	// block can encode while depth earlier blobs are still in flight (and so
+	// backward's depth read-aheads never collide with the block being
+	// consumed). The synchronous configuration keeps the minimum 2-slot ring.
+	e.depth = cfg.PipelineDepth
+	if e.depth == 0 {
+		e.depth = DefaultPipelineDepth
+	}
+	if cfg.DisablePipeline {
+		e.depth = 0
+	}
+	e.arena.init(e.depth + 1)
+	e.fetchCh = make([]chan error, len(m.Blocks))
+	for i := range e.fetchCh {
+		e.fetchCh[i] = make(chan error, 1)
+	}
+	e.fetchLive = make([]bool, len(m.Blocks))
 	a.SetTracer(cfg.Tracer)
 	e.optimizer.SetTracer(cfg.Tracer)
 	if cfg.ClipGroupNorm > 0 {
@@ -242,6 +292,20 @@ func New(cfg Config) (*Engine, error) {
 			return nil, errors.Join(err, a.Close())
 		}
 	}
+	// Writer goroutines start last so no construction-error path has to stop
+	// them: every earlier failure closes just the array.
+	if e.depth > 0 {
+		// One writer serializes a depth-1 window exactly like the old inline
+		// path. Deeper windows get one writer per in-flight blob up to the
+		// array width: each blob stripes across every device, so fewer
+		// writers than devices leaves aggregate write bandwidth idle between
+		// blob boundaries.
+		writers := e.depth
+		if writers > cfg.Devices {
+			writers = cfg.Devices
+		}
+		e.pipe = newOffloadPipeline(a, cfg.Tracer, len(e.arena.slots), writers, len(m.Blocks))
+	}
 	return e, nil
 }
 
@@ -259,8 +323,12 @@ func (e *Engine) currentScale() float64 {
 // LossScale reports the active loss scale (for tests and telemetry).
 func (e *Engine) LossScale() float64 { return e.currentScale() }
 
-// Close releases the NVMe array.
-func (e *Engine) Close() error { return e.array.Close() }
+// Close stops the offload pipeline's writer goroutines and releases the
+// NVMe array.
+func (e *Engine) Close() error {
+	e.pipe.close()
+	return e.array.Close()
+}
 
 // Model exposes the underlying model (its weights are the P16 working
 // copies).
@@ -269,11 +337,17 @@ func (e *Engine) Model() *nn.Model { return e.model }
 // Array exposes the NVMe substrate for inspection and fault injection.
 func (e *Engine) Array() *nvme.Array { return e.array }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. The per-block
+// data-movement counts live in atomics (the hot loops never take e.mu) and
+// are folded into the snapshot here.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	s := e.stats
+	e.mu.Unlock()
+	s.ActBytesOffload = units.Bytes(e.actOffload.Load())
+	s.ActBytesHost = units.Bytes(e.actHost.Load())
+	s.ActBytesFetched = units.Bytes(e.actFetched.Load())
+	s.RecomputedBlocks = int(e.recomputedN.Load())
 	s.SSD = e.array.Stats()
 	return s
 }
@@ -291,6 +365,7 @@ type gradJob struct {
 func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 	m := e.model
 	m.ZeroGrads()
+	e.pipe.resetStepCounters()
 	if !e.cfg.DelayedUpdate {
 		e.beginStep()
 	}
@@ -446,6 +521,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 	}
 	m := e.model
 	m.ZeroGrads()
+	e.pipe.resetStepCounters()
 	e.beginStep()
 	stepStart := time.Now()
 	stepSp := e.tracer.StartSpan(obs.LaneStep, labelStep)
@@ -569,6 +645,13 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 	m.NextStep() // fresh dropout masks; recomputation below replays them
 	groupOf := func(block int) nn.ParamGroup { return groups[block+1] }
 	fail := func(err error) (float64, time.Duration, time.Duration, error) {
+		// The step barrier holds on failure too: join every in-flight
+		// write-behind offload (each returns its slot token and releases its
+		// reservation regardless of outcome) so no write — and no write
+		// error — outlives this step.
+		if derr := e.pipe.barrier(); derr != nil {
+			err = errors.Join(err, derr)
+		}
 		return 0, fwdDur, bwdDur, err
 	}
 	tr := e.tracer
@@ -593,30 +676,58 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		}
 		switch e.cfg.Swap[i] {
 		case SwapSSD:
-			// Offload the cache: host staging, then the NVMe store. Put
-			// borrows the blob only for the call, so the arena's one encode
-			// scratch serves every SSD block of every step.
-			sp = tr.StartSpan(obs.LaneOffload, e.labels[i].offload)
-			blob := e.arena.encBuf(e.blobLen)
-			if err := e.arena.encode(blob, c); err != nil {
+			if e.pipe != nil {
+				// Write-behind offload: encode into block i's ring slot and
+				// queue the blob for the writer goroutines — block i+1's
+				// compute proceeds while the NVMe Put is in flight. The slot
+				// token bounds reuse (a full window stalls here, recorded on
+				// the stall lane) and the reservation pins the host staging
+				// footprint until the write retires.
+				if e.pipe.errored() {
+					// Fail fast: stop feeding the window; fail's barrier
+					// carries the write error out.
+					return fail(fmt.Errorf("engine: offload block %d activations: earlier write-behind failed", i))
+				}
+				slot := e.arena.slotIndex(i)
+				e.pipe.acquireSlot(slot, e.labels[i].stall)
+				sp = tr.StartSpan(obs.LaneOffload, e.labels[i].offload)
+				blob := e.arena.slotBuf(i, e.blobLen)
+				if err := e.arena.encode(blob, c); err != nil {
+					sp.End()
+					e.pipe.releaseSlot(slot)
+					return fail(err)
+				}
 				sp.End()
-				return fail(err)
-			}
-			res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
-			if err != nil {
+				res, err := e.reserveStaged(len(blob), e.labels[i].stall)
+				if err != nil {
+					e.pipe.releaseSlot(slot)
+					return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
+				}
+				e.pipe.submit(offloadJob{slot: slot, key: e.labels[i].actKey, label: e.labels[i].write, blob: blob, res: res})
+			} else {
+				// Synchronous fallback (DisablePipeline): host staging, then
+				// the NVMe store inline. Put borrows the blob only for the
+				// call, so the slot serves every step.
+				sp = tr.StartSpan(obs.LaneOffload, e.labels[i].offload)
+				blob := e.arena.slotBuf(i, e.blobLen)
+				if err := e.arena.encode(blob, c); err != nil {
+					sp.End()
+					return fail(err)
+				}
+				res, err := e.hostPool.Reserve(units.Bytes(len(blob)))
+				if err != nil {
+					sp.End()
+					return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
+				}
+				if err := e.array.Put(e.labels[i].actKey, blob); err != nil {
+					sp.End()
+					res.Release()
+					return fail(fmt.Errorf("engine: offload block %d activations: %w", i, err))
+				}
+				res.Release() // staged through, now resident on SSD
 				sp.End()
-				return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
 			}
-			if err := e.array.Put(e.labels[i].actKey, blob); err != nil {
-				sp.End()
-				res.Release()
-				return fail(fmt.Errorf("engine: offload block %d activations: %w", i, err))
-			}
-			res.Release() // staged through, now resident on SSD
-			sp.End()
-			e.mu.Lock()
-			e.stats.ActBytesOffload += units.Bytes(len(blob))
-			e.mu.Unlock()
+			e.actOffload.Add(int64(e.blobLen))
 		case SwapHost:
 			// Pin the cache in main memory until backward consumes it. The
 			// blob outlives this call, so it comes from the shared buffer
@@ -640,9 +751,7 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 				nvme.Buffers.Put(stale.blob)
 			}
 			e.hostActs[i] = &hostAct{blob: blob, res: res}
-			e.mu.Lock()
-			e.stats.ActBytesHost += units.Bytes(len(blob))
-			e.mu.Unlock()
+			e.actHost.Add(int64(len(blob)))
 		}
 		// The live cache is dropped either way: swapped blocks restore it
 		// from their tier, the rest recompute from the saved block input.
@@ -663,6 +772,13 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 	if s := e.currentScale(); s != 1 {
 		dlogits.Scale(float32(s))
 	}
+	// Forward's half of the step barrier: every write-behind offload joins
+	// here (head forward and the loss overlapped the tail writes), so any
+	// write error surfaces before backward and backward starts with all ring
+	// slots free for read-ahead.
+	if err := e.pipe.barrier(); err != nil {
+		return fail(fmt.Errorf("engine: offload activations: %w", err))
+	}
 	fwdDur = time.Since(fwdStart)
 	tr.Instant(obs.LaneStep, labelFwdEnd)
 
@@ -681,54 +797,65 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		return fail(err)
 	}
 
-	// Pipelined data transfer (the Ratel_hook prefetching of Fig. 4): the
-	// SSD read for block i-1's activations overlaps block i's backward
-	// computation. Prefetching changes only timing, never values. Each fetch
-	// reads into the arena's parity slot for its block: only adjacent blocks
-	// are ever in flight together, and adjacent blocks have opposite parity,
-	// so the two slots never collide (see blobArena).
-	type fetchResult struct {
-		blob []byte
-		err  error
-	}
-	prefetch := make(map[int]chan fetchResult)
+	// Pipelined data transfer (the Ratel_hook prefetching of Fig. 4),
+	// generalized to depth-k read-ahead: the SSD fetch for block i-depth
+	// launches when block i is consumed, so up to depth reads overlap
+	// backward computation. Read-ahead changes only timing, never values.
+	// Each fetch reads into its block's ring slot: launched-but-unconsumed
+	// fetches span at most depth+1 consecutive block indices, which map to
+	// distinct slots (see blobArena). Result channels are preallocated per
+	// block, so a launch allocates only its fetch goroutine.
 	launch := func(i int) {
-		if i < 0 || e.cfg.Swap[i] != SwapSSD || e.cfg.DisablePrefetch {
+		if i < 0 || e.cfg.Swap[i] != SwapSSD || e.depth == 0 {
 			return
 		}
-		ch := make(chan fetchResult, 1)
-		prefetch[i] = ch
+		ch := e.fetchCh[i]
+		e.fetchLive[i] = true
 		label := e.labels[i].prefetch
-		buf := e.arena.fetchBuf(i, e.blobLen)
+		key := e.labels[i].actKey
+		buf := e.arena.slotBuf(i, e.blobLen)
 		go func() {
 			start := tr.Now()
-			err := e.array.ReadInto(e.labels[i].actKey, buf)
+			err := e.array.ReadInto(key, buf)
 			tr.RecordSpan(obs.LanePrefetch, label, start, tr.Now())
-			ch <- fetchResult{blob: buf, err: err}
+			ch <- err
 		}()
+		// Hand the CPU to the fetch goroutine now — same single-core hand-off
+		// as offloadPipeline.submit: backward compute never blocks between
+		// launches, so without a yield the read would not reach the device
+		// until the next preemption tick.
+		runtime.Gosched()
 	}
-	// On any exit, wait out in-flight prefetches (consumed entries are
-	// deleted, so this only drains leftovers after an error).
+	// On any exit, wait out in-flight fetches (consumed fetches clear their
+	// mark, so this only drains leftovers after an error).
 	defer func() {
-		for _, ch := range prefetch {
-			<-ch
+		for i, live := range e.fetchLive {
+			if live {
+				<-e.fetchCh[i]
+				e.fetchLive[i] = false
+			}
 		}
 	}()
-	launch(len(m.Blocks) - 1)
+	// Stagger the window instead of issuing all depth fetches at once: on the
+	// half-duplex device model concurrent reads fair-queue per device, so a
+	// full-depth burst delays the one fetch backward is about to block on by
+	// the whole batch. Launch only the first-needed fetch up front and refill
+	// the window after each consume — in-flight reads still reach depth
+	// during block compute, but the head of the queue is never contended.
+	nextFetch := len(m.Blocks) - 1
+	launch(nextFetch)
+	nextFetch--
 
 	for i := len(m.Blocks) - 1; i >= 0; i-- {
-		launch(i - 1) // overlap the next fetch with this block's backward
 		var c *nn.BlockCache
 		switch e.cfg.Swap[i] {
 		case SwapSSD:
-			var blob []byte
-			if ch, ok := prefetch[i]; ok {
-				res := <-ch
-				delete(prefetch, i)
-				blob, err = res.blob, res.err
+			blob := e.arena.slotBuf(i, e.blobLen)
+			if e.fetchLive[i] {
+				err = <-e.fetchCh[i]
+				e.fetchLive[i] = false
 			} else {
 				sp = tr.StartSpan(obs.LanePrefetch, e.labels[i].fetch)
-				blob = e.arena.fetchBuf(i, e.blobLen)
 				err = e.array.ReadInto(e.labels[i].actKey, blob)
 				sp.End()
 			}
@@ -739,9 +866,7 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			if err = e.arena.decode(c, blob, inputs[i]); err != nil {
 				return fail(err)
 			}
-			e.mu.Lock()
-			e.stats.ActBytesFetched += units.Bytes(len(blob))
-			e.mu.Unlock()
+			e.actFetched.Add(int64(len(blob)))
 		case SwapHost:
 			ha := e.hostActs[i]
 			if ha == nil {
@@ -755,9 +880,7 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			ha.res.Release()
 			nvme.Buffers.Put(ha.blob)
 			delete(e.hostActs, i)
-			e.mu.Lock()
-			e.stats.ActBytesFetched += units.Bytes(blobLen)
-			e.mu.Unlock()
+			e.actFetched.Add(int64(blobLen))
 		default:
 			sp = tr.StartSpan(obs.LaneCompute, e.labels[i].recompute)
 			c, err = m.Blocks[i].Recompute(inputs[i])
@@ -765,9 +888,13 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			if err != nil {
 				return fail(err)
 			}
-			e.mu.Lock()
-			e.stats.RecomputedBlocks++
-			e.mu.Unlock()
+			e.recomputedN.Add(1)
+		}
+		// Refill the read-ahead window now that block i's slot is consumed;
+		// these fetches overlap block i's backward compute.
+		for nextFetch >= i-e.depth && nextFetch >= 0 {
+			launch(nextFetch)
+			nextFetch--
 		}
 		sp = tr.StartSpan(obs.LaneCompute, e.labels[i].bwd)
 		dx, err := m.Blocks[i].Backward(c, dh)

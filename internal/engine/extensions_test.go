@@ -567,11 +567,12 @@ func TestClipGroupNorm(t *testing.T) {
 	}
 }
 
-// TestPrefetchEquivalence: the prefetch pipeline changes timing only —
-// training with and without it is bit-identical, across swap tier mixes
-// (pure SSD, and SSD interleaved with pinned host blobs from the shared
-// buffer pool) and worker-pool widths (serial and parallel codecs).
-func TestPrefetchEquivalence(t *testing.T) {
+// TestPipelineEquivalenceMatrix: the full-duplex activation I/O pipeline
+// changes timing only — training is bit-identical across the synchronous
+// path, depth 1, and depth 3, across swap tier mixes (pure SSD, and SSD
+// interleaved with pinned host blobs from the shared buffer pool) and
+// worker-pool widths (serial and parallel codecs).
+func TestPipelineEquivalenceMatrix(t *testing.T) {
 	swaps := []struct {
 		name string
 		swap map[int]Tier
@@ -579,28 +580,40 @@ func TestPrefetchEquivalence(t *testing.T) {
 		{"all-ssd", map[int]Tier{0: SwapSSD, 1: SwapSSD, 2: SwapSSD}},
 		{"mixed", map[int]Tier{0: SwapSSD, 1: SwapHost, 2: SwapSSD}},
 	}
+	variants := []struct {
+		name string
+		cfg  func(Config) Config
+	}{
+		{"sync", func(c Config) Config { c.DisablePipeline = true; return c }},
+		{"depth1", func(c Config) Config { c.PipelineDepth = 1; return c }},
+		{"depth3", func(c Config) Config { c.PipelineDepth = 3; return c }},
+	}
 	old := tensor.Parallelism()
 	defer tensor.SetParallelism(old)
 	for _, threads := range []int{1, 4} {
 		tensor.SetParallelism(threads)
 		for _, sc := range swaps {
-			t.Run(fmt.Sprintf("%s/threads=%d", sc.name, threads), func(t *testing.T) {
-				with := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: sc.swap})
-				without := newEngine(t, Config{GradMode: agoffload.Optimized, Swap: sc.swap, DisablePrefetch: true})
-				a := trainK(t, with, 3)
-				b := trainK(t, without, 3)
-				for i := range a {
-					if a[i] != b[i] {
-						t.Fatalf("loss[%d] differs with prefetch: %v vs %v", i, a[i], b[i])
+			base := Config{GradMode: agoffload.Optimized, Swap: sc.swap}
+			ref := newEngine(t, variants[0].cfg(base))
+			refLoss := trainK(t, ref, 3)
+			refParams := paramsSnapshot(ref.Model())
+			for _, v := range variants[1:] {
+				t.Run(fmt.Sprintf("%s/%s/threads=%d", sc.name, v.name, threads), func(t *testing.T) {
+					e := newEngine(t, v.cfg(base))
+					loss := trainK(t, e, 3)
+					for i := range refLoss {
+						if refLoss[i] != loss[i] {
+							t.Fatalf("loss[%d] differs from synchronous path: %v vs %v", i, refLoss[i], loss[i])
+						}
 					}
-				}
-				pa, pb := paramsSnapshot(with.Model()), paramsSnapshot(without.Model())
-				for i := range pa {
-					if pa[i] != pb[i] {
-						t.Fatal("prefetch changed training values")
+					params := paramsSnapshot(e.Model())
+					for i := range refParams {
+						if refParams[i] != params[i] {
+							t.Fatal("pipeline changed training values")
+						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }

@@ -26,6 +26,8 @@ type blockLabels struct {
 	pin       string // "blockN/act-pin"       lane offload (host tier)
 	prefetch  string // "blockN/act-prefetch"  lane prefetch
 	fetch     string // "blockN/act-fetch"     lane prefetch (sync fallback)
+	write     string // "blockN/act-write"     lane offload (async Put wall)
+	stall     string // "blockN/offload-stall" lane stall (window/pool full)
 	actKey    string // "act/blockN"           NVMe object key, not a span
 }
 
@@ -41,6 +43,8 @@ func makeBlockLabels(layers int) []blockLabels {
 			pin:       p + "/act-pin",
 			prefetch:  p + "/act-prefetch",
 			fetch:     p + "/act-fetch",
+			write:     p + "/act-write",
+			stall:     p + "/offload-stall",
 			actKey:    actKey(i),
 		}
 	}
@@ -81,6 +85,14 @@ type StepMetrics struct {
 	// during the step; their quotient is the live Adam params/s rate.
 	AdamParams int64
 	AdamBusy   time.Duration
+	// OffloadStalls counts times this step's compute loop blocked on
+	// pipeline flow control (write-behind window full, or host staging pool
+	// waiting on an in-flight write); OffloadStallWait is the summed wait.
+	// Zero means the pipeline fully hid the activation offload I/O.
+	OffloadStalls    int
+	OffloadStallWait time.Duration
+	// OffloadQueuePeak is the deepest the offload queue got this step.
+	OffloadQueuePeak int
 }
 
 // AdamParamsPerSec is the step's measured CPU-optimizer throughput
@@ -123,12 +135,22 @@ type instruments struct {
 	recomputed *obs.Gauge
 	skipped    *obs.Gauge
 
+	// Pipeline flow-control health: cumulative stalls, the last step's
+	// summed stall wait and offload-queue peak, and the NVMe array's
+	// per-direction in-flight high-water marks. A well-planned window shows
+	// stalls flat at zero while the in-flight peaks sit at the queue depth.
+	offloadStalls  *obs.Counter
+	offloadStallMS *obs.Gauge
+	offloadQueue   *obs.Gauge
+
 	nvmeReadBytes  *obs.Gauge
 	nvmeWriteBytes *obs.Gauge
 	nvmeReadBW     *obs.Gauge
 	nvmeWriteBW    *obs.Gauge
 	nvmeReadOps    *obs.Gauge
 	nvmeWriteOps   *obs.Gauge
+	nvmeReadPeak   *obs.Gauge
+	nvmeWritePeak  *obs.Gauge
 
 	poolJobs      *obs.Gauge
 	poolInline    *obs.Gauge
@@ -163,12 +185,18 @@ func makeInstruments(r *obs.Registry) instruments {
 		recomputed: r.Gauge("engine.recomputed_blocks"),
 		skipped:    r.Gauge("engine.skipped_steps"),
 
+		offloadStalls:  r.Counter("engine.offload_stalls"),
+		offloadStallMS: r.Gauge("engine.offload_stall_ms"),
+		offloadQueue:   r.Gauge("engine.offload_queue_peak"),
+
 		nvmeReadBytes:  r.Gauge("nvme.read_bytes"),
 		nvmeWriteBytes: r.Gauge("nvme.write_bytes"),
 		nvmeReadBW:     r.Gauge("nvme.read_bytes_per_sec"),
 		nvmeWriteBW:    r.Gauge("nvme.write_bytes_per_sec"),
 		nvmeReadOps:    r.Gauge("nvme.read_ops"),
 		nvmeWriteOps:   r.Gauge("nvme.write_ops"),
+		nvmeReadPeak:   r.Gauge("nvme.reads_in_flight_peak"),
+		nvmeWritePeak:  r.Gauge("nvme.writes_in_flight_peak"),
 
 		poolJobs:      r.Gauge("pool.jobs"),
 		poolInline:    r.Gauge("pool.inline_runs"),
@@ -200,11 +228,17 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	if wall > 0 {
 		m.TokensPerSec = float64(tokens) / wall.Seconds()
 	}
+	if e.pipe != nil {
+		// The step barrier has passed: the pipeline is idle, so its step
+		// counters are stable until the next TrainStep resets them.
+		m.OffloadStalls = e.pipe.stalls
+		m.OffloadStallWait = e.pipe.stallWait
+		m.OffloadQueuePeak = e.pipe.queuePeak
+	}
 	e.prevKernelParams, e.prevKernelBusy = kp, kb
 
 	e.mu.Lock()
 	e.lastStep = m
-	stats := e.stats
 	e.mu.Unlock()
 
 	ins := &e.ins
@@ -217,17 +251,26 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	ins.stepMS.Set(float64(wall) / float64(time.Millisecond))
 	ins.adamRate.Set(m.AdamParamsPerSec())
 
-	ins.actOffload.Set(float64(stats.ActBytesOffload))
-	ins.actHost.Set(float64(stats.ActBytesHost))
-	ins.actFetched.Set(float64(stats.ActBytesFetched))
-	ins.recomputed.Set(float64(stats.RecomputedBlocks))
-	ins.skipped.Set(float64(stats.SkippedSteps))
+	ins.actOffload.Set(float64(e.actOffload.Load()))
+	ins.actHost.Set(float64(e.actHost.Load()))
+	ins.actFetched.Set(float64(e.actFetched.Load()))
+	ins.recomputed.Set(float64(e.recomputedN.Load()))
+	e.mu.Lock()
+	skipped := e.stats.SkippedSteps
+	e.mu.Unlock()
+	ins.skipped.Set(float64(skipped))
+
+	ins.offloadStalls.Add(int64(m.OffloadStalls))
+	ins.offloadStallMS.Set(float64(m.OffloadStallWait) / float64(time.Millisecond))
+	ins.offloadQueue.Set(float64(m.OffloadQueuePeak))
 
 	ssd := e.array.Stats()
 	ins.nvmeReadBytes.Set(float64(ssd.BytesRead))
 	ins.nvmeWriteBytes.Set(float64(ssd.BytesWritten))
 	ins.nvmeReadOps.Set(float64(ssd.ReadOps))
 	ins.nvmeWriteOps.Set(float64(ssd.WriteOps))
+	ins.nvmeReadPeak.Set(float64(ssd.PeakReadsInFlight))
+	ins.nvmeWritePeak.Set(float64(ssd.PeakWritesInFlight))
 	if wall > 0 {
 		readDelta := ssd.BytesRead - e.prevSSD.BytesRead
 		writeDelta := ssd.BytesWritten - e.prevSSD.BytesWritten

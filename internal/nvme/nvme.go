@@ -73,12 +73,15 @@ var ErrNoSpace = errors.New("nvme: device full")
 // device is one SSD: a backing store plus a chunk allocator. Chunks are
 // fixed-size so freeing is a free-list push.
 type device struct {
-	mu       sync.Mutex
-	back     backend
-	next     int64 // next fresh chunk offset
-	free     []int64
-	fault    error
-	busySlot time.Time // throttle bookkeeping
+	mu   sync.Mutex
+	back backend
+	next int64 // next fresh chunk offset
+	free []int64
+	// fault, when non-nil, fails chunk I/O — after faultDelay more chunk
+	// operations succeed (0 = immediately). See InjectFault/InjectFaultAfter.
+	fault      error
+	faultDelay int
+	busySlot   time.Time // throttle bookkeeping
 }
 
 // backend is the byte-addressed storage under a device.
@@ -124,6 +127,15 @@ type Array struct {
 	readOps      int64
 	writeOps     int64
 	perDevBytes  []int64
+
+	// Per-direction in-flight object transfers (reads: Get/ReadInto;
+	// writes: Put) and their cumulative high-water marks. The peaks expose
+	// the depth the engine's write-behind queue and read-ahead window
+	// actually reached on the array.
+	readsInFlight  atomic.Int64
+	writesInFlight atomic.Int64
+	peakReads      atomic.Int64
+	peakWrites     atomic.Int64
 }
 
 // Stats reports cumulative traffic through the array.
@@ -133,6 +145,12 @@ type Stats struct {
 	// ReadOps / WriteOps count completed object-level operations (Get and
 	// ReadInto; Put).
 	ReadOps, WriteOps int64
+	// ReadsInFlight / WritesInFlight are the object transfers in progress at
+	// the instant of the snapshot; PeakReadsInFlight / PeakWritesInFlight
+	// are the cumulative high-water marks — the concurrency the caller's
+	// I/O pipeline actually achieved per direction.
+	ReadsInFlight, WritesInFlight         int64
+	PeakReadsInFlight, PeakWritesInFlight int64
 	// PerDeviceBytes is total traffic (read+write) per device, exposing the
 	// stripe balance.
 	PerDeviceBytes []units.Bytes
@@ -202,12 +220,22 @@ func (a *Array) Close() error {
 // InjectFault makes device dev fail all subsequent I/O with err (nil clears
 // the fault). It exists for failure-injection tests.
 func (a *Array) InjectFault(dev int, err error) {
+	a.InjectFaultAfter(dev, 0, err)
+}
+
+// InjectFaultAfter arms device dev to fail chunk I/O with err once ops more
+// chunk operations have completed on it — the deterministic way to break an
+// asynchronous pipeline mid-flight (the first ops chunks of a step succeed,
+// the next fails while later compute is already running). A nil err clears
+// any armed or active fault.
+func (a *Array) InjectFaultAfter(dev, ops int, err error) {
 	if dev < 0 || dev >= len(a.devs) {
 		return
 	}
 	d := a.devs[dev]
 	d.mu.Lock()
 	d.fault = err
+	d.faultDelay = ops
 	d.mu.Unlock()
 }
 
@@ -443,6 +471,10 @@ func (a *Array) Stats() Stats {
 		s.PerDeviceBytes[i] = units.Bytes(b)
 	}
 	a.statMu.Unlock()
+	s.ReadsInFlight = a.readsInFlight.Load()
+	s.WritesInFlight = a.writesInFlight.Load()
+	s.PeakReadsInFlight = a.peakReads.Load()
+	s.PeakWritesInFlight = a.peakWrites.Load()
 	a.mu.RLock()
 	s.Objects = len(a.objs)
 	for _, o := range a.objs {
@@ -491,7 +523,14 @@ func (d *device) release(off int64) {
 func (a *Array) chunkIO(dev int, off int64, p []byte, write bool) error {
 	d := a.devs[dev]
 	d.mu.Lock()
-	err := d.fault
+	var err error
+	if d.fault != nil {
+		if d.faultDelay > 0 {
+			d.faultDelay--
+		} else {
+			err = d.fault
+		}
+	}
 	if err == nil {
 		if write {
 			err = d.back.WriteAt(p, off)
@@ -520,6 +559,13 @@ const inlineTransferMax = 256 << 10
 // slices) with one flat error slice — the only allocations left on the
 // per-transfer path are the goroutines themselves.
 func (a *Array) transfer(obj object, buf []byte, write bool) error {
+	cur, peak := &a.readsInFlight, &a.peakReads
+	if write {
+		cur, peak = &a.writesInFlight, &a.peakWrites
+	}
+	inflightEnter(cur, peak)
+	defer cur.Add(-1)
+
 	nchunks := len(obj.chunks)
 	if nchunks == 0 {
 		a.throttleHost(obj.size)
@@ -611,6 +657,18 @@ func (a *Array) transferWorker(obj object, buf []byte, write bool, w int, bw uni
 	a.perDevBytes[dev] += devBytes
 	a.statMu.Unlock()
 	return nil
+}
+
+// inflightEnter increments an in-flight counter and folds the new value
+// into its cumulative high-water mark.
+func inflightEnter(cur, peak *atomic.Int64) {
+	n := cur.Add(1)
+	for {
+		p := peak.Load()
+		if n <= p || peak.CompareAndSwap(p, n) {
+			return
+		}
+	}
 }
 
 // throttleDevice sleeps so a device sustains at most bw, plus the per-op

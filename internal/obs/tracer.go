@@ -38,6 +38,12 @@ const (
 	LaneNVMeWrite = "nvme-write" // NVMe array object writes
 	LaneAdam      = "cpu-adam"   // out-of-core optimizer chunk updates
 	LaneStep      = "step"       // whole-iteration markers
+	// LaneStall records time the compute loop spent blocked on pipeline flow
+	// control: the write-behind window was full (every ring slot in flight)
+	// or the host staging pool could not admit another blob until an
+	// in-flight write retired. Stall spans are backpressure made visible —
+	// an empty lane means the pipeline fully hid the offload I/O.
+	LaneStall = "stall"
 )
 
 // Span is one recorded wall-clock interval on a lane. Times are offsets
