@@ -8,27 +8,36 @@ test:
 race:
 	go test -race ./...
 
+# Portable-fallback pass: rerun the kernel-consuming suites with the SIMD
+# dispatch vetoed, proving the generic reference path stays green (the
+# exact code non-amd64 builds and RATEL_NOSIMD=1 deployments run).
+.PHONY: test-nosimd
+test-nosimd:
+	RATEL_NOSIMD=1 go test -count=1 ./internal/tensor/... ./internal/nn ./internal/opt ./internal/engine
+
 # Static analysis over the whole module.
 .PHONY: vet
 vet:
 	go vet ./...
 
 # Repo-specific analyzers (simdet, unitsafe, spanpair, poolcapture,
-# errdrop, bufreuse — see DESIGN.md §8). Also runs as a vet tool:
+# errdrop, bufreuse, simddispatch — see DESIGN.md §8). Also runs as a vet
+# tool:
 #   go build -o bin/ratelvet ./cmd/ratelvet && go vet -vettool=bin/ratelvet ./...
 .PHONY: lint
 lint:
 	go run ./cmd/ratelvet ./...
 
 # Tier-2 umbrella: static analysis + repo analyzers + race detector +
-# one-iteration benchmark smoke (benchmarks must at least run).
+# portable-fallback pass + one-iteration benchmark smoke (benchmarks must
+# at least run).
 .PHONY: check
-check: vet lint race bench-smoke
+check: vet lint race test-nosimd bench-smoke
 
 # Kernel micro-benchmarks (BENCH_kernels.json is a committed snapshot).
 .PHONY: bench-kernels
 bench-kernels:
-	go test -bench 'BenchmarkMatMul_|BenchmarkAdamStep_' -benchmem ./internal/tensor ./internal/opt
+	go test -bench 'BenchmarkMatMul_|BenchmarkAdamStep_|BenchmarkFP16' -benchmem ./internal/tensor ./internal/opt
 
 # Data-path benchmarks (BENCH_datapath.json is a committed snapshot).
 .PHONY: bench-datapath

@@ -3,6 +3,12 @@
 // experiment ids (e.g. "fig5a") to run some, or with "all". The -out flag
 // additionally writes each experiment's output to <dir>/<id>.txt for
 // archiving (EXPERIMENTS.md provenance).
+//
+// The "tune" subcommand instead calibrates the CPU kernels on this
+// machine: it sweeps the matmul tile sizes and the element-wise grain and
+// writes a JSON profile (default ratel-tune.json, or the -tune-out path)
+// that the engine applies at startup when RATEL_TUNE_PROFILE names it.
+// Tuning is result-neutral — it changes kernel speed, never kernel output.
 package main
 
 import (
@@ -13,18 +19,29 @@ import (
 	"path/filepath"
 
 	"ratel/internal/experiments"
+	"ratel/internal/profile"
+	"ratel/internal/tensor/simd"
 )
 
 func main() {
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	tuneOut := flag.String("tune-out", "ratel-tune.json", "profile path the tune subcommand writes")
+	tuneDim := flag.Int("tune-dim", 0, "matmul dimension the tune sweep times (0 = default 512)")
 	flag.Parse()
 	args := flag.Args()
 
 	if len(args) < 1 {
 		fmt.Println("usage: ratelbench [-out dir] <experiment-id>...|all")
+		fmt.Println("       ratelbench [-tune-out file] [-tune-dim n] tune")
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if args[0] == "tune" {
+		if err := runTune(*tuneOut, *tuneDim); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -59,6 +76,22 @@ func runOne(id, outDir string) error {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	return experiments.Run(id, w)
+}
+
+func runTune(out string, dim int) error {
+	fmt.Printf("calibrating kernels (simd level %s)\n", simd.Level())
+	t, err := profile.TuneKernels(profile.TuneConfig{Dim: dim}, func(format string, a ...any) {
+		fmt.Printf("  "+format+"\n", a...)
+	})
+	if err != nil {
+		return err
+	}
+	if err := t.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("best: kBlock=%d jBlock=%d elemGrain=%d\n", t.MatMulKBlock, t.MatMulJBlock, t.ElemGrain)
+	fmt.Printf("wrote %s — apply with %s=%s\n", out, profile.TuneEnvVar, out)
+	return nil
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@ import (
 	"ratel/internal/analysis/bufreuse"
 	"ratel/internal/analysis/errdrop"
 	"ratel/internal/analysis/poolcapture"
+	"ratel/internal/analysis/simddispatch"
 	"ratel/internal/analysis/simdet"
 	"ratel/internal/analysis/spanpair"
 	"ratel/internal/analysis/unitsafe"
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 		bufreuse.Analyzer,
 		errdrop.Analyzer,
 		poolcapture.Analyzer,
+		simddispatch.Analyzer,
 		simdet.Analyzer,
 		spanpair.Analyzer,
 		unitsafe.Analyzer,

@@ -1,0 +1,66 @@
+// Package simddispatch keeps kernel callers on the simd package's
+// dispatched entry points. The *Generic functions exist as the portable
+// reference implementations — the dispatch installs them when the CPU
+// lacks the vector features, when RATEL_NOSIMD vetoes them, or under
+// ForceGeneric — and calling one directly bypasses all three controls:
+// the call site silently pins scalar speed on vector-capable machines and
+// escapes the escape hatch everywhere else.
+package simddispatch
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ratel/internal/analysis"
+)
+
+// simdPath is the dispatch package whose reference implementations are
+// off-limits outside it.
+const simdPath = "ratel/internal/tensor/simd"
+
+// Analyzer is the simddispatch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simddispatch",
+	Doc: `forbid direct use of the simd package's *Generic reference kernels
+
+Flags any reference (call or function value) to an exported *Generic
+function of ratel/internal/tensor/simd from outside that package. The
+Generic variants are the portable reference implementations the dispatch
+falls back to; production code must call the dispatched wrappers (Axpy,
+Dot, F16Encode, ...) so CPU-feature detection, the RATEL_NOSIMD veto, and
+ForceGeneric stay authoritative. Tests that deliberately compare the two
+paths pin the reference with simd.ForceGeneric() or live inside the simd
+package itself.`,
+	Exclude: []string{simdPath},
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if analysis.FuncPkgPath(fn) != simdPath || !strings.HasSuffix(fn.Name(), "Generic") {
+				return true
+			}
+			// ForceGeneric is the sanctioned pin-the-reference hook, not a
+			// reference kernel.
+			if fn.Name() == "ForceGeneric" {
+				return true
+			}
+			dispatched := strings.TrimSuffix(fn.Name(), "Generic")
+			pass.Reportf(id.Pos(),
+				"direct call to simd.%s bypasses the kernel dispatch (feature detection, RATEL_NOSIMD, ForceGeneric); call simd.%s",
+				fn.Name(), dispatched)
+			return true
+		})
+	}
+	return nil
+}

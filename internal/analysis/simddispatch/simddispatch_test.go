@@ -1,0 +1,21 @@
+package simddispatch_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/simddispatch"
+)
+
+func TestSimddispatch(t *testing.T) {
+	analysistest.Run(t, simddispatch.Analyzer, "simdd")
+}
+
+func TestScope(t *testing.T) {
+	if simddispatch.Analyzer.AppliesTo("ratel/internal/tensor/simd") {
+		t.Error("simddispatch must not flag the simd package that defines the reference kernels")
+	}
+	if !simddispatch.Analyzer.AppliesTo("ratel/internal/tensor") {
+		t.Error("simddispatch should cover the rest of the module")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"ratel/internal/nvme"
 	"ratel/internal/obs"
 	"ratel/internal/opt"
+	"ratel/internal/profile"
 	"ratel/internal/tensor"
 	"ratel/internal/units"
 )
@@ -208,6 +209,13 @@ type hostAct struct {
 // New builds the engine: model, NVMe array, and the out-of-core optimizer
 // seeded with the initial fp32 masters.
 func New(cfg Config) (*Engine, error) {
+	// Kernel calibration first: RATEL_TUNE_PROFILE installs this machine's
+	// measured tile sizes and grain before any kernel runs. Tuning is
+	// result-neutral (tiles never reorder an accumulation), so this cannot
+	// change what the engine computes — only how fast.
+	if _, err := profile.ApplyStartupTuning(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	if cfg.Devices < 1 {
 		cfg.Devices = 1
 	}

@@ -156,6 +156,7 @@ type instruments struct {
 	poolInline    *obs.Gauge
 	poolSubmitter *obs.Gauge
 	poolWorker    *obs.Gauge
+	poolStolen    *obs.Gauge
 
 	// Buffer-reuse health: the nvme buffer pool's hit/miss/steal counters
 	// and the arena's blob/ring revival counts. A healthy steady state shows
@@ -202,6 +203,7 @@ func makeInstruments(r *obs.Registry) instruments {
 		poolInline:    r.Gauge("pool.inline_runs"),
 		poolSubmitter: r.Gauge("pool.submitter_chunks"),
 		poolWorker:    r.Gauge("pool.worker_chunks"),
+		poolStolen:    r.Gauge("pool.stolen_chunks"),
 
 		bufHits:    r.Gauge("nvme.buf_hits"),
 		bufMisses:  r.Gauge("nvme.buf_misses"),
@@ -284,6 +286,7 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	ins.poolInline.Set(float64(ps.InlineRuns))
 	ins.poolSubmitter.Set(float64(ps.SubmitterChunks))
 	ins.poolWorker.Set(float64(ps.WorkerChunks))
+	ins.poolStolen.Set(float64(ps.StolenChunks))
 
 	bs := nvme.Buffers.Stats()
 	ins.bufHits.Set(float64(bs.Hits))

@@ -250,23 +250,40 @@ func (o *OutOfCoreAdam) groupKeysFor(group string) groupKeys {
 
 // InitGroup seeds the store with the group's fp32 masters (from the current
 // working weights) and zero moments, and rounds the working weights to fp16
-// (the P16 copies the GPU computes with).
+// (the P16 copies the GPU computes with). State flattens and encodes through
+// the optimizer's scratch buffers — the same ones UpdateGroup streams
+// through — so initialization warms them to the largest group's size
+// instead of allocating per call.
 func (o *OutOfCoreAdam) InitGroup(g nn.ParamGroup) error {
 	if o.adamLabels == nil {
 		o.adamLabels = make(map[string]string)
 	}
 	o.adamLabels[g.Name] = g.Name + "/opt-adam"
-	o.groupKeysFor(g.Name) // precompute store keys off the hot path
-	flat := flattenWeights(g)
-	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(flat)); err != nil {
+	ks := o.groupKeysFor(g.Name) // precompute store keys off the hot path
+	o.scrMu.Lock()
+	defer o.scrMu.Unlock()
+	n := g.NumParams()
+	flat := scrF32(&o.scr.p32, n)
+	off := 0
+	for _, p := range g.Params {
+		off += copy(flat[off:], p.W.Data)
+	}
+	if cap(o.scr.enc) < 4*n {
+		o.scr.enc = make([]byte, 4*n)
+	}
+	buf := o.scr.enc[:4*n]
+	if err := o.saveFP32(buf, ks.p32, flat); err != nil {
 		return fmt.Errorf("opt: init %s: %w", g.Name, err)
 	}
-	zero := make([]float32, len(flat))
-	if err := o.store.Put(o.key(g.Name, "m"), tensor.ToFP32Bytes(zero)); err != nil {
-		return err
+	zero := scrF32(&o.scr.m, n)
+	for i := range zero {
+		zero[i] = 0
 	}
-	if err := o.store.Put(o.key(g.Name, "v"), tensor.ToFP32Bytes(zero)); err != nil {
-		return err
+	if err := o.saveFP32(buf, ks.m, zero); err != nil {
+		return fmt.Errorf("opt: init %s: %w", g.Name, err)
+	}
+	if err := o.saveFP32(buf, ks.v, zero); err != nil {
+		return fmt.Errorf("opt: init %s: %w", g.Name, err)
 	}
 	for _, p := range g.Params {
 		p.W.RoundFP16InPlace()
@@ -314,9 +331,21 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	grad := scrF32(&o.scr.grad, n)
 	idx := 0
 	for _, p := range g.Params {
+		if inv == 1 {
+			// G16 boundary, unscaled: stage through the chunked fp16
+			// round kernel (vectorized where available, bit-identical to
+			// the scalar path per element).
+			if err := tensor.RoundFP16Into(grad[idx:idx+len(p.G.Data)], p.G.Data); err != nil {
+				return fmt.Errorf("opt: stage grad %s: %w", g.Name, err)
+			}
+			idx += len(p.G.Data)
+			continue
+		}
 		for _, gv := range p.G.Data {
 			// G16 boundary: gradients cross PCIe in fp16 (at loss-scaled
-			// magnitude), then unscale in fp32.
+			// magnitude), then unscale in fp32. The unscale multiply is
+			// float64 — a float32 vector multiply would change bits, so
+			// the scaled path stays scalar.
 			grad[idx] = float32(float64(tensor.RoundFP16(gv)) * inv)
 			idx++
 		}
@@ -351,13 +380,14 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	if err := o.saveFP32(buf, ks.v, v); err != nil {
 		return err
 	}
-	// Install P16 = fp16(P32) working copies.
+	// Install P16 = fp16(P32) working copies through the chunked round
+	// kernel (bit-identical to the scalar loop per element).
 	off := 0
 	for _, p := range g.Params {
-		for i := range p.W.Data {
-			p.W.Data[i] = tensor.RoundFP16(p32[off])
-			off++
+		if err := tensor.RoundFP16Into(p.W.Data, p32[off:off+len(p.W.Data)]); err != nil {
+			return fmt.Errorf("opt: install %s: %w", g.Name, err)
 		}
+		off += len(p.W.Data)
 	}
 	return nil
 }
@@ -440,21 +470,28 @@ func (o *OutOfCoreAdam) ImportGroup(g nn.ParamGroup, st GroupState) error {
 		return fmt.Errorf("opt: import %s: state sizes %d/%d/%d for %d params",
 			g.Name, len(st.P32), len(st.M), len(st.V), n)
 	}
-	if err := o.store.Put(o.key(g.Name, "p32"), tensor.ToFP32Bytes(st.P32)); err != nil {
-		return err
+	ks := o.groupKeysFor(g.Name)
+	o.scrMu.Lock()
+	defer o.scrMu.Unlock()
+	if cap(o.scr.enc) < 4*n {
+		o.scr.enc = make([]byte, 4*n)
 	}
-	if err := o.store.Put(o.key(g.Name, "m"), tensor.ToFP32Bytes(st.M)); err != nil {
-		return err
+	buf := o.scr.enc[:4*n]
+	if err := o.saveFP32(buf, ks.p32, st.P32); err != nil {
+		return fmt.Errorf("opt: import %s: %w", g.Name, err)
 	}
-	if err := o.store.Put(o.key(g.Name, "v"), tensor.ToFP32Bytes(st.V)); err != nil {
-		return err
+	if err := o.saveFP32(buf, ks.m, st.M); err != nil {
+		return fmt.Errorf("opt: import %s: %w", g.Name, err)
+	}
+	if err := o.saveFP32(buf, ks.v, st.V); err != nil {
+		return fmt.Errorf("opt: import %s: %w", g.Name, err)
 	}
 	off := 0
 	for _, p := range g.Params {
-		for i := range p.W.Data {
-			p.W.Data[i] = tensor.RoundFP16(st.P32[off])
-			off++
+		if err := tensor.RoundFP16Into(p.W.Data, st.P32[off:off+len(p.W.Data)]); err != nil {
+			return fmt.Errorf("opt: import %s: %w", g.Name, err)
 		}
+		off += len(p.W.Data)
 	}
 	return nil
 }
@@ -478,12 +515,4 @@ func (o *OutOfCoreAdam) loadFP32(group, kind string, n int) ([]float32, error) {
 		return nil, fmt.Errorf("opt: decode %s/%s: %w", group, kind, err)
 	}
 	return out, nil
-}
-
-func flattenWeights(g nn.ParamGroup) []float32 {
-	flat := make([]float32, 0, g.NumParams())
-	for _, p := range g.Params {
-		flat = append(flat, p.W.Data...)
-	}
-	return flat
 }

@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ratel/internal/tensor"
+)
+
+// restoreTensorSettings snapshots the tunables and restores them when the
+// test ends, so tuning tests cannot leak settings into other packages'
+// tests sharing the process.
+func restoreTensorSettings(t *testing.T) {
+	t.Helper()
+	k, j := tensor.Tiling()
+	g := tensor.ElemGrain()
+	t.Cleanup(func() {
+		if err := tensor.SetTiling(k, j); err != nil {
+			t.Fatal(err)
+		}
+		if err := tensor.SetElemGrain(g); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTuneKernelsSweepAndRoundtrip runs a tiny sweep, checks the result is
+// drawn from the candidate sets with metadata filled, round-trips it
+// through Save/Load, and applies it.
+func TestTuneKernelsSweepAndRoundtrip(t *testing.T) {
+	restoreTensorSettings(t)
+	var lines int
+	tuning, err := TuneKernels(TuneConfig{Dim: 48, ElemN: 1 << 12, Repeats: 1},
+		func(string, ...any) { lines++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	kBlocks, jBlocks, grains := tuneCandidates()
+	if lines != len(kBlocks)+len(jBlocks)+len(grains) {
+		t.Errorf("logf called %d times, want %d", lines, len(kBlocks)+len(jBlocks)+len(grains))
+	}
+	if !contains(kBlocks, tuning.MatMulKBlock) || !contains(jBlocks, tuning.MatMulJBlock) || !contains(grains, tuning.ElemGrain) {
+		t.Errorf("tuning picked values outside the candidate sets: %+v", tuning)
+	}
+	if tuning.Version != TuningVersion || tuning.SIMDLevel == "" || tuning.Threads < 1 || tuning.CreatedAt == "" {
+		t.Errorf("metadata incomplete: %+v", tuning)
+	}
+
+	// The sweep must restore the pre-sweep settings.
+	preK, preJ := tensor.Tiling()
+	if wantK, wantJ := tensor.Tiling(); preK != wantK || preJ != wantJ {
+		t.Errorf("sweep leaked tiling %d,%d", preK, preJ)
+	}
+
+	path := filepath.Join(t.TempDir(), "tune.json")
+	if err := tuning.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTuning(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != tuning {
+		t.Errorf("roundtrip changed the profile:\n  saved  %+v\n  loaded %+v", tuning, loaded)
+	}
+
+	if err := loaded.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if k, j := tensor.Tiling(); k != loaded.MatMulKBlock || j != loaded.MatMulJBlock {
+		t.Errorf("Apply set tiling %d,%d, want %d,%d", k, j, loaded.MatMulKBlock, loaded.MatMulJBlock)
+	}
+	if g := tensor.ElemGrain(); g != loaded.ElemGrain {
+		t.Errorf("Apply set grain %d, want %d", g, loaded.ElemGrain)
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLoadTuningRejectsBadProfiles checks version and validity gating.
+func TestLoadTuningRejectsBadProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"missing":  "", // never written
+		"garbage":  "not json",
+		"version":  `{"version": 99, "matmul_k_block": 1, "matmul_j_block": 1, "elem_grain": 1}`,
+		"zeroTile": `{"version": 1, "matmul_k_block": 0, "matmul_j_block": 64, "elem_grain": 4096}`,
+	}
+	for name, body := range cases {
+		path := filepath.Join(dir, name+".json")
+		if body != "" {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := LoadTuning(path); err == nil {
+			t.Errorf("LoadTuning accepted %s profile", name)
+		}
+	}
+}
+
+// TestStartupTuning exercises the startup loader directly (the sync.Once
+// wrapper fires at most once per process, so tests target the inner func).
+func TestStartupTuning(t *testing.T) {
+	restoreTensorSettings(t)
+
+	// Unset env → no-op.
+	if path, err := loadStartupTuning(""); path != "" || err != nil {
+		t.Errorf("unset: got (%q, %v), want no-op", path, err)
+	}
+
+	// Valid profile → applied.
+	good := Tuning{Version: TuningVersion, SIMDLevel: "generic", Threads: 1,
+		CreatedAt: "2026-01-01T00:00:00Z", MatMulKBlock: 96, MatMulJBlock: 24, ElemGrain: 2048}
+	path := filepath.Join(t.TempDir(), "tune.json")
+	if err := good.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadStartupTuning(path)
+	if err != nil || got != path {
+		t.Fatalf("loadStartupTuning(%q) = (%q, %v)", path, got, err)
+	}
+	if k, j := tensor.Tiling(); k != 96 || j != 24 {
+		t.Errorf("startup tuning applied tiling %d,%d, want 96,24", k, j)
+	}
+	if g := tensor.ElemGrain(); g != 2048 {
+		t.Errorf("startup tuning applied grain %d, want 2048", g)
+	}
+
+	// Named but missing → error (a silently-ignored calibration request
+	// would be an invisible performance regression).
+	if _, err := loadStartupTuning(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing profile: want error")
+	} else if !strings.Contains(err.Error(), "tuning") {
+		t.Errorf("missing profile error lacks context: %v", err)
+	}
+}

@@ -5,13 +5,16 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+
+	"ratel/internal/tensor/simd"
 )
 
-// benchmarkMatMul measures square matmul three ways: the naive
-// single-threaded reference, the cache-blocked kernel pinned to one
-// thread, and the cache-blocked kernel on the full worker pool. The
-// GFLOPS metric makes the serial-vs-parallel comparison directly readable
-// in BENCH_kernels.json.
+// benchmarkMatMul measures square matmul four ways: the naive
+// single-threaded reference, the cache-blocked kernel pinned to the
+// generic (no-SIMD) dispatch on one thread, the blocked kernel with the
+// selected dispatch on one thread, and the blocked kernel on the full
+// worker pool. The GFLOPS metric makes the scalar/SIMD/parallel
+// comparison directly readable in BENCH_kernels.json.
 func benchmarkMatMul(b *testing.B, size int) {
 	rng := rand.New(rand.NewSource(1))
 	x := randTensor(rng, size, size)
@@ -24,6 +27,18 @@ func benchmarkMatMul(b *testing.B, size int) {
 	b.Run("naive-serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			matMulRef(x, y)
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+	})
+	b.Run("blocked-nosimd-1thread", func(b *testing.B) {
+		SetParallelism(1)
+		restore := simd.ForceGeneric()
+		defer restore()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(x, y); err != nil {
+				b.Fatal(err)
+			}
 		}
 		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 	})
@@ -52,3 +67,74 @@ func benchmarkMatMul(b *testing.B, size int) {
 func BenchmarkMatMul_256(b *testing.B)  { benchmarkMatMul(b, 256) }
 func BenchmarkMatMul_512(b *testing.B)  { benchmarkMatMul(b, 512) }
 func BenchmarkMatMul_1024(b *testing.B) { benchmarkMatMul(b, 1024) }
+
+// benchmarkFP16Codec measures the packed binary16 encode/decode and the
+// in-place round-trip at steady state (reused buffers, one thread), with
+// the selected dispatch and pinned to the generic reference. The GB/s
+// metric counts fp32 bytes processed — the number that matters for the
+// offload staging paths feeding the NVMe writers.
+func benchmarkFP16Codec(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]float32, n)
+	dst := make([]float32, n)
+	for i := range src {
+		src[i] = rng.Float32()*2 - 1
+	}
+	enc := make([]byte, 2*n)
+	gbs := func(b *testing.B) float64 {
+		return 4 * float64(n) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	}
+
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(1)
+
+	variants := []struct {
+		name string
+		pin  bool
+	}{{"nosimd", true}, {"simd", false}}
+	for _, v := range variants {
+		b.Run("encode-"+v.name, func(b *testing.B) {
+			if v.pin {
+				defer simd.ForceGeneric()()
+			}
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ToFP16BytesInto(enc, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(gbs(b), "GB/s")
+		})
+		b.Run("decode-"+v.name, func(b *testing.B) {
+			if v.pin {
+				defer simd.ForceGeneric()()
+			}
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := FromFP16Bytes(enc, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(gbs(b), "GB/s")
+		})
+		b.Run("round-"+v.name, func(b *testing.B) {
+			if v.pin {
+				defer simd.ForceGeneric()()
+			}
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := RoundFP16Into(dst, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(gbs(b), "GB/s")
+		})
+	}
+}
+
+func BenchmarkFP16Codec_64K(b *testing.B) { benchmarkFP16Codec(b, 1<<16) }
+func BenchmarkFP16Codec_1M(b *testing.B)  { benchmarkFP16Codec(b, 1<<20) }

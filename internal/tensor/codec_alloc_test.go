@@ -1,0 +1,32 @@
+package tensor
+
+import "testing"
+
+// TestCodecIntoPathsAllocFree pins the allocation contract of the Into
+// codec family on the inline path (sizes under the pool's serial cutoff,
+// where the optimizer's per-parameter staging runs): zero allocations, so
+// the engine's steady-state allocs/step budget cannot be eroded by codec
+// calls. The parallel path adds only the pool's one job allocation per
+// dispatch, which the engine-level pin covers.
+func TestCodecIntoPathsAllocFree(t *testing.T) {
+	const n = 4096 // 4*n scalar-op estimate stays under pool.SerialCutoff
+	src := make([]float32, n)
+	dst := make([]float32, n)
+	b16 := make([]byte, 2*n)
+	b32 := make([]byte, 4*n)
+	for i := range src {
+		src[i] = float32(i)*0.25 - 7
+	}
+	cases := map[string]func(){
+		"ToFP16BytesInto": func() { _ = ToFP16BytesInto(b16, src) },
+		"FromFP16Bytes":   func() { _ = FromFP16Bytes(b16, dst) },
+		"RoundFP16Into":   func() { _ = RoundFP16Into(dst, src) },
+		"ToFP32BytesInto": func() { _ = ToFP32BytesInto(b32, src) },
+		"FromFP32Bytes":   func() { _ = FromFP32Bytes(b32, dst) },
+	}
+	for name, f := range cases {
+		if allocs := testing.AllocsPerRun(20, f); allocs != 0 {
+			t.Errorf("%s: %v allocs/run, want 0", name, allocs)
+		}
+	}
+}

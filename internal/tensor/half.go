@@ -6,75 +6,23 @@ import (
 	"math"
 
 	"ratel/internal/tensor/pool"
+	"ratel/internal/tensor/simd"
 )
 
 // Half-precision support: the engine stores every offloaded tensor (P16,
 // G16, A16) as IEEE-754 binary16 bytes, so offloaded footprints match the
 // paper's 2 bytes/element accounting and mixed-precision rounding is
-// exercised for real.
+// exercised for real. The chunked kernels dispatch through
+// internal/tensor/simd (F16C on amd64, bit-identical to the portable
+// reference on every path); the scalar conversions below are thin
+// wrappers over the same reference.
 
 // Float32ToHalf converts with round-to-nearest-even, producing the binary16
 // bit pattern.
-func Float32ToHalf(f float32) uint16 {
-	b := math.Float32bits(f)
-	sign := uint16(b>>16) & 0x8000
-	exp := int32(b>>23&0xff) - 127 + 15
-	mant := b & 0x7fffff
-
-	switch {
-	case exp >= 0x1f: // overflow or inf/nan
-		if b&0x7fffffff > 0x7f800000 { // NaN
-			return sign | 0x7e00
-		}
-		return sign | 0x7c00 // Inf
-	case exp <= 0: // subnormal or zero
-		if exp < -10 {
-			return sign
-		}
-		mant |= 0x800000
-		shift := uint32(14 - exp)
-		half := uint16(mant >> shift)
-		// Round to nearest even.
-		rem := mant & ((1 << shift) - 1)
-		halfway := uint32(1) << (shift - 1)
-		if rem > halfway || (rem == halfway && half&1 == 1) {
-			half++
-		}
-		return sign | half
-	default:
-		half := sign | uint16(exp)<<10 | uint16(mant>>13)
-		rem := mant & 0x1fff
-		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
-			half++ // may carry into the exponent, which is correct
-		}
-		return half
-	}
-}
+func Float32ToHalf(f float32) uint16 { return simd.Float32ToHalf(f) }
 
 // HalfToFloat32 decodes a binary16 bit pattern.
-func HalfToFloat32(h uint16) float32 {
-	sign := uint32(h&0x8000) << 16
-	exp := uint32(h >> 10 & 0x1f)
-	mant := uint32(h & 0x3ff)
-	switch {
-	case exp == 0:
-		if mant == 0 {
-			return math.Float32frombits(sign)
-		}
-		// Subnormal: normalize.
-		e := uint32(127 - 15 + 1)
-		for mant&0x400 == 0 {
-			mant <<= 1
-			e--
-		}
-		mant &= 0x3ff
-		return math.Float32frombits(sign | e<<23 | mant<<13)
-	case exp == 0x1f:
-		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
-	default:
-		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
-	}
-}
+func HalfToFloat32(h uint16) float32 { return simd.HalfToFloat32(h) }
 
 // RoundFP16 rounds a float32 through half precision, the P16 = fp16(P32)
 // conversion of mixed-precision training.
@@ -94,10 +42,29 @@ func (t *Tensor) RoundFP16InPlace() {
 }
 
 func roundFP16Chunk(d []float32, lo, hi int) {
-	c := d[lo:hi]
-	for i, v := range c {
-		c[i] = RoundFP16(v)
+	simd.F16Round(d[lo:hi])
+}
+
+// RoundFP16Into writes dst[i] = RoundFP16(src[i]); the slices must have
+// equal length (they may alias only if identical). The chunked kernel the
+// optimizer's P16 install and G16 staging paths use — bit-identical to
+// the scalar loop at any thread count.
+func RoundFP16Into(dst, src []float32) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("tensor: fp16 round %d values into %d", len(src), len(dst))
 	}
+	work := 4 * int64(len(dst))
+	if pool.InlineWork(work) {
+		roundFP16IntoChunk(dst, src, 0, len(dst))
+		return nil
+	}
+	parallelFor(len(dst), elemGrain, work, func(lo, hi int) { roundFP16IntoChunk(dst, src, lo, hi) })
+	return nil
+}
+
+func roundFP16IntoChunk(dst, src []float32, lo, hi int) {
+	copy(dst[lo:hi], src[lo:hi])
+	simd.F16Round(dst[lo:hi])
 }
 
 // ToFP16Bytes encodes values as packed little-endian binary16.
@@ -126,9 +93,7 @@ func ToFP16BytesInto(dst []byte, values []float32) error {
 }
 
 func fp16EncodeChunk(dst []byte, values []float32, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		binary.LittleEndian.PutUint16(dst[2*i:], Float32ToHalf(values[i]))
-	}
+	simd.F16Encode(dst[2*lo:2*hi], values[lo:hi])
 }
 
 // FromFP16Bytes decodes packed binary16 into dst, which must hold
@@ -148,9 +113,7 @@ func FromFP16Bytes(b []byte, dst []float32) error {
 }
 
 func fp16DecodeChunk(b []byte, dst []float32, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		dst[i] = HalfToFloat32(binary.LittleEndian.Uint16(b[2*i:]))
-	}
+	simd.F16Decode(dst[lo:hi], b[2*lo:2*hi])
 }
 
 // ToFP32Bytes encodes values as packed little-endian float32 (the P32/OS32

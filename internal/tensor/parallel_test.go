@@ -77,10 +77,18 @@ func maxRelDiff(t *testing.T, got, want *Tensor) float64 {
 	return worst
 }
 
+// kernelParityTol is the relative tolerance for the matmul family against
+// the naive serial references. The vector kernels use FMA (one rounding
+// per multiply-add) and, for the dot kernel, multiple accumulators, so
+// they differ from the single-accumulator float32 reference by a few ULPs
+// of accumulated rounding — most of the discrepancy is error in the
+// *reference* (DESIGN.md §11 records the tolerance-vs-bit-exact matrix).
+const kernelParityTol = 1e-4
+
 // TestParallelKernelParity checks the blocked parallel kernels against the
-// naive serial references within 1e-5 relative tolerance, across odd shapes
-// (1x1, prime dims, m>>n, n>>m; small-serial and large-parallel paths) and
-// thread counts {1, 2, NumCPU}.
+// naive serial references within kernelParityTol relative tolerance,
+// across odd shapes (1x1, prime dims, m>>n, n>>m; small-serial and
+// large-parallel paths) and thread counts {1, 2, NumCPU}.
 func TestParallelKernelParity(t *testing.T) {
 	old := Parallelism()
 	defer SetParallelism(old)
@@ -109,19 +117,19 @@ func TestParallelKernelParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%dx%dx%d threads=%d: %v", sh.m, sh.k, sh.n, th, err)
 			}
-			if d := maxRelDiff(t, got, wantMM); d > 1e-5 {
+			if d := maxRelDiff(t, got, wantMM); d > kernelParityTol {
 				t.Errorf("MatMul %dx%dx%d threads=%d: rel diff %g", sh.m, sh.k, sh.n, th, d)
 			}
 			if got, err = MatMulT(a, bt); err != nil {
 				t.Fatal(err)
 			}
-			if d := maxRelDiff(t, got, wantMMT); d > 1e-5 {
+			if d := maxRelDiff(t, got, wantMMT); d > kernelParityTol {
 				t.Errorf("MatMulT %dx%dx%d threads=%d: rel diff %g", sh.m, sh.k, sh.n, th, d)
 			}
 			if got, err = TMatMul(at, b); err != nil {
 				t.Fatal(err)
 			}
-			if d := maxRelDiff(t, got, wantTMM); d > 1e-5 {
+			if d := maxRelDiff(t, got, wantTMM); d > kernelParityTol {
 				t.Errorf("TMatMul %dx%dx%d threads=%d: rel diff %g", sh.m, sh.k, sh.n, th, d)
 			}
 		}

@@ -212,6 +212,85 @@ func TestStatsConcurrent(t *testing.T) {
 	}
 }
 
+// TestSegmentedRunEveryChunkOnce targets the segment carve specifically:
+// chunk counts that leave the last segment short or entirely empty
+// (segs*segLen > chunks), limits above maxSegs, and one-chunk segments.
+func TestSegmentedRunEveryChunkOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 8, maxSegs, maxSegs + 5} {
+		p := New(workers)
+		for _, chunks := range []int{2, workers - 1, workers, workers + 1, 9, maxSegs + 1, 2*maxSegs + 3, 1000} {
+			if chunks < 2 {
+				continue
+			}
+			counts := make([]int32, chunks)
+			p.Run(chunks, func(c int) { atomic.AddInt32(&counts[c], 1) })
+			for c, got := range counts {
+				if got != 1 {
+					t.Fatalf("workers=%d chunks=%d: chunk %d ran %d times", workers, chunks, c, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSubmitterDrainsAllSegments checks stealing keeps a caller live on a
+// pool whose workers never pick the job up: with every offer rejected the
+// submitter must walk all segments itself, and those cross-segment claims
+// show up in StolenChunks.
+func TestSubmitterDrainsAllSegments(t *testing.T) {
+	p := New(4)
+	p.ResetStats()
+
+	// Saturate the job channel with an already-finished job so Run's
+	// non-blocking offers fail and no worker joins.
+	dead := &job{chunks: 1, segs: 1, segLen: 1, run: func(int) {}, fin: make(chan struct{}), pool: p}
+	dead.cursors[0].c.Store(1)
+	dead.done.Store(1)
+	for i := 0; i < cap(p.jobs); i++ {
+		select {
+		case p.jobs <- dead:
+		default:
+			t.Fatal("could not saturate job channel")
+		}
+	}
+
+	const chunks = 32
+	counts := make([]int32, chunks)
+	p.Run(chunks, func(c int) { atomic.AddInt32(&counts[c], 1) })
+	for c, got := range counts {
+		if got != 1 {
+			t.Fatalf("chunk %d ran %d times", c, got)
+		}
+	}
+	st := p.Stats()
+	if st.SubmitterChunks != chunks {
+		t.Errorf("SubmitterChunks = %d, want %d (no worker should have joined)", st.SubmitterChunks, chunks)
+	}
+	// The submitter owns segment 0; all other segments' chunks are steals.
+	if st.StolenChunks == 0 {
+		t.Error("StolenChunks = 0, want >0: the solo submitter must steal the other segments")
+	}
+
+	// Drain the saturation so later tests sharing this pool are unaffected.
+	for i := 0; i < cap(p.jobs); i++ {
+		<-p.jobs
+	}
+}
+
+// TestStolenChunksConservation checks the stolen counter never exceeds the
+// claimed total and that an idle-pool parallel run records the job.
+func TestStolenChunksConservation(t *testing.T) {
+	p := New(4)
+	p.ResetStats()
+	for i := 0; i < 50; i++ {
+		p.Run(64, func(int) {})
+	}
+	st := p.Stats()
+	if total := st.SubmitterChunks + st.WorkerChunks; st.StolenChunks > total {
+		t.Errorf("StolenChunks %d exceeds total claimed %d", st.StolenChunks, total)
+	}
+}
+
 func TestEnvWorkers(t *testing.T) {
 	def := runtime.NumCPU()
 	for _, tc := range []struct {

@@ -1,0 +1,156 @@
+//go:build amd64
+
+package simd
+
+// archLevel names the amd64 vector kernel set.
+const archLevel = "avx2-fma-f16c"
+
+// archAvailable checks CPUID for AVX2 + FMA + F16C and XGETBV for OS
+// YMM-state support — the full feature set the assembly kernels assume.
+// The kernels are selected as one tier: a machine with AVX2 but no F16C
+// (none shipped) would fall back to generic entirely.
+func archAvailable() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const f16c = 1 << 29
+	const fma = 1 << 12
+	if ecx1&(osxsave|avx|f16c|fma) != osxsave|avx|f16c|fma {
+		return false
+	}
+	// OS must save/restore XMM and YMM state.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// installArch points the dispatch at the AVX2 kernels.
+func installArch() {
+	axpyImpl = axpyAVX2
+	dotImpl = dotAVX2
+	f16EncodeImpl = f16EncodeAVX2
+	f16DecodeImpl = f16DecodeAVX2
+	f16RoundImpl = f16RoundAVX2
+	addImpl = addAVX2
+	scaleImpl = scaleAVX2
+}
+
+// The AVX2 wrappers run the 8-lane assembly body over the largest
+// multiple-of-8 prefix and finish the tail with the scalar reference ops,
+// so every element's treatment is a pure function of its index: results
+// are deterministic for any length and identical whichever worker runs
+// the chunk. For the bit-exact kernels (codec, add, scale) the scalar
+// tail is bit-identical to the generic path by construction; for the
+// FMA kernels (axpy, dot) the tail uses unfused multiply-add, which the
+// tolerance tests cover.
+
+func axpyAVX2(c, b []float32, a float32) {
+	n := len(c) &^ 7
+	if n > 0 {
+		axpyAsm(&c[0], &b[0], n, a)
+	}
+	for j := n; j < len(c); j++ {
+		c[j] += a * b[j]
+	}
+}
+
+func dotAVX2(a, b []float32) float32 {
+	n := len(a) &^ 7
+	var s float32
+	if n > 0 {
+		s = dotAsm(&a[0], &b[0], n)
+	}
+	for p := n; p < len(a); p++ {
+		s += a[p] * b[p]
+	}
+	return s
+}
+
+func f16EncodeAVX2(dst []byte, src []float32) {
+	n := len(src) &^ 7
+	if n > 0 {
+		f16EncAsm(&dst[0], &src[0], n)
+	}
+	for i := n; i < len(src); i++ {
+		h := Float32ToHalf(src[i])
+		dst[2*i] = byte(h)
+		dst[2*i+1] = byte(h >> 8)
+	}
+}
+
+func f16DecodeAVX2(dst []float32, src []byte) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		f16DecAsm(&dst[0], &src[0], n)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = HalfToFloat32(uint16(src[2*i]) | uint16(src[2*i+1])<<8)
+	}
+}
+
+func f16RoundAVX2(d []float32) {
+	n := len(d) &^ 7
+	if n > 0 {
+		f16RoundAsm(&d[0], n)
+	}
+	for i := n; i < len(d); i++ {
+		d[i] = HalfToFloat32(Float32ToHalf(d[i]))
+	}
+}
+
+func addAVX2(a, b []float32) {
+	n := len(a) &^ 7
+	if n > 0 {
+		addAsm(&a[0], &b[0], n)
+	}
+	for i := n; i < len(a); i++ {
+		a[i] += b[i]
+	}
+}
+
+func scaleAVX2(d []float32, s float32) {
+	n := len(d) &^ 7
+	if n > 0 {
+		scaleAsm(&d[0], n, s)
+	}
+	for i := n; i < len(d); i++ {
+		d[i] *= s
+	}
+}
+
+// Assembly bodies (kernels_amd64.s). n is always a positive multiple of 8.
+
+//go:noescape
+func axpyAsm(c, b *float32, n int, a float32)
+
+//go:noescape
+func dotAsm(a, b *float32, n int) float32
+
+//go:noescape
+func f16EncAsm(dst *byte, src *float32, n int)
+
+//go:noescape
+func f16DecAsm(dst *float32, src *byte, n int)
+
+//go:noescape
+func f16RoundAsm(d *float32, n int)
+
+//go:noescape
+func addAsm(a, b *float32, n int)
+
+//go:noescape
+func scaleAsm(d *float32, n int, s float32)
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv() (eax, edx uint32)

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package simd
+
+// archLevel is unused on architectures without vector kernels; the
+// dispatch stays on the generic reference implementations, which are
+// performance-neutral with the pre-SIMD kernels (they are the same code).
+const archLevel = "generic"
+
+func archAvailable() bool { return false }
+
+func installArch() {}

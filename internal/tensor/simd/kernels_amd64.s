@@ -1,0 +1,365 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2/FMA/F16C kernel bodies. Contracts shared by every kernel:
+//   - n is a positive multiple of 8 (the Go wrappers guarantee it and
+//     finish ragged tails scalar-side).
+//   - Loads and stores are unaligned (VMOVUPS/VMOVDQU): callers slice at
+//     arbitrary offsets.
+//   - Lane assignment is a pure function of element index, so results are
+//     deterministic and thread-count independent.
+//   - VZEROUPPER before every return (SSE/AVX transition stalls).
+
+// fp16 encode constants (8 x 16-bit lanes).
+DATA enc_abs16<>+0(SB)/8, $0x7fff7fff7fff7fff
+DATA enc_abs16<>+8(SB)/8, $0x7fff7fff7fff7fff
+GLOBL enc_abs16<>(SB), RODATA|NOPTR, $16
+DATA enc_inf16<>+0(SB)/8, $0x7c007c007c007c00
+DATA enc_inf16<>+8(SB)/8, $0x7c007c007c007c00
+GLOBL enc_inf16<>(SB), RODATA|NOPTR, $16
+DATA enc_sign16<>+0(SB)/8, $0x8000800080008000
+DATA enc_sign16<>+8(SB)/8, $0x8000800080008000
+GLOBL enc_sign16<>(SB), RODATA|NOPTR, $16
+DATA enc_qnan16<>+0(SB)/8, $0x7e007e007e007e00
+DATA enc_qnan16<>+8(SB)/8, $0x7e007e007e007e00
+GLOBL enc_qnan16<>(SB), RODATA|NOPTR, $16
+
+// fp16 decode constants (8 x 32-bit lanes).
+DATA dec_abs32<>+0(SB)/8, $0x00007fff00007fff
+DATA dec_abs32<>+8(SB)/8, $0x00007fff00007fff
+DATA dec_abs32<>+16(SB)/8, $0x00007fff00007fff
+DATA dec_abs32<>+24(SB)/8, $0x00007fff00007fff
+GLOBL dec_abs32<>(SB), RODATA|NOPTR, $32
+DATA dec_inf32<>+0(SB)/8, $0x00007c0000007c00
+DATA dec_inf32<>+8(SB)/8, $0x00007c0000007c00
+DATA dec_inf32<>+16(SB)/8, $0x00007c0000007c00
+DATA dec_inf32<>+24(SB)/8, $0x00007c0000007c00
+GLOBL dec_inf32<>(SB), RODATA|NOPTR, $32
+DATA dec_sign<>+0(SB)/8, $0x0000800000008000
+DATA dec_sign<>+8(SB)/8, $0x0000800000008000
+DATA dec_sign<>+16(SB)/8, $0x0000800000008000
+DATA dec_sign<>+24(SB)/8, $0x0000800000008000
+GLOBL dec_sign<>(SB), RODATA|NOPTR, $32
+DATA dec_mant<>+0(SB)/8, $0x000003ff000003ff
+DATA dec_mant<>+8(SB)/8, $0x000003ff000003ff
+DATA dec_mant<>+16(SB)/8, $0x000003ff000003ff
+DATA dec_mant<>+24(SB)/8, $0x000003ff000003ff
+GLOBL dec_mant<>(SB), RODATA|NOPTR, $32
+DATA dec_exp<>+0(SB)/8, $0x7f8000007f800000
+DATA dec_exp<>+8(SB)/8, $0x7f8000007f800000
+DATA dec_exp<>+16(SB)/8, $0x7f8000007f800000
+DATA dec_exp<>+24(SB)/8, $0x7f8000007f800000
+GLOBL dec_exp<>(SB), RODATA|NOPTR, $32
+
+// fp16 round constants (8 x 32-bit lanes).
+DATA rnd_sign<>+0(SB)/8, $0x8000000080000000
+DATA rnd_sign<>+8(SB)/8, $0x8000000080000000
+DATA rnd_sign<>+16(SB)/8, $0x8000000080000000
+DATA rnd_sign<>+24(SB)/8, $0x8000000080000000
+GLOBL rnd_sign<>(SB), RODATA|NOPTR, $32
+DATA rnd_qnan<>+0(SB)/8, $0x7fc000007fc00000
+DATA rnd_qnan<>+8(SB)/8, $0x7fc000007fc00000
+DATA rnd_qnan<>+16(SB)/8, $0x7fc000007fc00000
+DATA rnd_qnan<>+24(SB)/8, $0x7fc000007fc00000
+GLOBL rnd_qnan<>(SB), RODATA|NOPTR, $32
+
+// func axpyAsm(c, b *float32, n int, a float32)
+// c[j] += a*b[j] with one fused rounding per element, 32 elements per
+// main-loop iteration.
+TEXT ·axpyAsm(SB), NOSPLIT, $0-28
+	MOVQ c+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS a+24(FP), Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+
+axpy32:
+	CMPQ AX, DX
+	JGE  axpy8
+	VMOVUPS (SI)(AX*4), Y1
+	VMOVUPS 32(SI)(AX*4), Y2
+	VMOVUPS 64(SI)(AX*4), Y3
+	VMOVUPS 96(SI)(AX*4), Y4
+	VMOVUPS (DI)(AX*4), Y5
+	VMOVUPS 32(DI)(AX*4), Y6
+	VMOVUPS 64(DI)(AX*4), Y7
+	VMOVUPS 96(DI)(AX*4), Y8
+	VFMADD231PS Y1, Y0, Y5
+	VFMADD231PS Y2, Y0, Y6
+	VFMADD231PS Y3, Y0, Y7
+	VFMADD231PS Y4, Y0, Y8
+	VMOVUPS Y5, (DI)(AX*4)
+	VMOVUPS Y6, 32(DI)(AX*4)
+	VMOVUPS Y7, 64(DI)(AX*4)
+	VMOVUPS Y8, 96(DI)(AX*4)
+	ADDQ $32, AX
+	JMP  axpy32
+
+axpy8:
+	CMPQ AX, CX
+	JGE  axpyDone
+	VMOVUPS (SI)(AX*4), Y1
+	VMOVUPS (DI)(AX*4), Y5
+	VFMADD231PS Y1, Y0, Y5
+	VMOVUPS Y5, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  axpy8
+
+axpyDone:
+	VZEROUPPER
+	RET
+
+// func dotAsm(a, b *float32, n int) float32
+// Four independent 8-lane accumulators, reduced at the end: the
+// accumulation pattern is fixed by n alone, so the result is
+// deterministic (but differs from the single-accumulator reference —
+// tolerance-tested).
+TEXT ·dotAsm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+
+dot32:
+	CMPQ AX, DX
+	JGE  dot8
+	VMOVUPS (SI)(AX*4), Y4
+	VMOVUPS 32(SI)(AX*4), Y5
+	VMOVUPS 64(SI)(AX*4), Y6
+	VMOVUPS 96(SI)(AX*4), Y7
+	VFMADD231PS (DI)(AX*4), Y4, Y0
+	VFMADD231PS 32(DI)(AX*4), Y5, Y1
+	VFMADD231PS 64(DI)(AX*4), Y6, Y2
+	VFMADD231PS 96(DI)(AX*4), Y7, Y3
+	ADDQ $32, AX
+	JMP  dot32
+
+dot8:
+	CMPQ AX, CX
+	JGE  dotReduce
+	VMOVUPS (SI)(AX*4), Y4
+	VFMADD231PS (DI)(AX*4), Y4, Y0
+	ADDQ $8, AX
+	JMP  dot8
+
+dotReduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func f16EncAsm(dst *byte, src *float32, n int)
+// VCVTPS2PH with round-to-nearest-even, then NaN lanes canonicalized to
+// sign|0x7e00 so the output is bit-identical to Float32ToHalf (which
+// does not preserve NaN payloads across the narrowing).
+TEXT ·f16EncAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VMOVDQU enc_abs16<>(SB), X5
+	VMOVDQU enc_inf16<>(SB), X6
+	VMOVDQU enc_sign16<>(SB), X7
+	VMOVDQU enc_qnan16<>(SB), X8
+	XORQ AX, AX
+
+enc8:
+	CMPQ AX, CX
+	JGE  encDone
+	VMOVUPS (SI)(AX*4), Y0
+	VCVTPS2PH $0, Y0, X1
+	VPAND X5, X1, X2           // |h|
+	VPCMPGTW X6, X2, X3        // NaN lanes: |h| > 0x7c00
+	VPAND X7, X1, X4           // sign
+	VPOR  X8, X4, X4           // sign | 0x7e00
+	VPBLENDVB X3, X4, X1, X1
+	VMOVDQU X1, (DI)(AX*2)
+	ADDQ $8, AX
+	JMP  enc8
+
+encDone:
+	VZEROUPPER
+	RET
+
+// func f16DecAsm(dst *float32, src *byte, n int)
+// VCVTPH2PS widens normals/subnormals/infinities exactly; NaN lanes are
+// rebuilt integer-side as sign<<16 | 0x7f800000 | mant<<13 so payloads
+// (and signaling-ness) match HalfToFloat32, which VCVTPH2PS would quiet.
+TEXT ·f16DecAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VMOVDQU dec_abs32<>(SB), Y5
+	VMOVDQU dec_inf32<>(SB), Y6
+	VMOVDQU dec_sign<>(SB), Y7
+	VMOVDQU dec_mant<>(SB), Y8
+	VMOVDQU dec_exp<>(SB), Y9
+	XORQ AX, AX
+
+dec8:
+	CMPQ AX, CX
+	JGE  decDone
+	VMOVDQU (SI)(AX*2), X0
+	VCVTPH2PS X0, Y1
+	VPMOVZXWD X0, Y2           // halves widened to 32-bit lanes
+	VPAND Y5, Y2, Y3
+	VPCMPGTD Y6, Y3, Y3        // NaN lanes: |h| > 0x7c00
+	VPAND Y7, Y2, Y4           // sign bit (still at bit 15)
+	VPSLLD $16, Y4, Y4
+	VPAND Y8, Y2, Y2           // 10-bit payload
+	VPSLLD $13, Y2, Y2
+	VPOR Y4, Y2, Y2
+	VPOR Y9, Y2, Y2            // sign | 0x7f800000 | payload<<13
+	VBLENDVPS Y3, Y2, Y1, Y1
+	VMOVUPS Y1, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  dec8
+
+decDone:
+	VZEROUPPER
+	RET
+
+// func f16RoundAsm(d *float32, n int)
+// Round through binary16 in place: convert down (RN) and back up. NaN
+// inputs take the canonical path sign|0x7fc00000, matching
+// HalfToFloat32(Float32ToHalf(x)).
+TEXT ·f16RoundAsm(SB), NOSPLIT, $0-16
+	MOVQ d+0(FP), DI
+	MOVQ n+8(FP), CX
+	VMOVDQU rnd_sign<>(SB), Y5
+	VMOVDQU rnd_qnan<>(SB), Y6
+	XORQ AX, AX
+
+rnd8:
+	CMPQ AX, CX
+	JGE  rndDone
+	VMOVUPS (DI)(AX*4), Y0
+	VCVTPS2PH $0, Y0, X1
+	VCVTPH2PS X1, Y1
+	VCMPPS $3, Y0, Y0, Y2      // unordered with self: NaN input lanes
+	VPAND Y5, Y0, Y3           // input sign
+	VPOR  Y6, Y3, Y3           // sign | 0x7fc00000
+	VBLENDVPS Y2, Y3, Y1, Y1
+	VMOVUPS Y1, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  rnd8
+
+rndDone:
+	VZEROUPPER
+	RET
+
+// func addAsm(a, b *float32, n int)
+// a[i] += b[i] with separate VADDPS (no fusion): bit-identical to the
+// generic reference.
+TEXT ·addAsm(SB), NOSPLIT, $0-24
+	MOVQ a+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+
+add32:
+	CMPQ AX, DX
+	JGE  add8
+	VMOVUPS (DI)(AX*4), Y0
+	VMOVUPS 32(DI)(AX*4), Y1
+	VMOVUPS 64(DI)(AX*4), Y2
+	VMOVUPS 96(DI)(AX*4), Y3
+	VADDPS (SI)(AX*4), Y0, Y0
+	VADDPS 32(SI)(AX*4), Y1, Y1
+	VADDPS 64(SI)(AX*4), Y2, Y2
+	VADDPS 96(SI)(AX*4), Y3, Y3
+	VMOVUPS Y0, (DI)(AX*4)
+	VMOVUPS Y1, 32(DI)(AX*4)
+	VMOVUPS Y2, 64(DI)(AX*4)
+	VMOVUPS Y3, 96(DI)(AX*4)
+	ADDQ $32, AX
+	JMP  add32
+
+add8:
+	CMPQ AX, CX
+	JGE  addDone
+	VMOVUPS (DI)(AX*4), Y0
+	VADDPS (SI)(AX*4), Y0, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  add8
+
+addDone:
+	VZEROUPPER
+	RET
+
+// func scaleAsm(d *float32, n int, s float32)
+// d[i] *= s with VMULPS: bit-identical to the generic reference.
+TEXT ·scaleAsm(SB), NOSPLIT, $0-20
+	MOVQ d+0(FP), DI
+	MOVQ n+8(FP), CX
+	VBROADCASTSS s+16(FP), Y4
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+
+scale32:
+	CMPQ AX, DX
+	JGE  scale8
+	VMOVUPS (DI)(AX*4), Y0
+	VMOVUPS 32(DI)(AX*4), Y1
+	VMOVUPS 64(DI)(AX*4), Y2
+	VMOVUPS 96(DI)(AX*4), Y3
+	VMULPS Y4, Y0, Y0
+	VMULPS Y4, Y1, Y1
+	VMULPS Y4, Y2, Y2
+	VMULPS Y4, Y3, Y3
+	VMOVUPS Y0, (DI)(AX*4)
+	VMOVUPS Y1, 32(DI)(AX*4)
+	VMOVUPS Y2, 64(DI)(AX*4)
+	VMOVUPS Y3, 96(DI)(AX*4)
+	ADDQ $32, AX
+	JMP  scale32
+
+scale8:
+	CMPQ AX, CX
+	JGE  scaleDone
+	VMOVUPS (DI)(AX*4), Y0
+	VMULPS Y4, Y0, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  scale8
+
+scaleDone:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,283 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// edgeValues are the fp32 inputs most likely to expose a divergence
+// between the hardware conversion and the software reference: NaNs with
+// varied payloads (quiet and signaling, both signs), infinities, zeros,
+// fp32 subnormals, values rounding into fp16 subnormals, round-to-
+// nearest-even ties, and the overflow boundary.
+func edgeValues() []float32 {
+	bits := []uint32{
+		0x00000000, 0x80000000, // ±0
+		0x7f800000, 0xff800000, // ±Inf
+		0x7fc00000, 0xffc00000, // canonical quiet NaN
+		0x7f800001, 0xff800001, // signaling NaN, minimal payload
+		0x7fdfffff, 0xffdfffff, // quiet NaN, full payload
+		0x7fa12345, 0x7fc54321, // assorted payloads
+		0x00000001, 0x807fffff, // fp32 subnormals (flush to ±0 in fp16)
+		0x00800000,             // smallest fp32 normal
+		0x33000000, 0x33000001, // 2^-25 boundary: tie to zero vs round up
+		0x33800000,             // 2^-24: smallest fp16 subnormal
+		0x38800000,             // 2^-14: smallest fp16 normal
+		0x387fc000, 0x387fe000, // just below fp16 normal range
+		0x477fe000, 0x477ff000, // 65504 (fp16 max) and the tie above it
+		0x477fefff, 0x47800000, // just below tie → 65504; 65536 → Inf
+		0x7f7fffff,             // fp32 max → Inf
+		0x3f801000, 0x3f803000, // RNE ties in the normal range (even/odd)
+		0x3f801001, // just above the tie
+	}
+	vals := make([]float32, 0, len(bits)+3)
+	for _, b := range bits {
+		vals = append(vals, math.Float32frombits(b))
+	}
+	return append(vals, 1, -2.5, 65504)
+}
+
+func requireVector(t *testing.T) {
+	t.Helper()
+	if !Active() {
+		t.Skip("vector kernels not active (non-amd64, missing features, or RATEL_NOSIMD)")
+	}
+}
+
+// TestF16DecodeBitEqualAllPatterns decodes every one of the 65536 half
+// bit patterns through both paths — every NaN payload, every subnormal,
+// both infinities — and requires bitwise identity.
+func TestF16DecodeBitEqualAllPatterns(t *testing.T) {
+	requireVector(t)
+	src := make([]byte, 2*65536)
+	for i := 0; i < 65536; i++ {
+		src[2*i] = byte(i)
+		src[2*i+1] = byte(i >> 8)
+	}
+	got := make([]float32, 65536)
+	want := make([]float32, 65536)
+	F16Decode(got, src)
+	F16DecodeGeneric(want, src)
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("half %#04x: vector %#08x, reference %#08x",
+				i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+// TestF16EncodeBitEqualEdgesAndRandom checks encode bitwise identity on
+// the edge-value sweep and on a large randomized bit-pattern corpus.
+func TestF16EncodeBitEqualEdgesAndRandom(t *testing.T) {
+	requireVector(t)
+	vals := edgeValues()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1<<17; i++ {
+		vals = append(vals, math.Float32frombits(rng.Uint32()))
+	}
+	got := make([]byte, 2*len(vals))
+	want := make([]byte, 2*len(vals))
+	F16Encode(got, vals)
+	F16EncodeGeneric(want, vals)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("value %#08x (index %d): vector byte %#02x, reference %#02x",
+				math.Float32bits(vals[i/2]), i/2, got[i], want[i])
+		}
+	}
+}
+
+// TestF16RoundBitEqual checks the in-place fp16 round-trip on edges and
+// random patterns.
+func TestF16RoundBitEqual(t *testing.T) {
+	requireVector(t)
+	vals := edgeValues()
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 1<<17; i++ {
+		vals = append(vals, math.Float32frombits(rng.Uint32()))
+	}
+	got := append([]float32(nil), vals...)
+	want := append([]float32(nil), vals...)
+	F16Round(got)
+	F16RoundGeneric(want)
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("value %#08x: vector %#08x, reference %#08x",
+				math.Float32bits(vals[i]), math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+// TestCodecAllAlignmentsAndTails fuzzes every length 0..67 at every
+// slice offset 0..8 (and odd byte offsets for the packed side), so the
+// vector body / scalar tail seam and unaligned loads are all exercised.
+func TestCodecAllAlignmentsAndTails(t *testing.T) {
+	requireVector(t)
+	rng := rand.New(rand.NewSource(44))
+	const pad = 16
+	backF := make([]float32, 67+2*pad)
+	backB := make([]byte, 2*len(backF)+1)
+	for n := 0; n <= 67; n++ {
+		for off := 0; off <= 8; off++ {
+			for i := range backF {
+				backF[i] = math.Float32frombits(rng.Uint32())
+			}
+			src := backF[off : off+n]
+
+			// Encode into an odd byte offset: the 16-byte stores are unaligned.
+			gotB := backB[1 : 1+2*n]
+			wantB := make([]byte, 2*n)
+			F16Encode(gotB, src)
+			F16EncodeGeneric(wantB, src)
+			for i := range gotB {
+				if gotB[i] != wantB[i] {
+					t.Fatalf("encode n=%d off=%d: byte %d differs", n, off, i)
+				}
+			}
+
+			// Decode back from the odd offset.
+			gotF := make([]float32, n)
+			wantF := make([]float32, n)
+			F16Decode(gotF, gotB)
+			F16DecodeGeneric(wantF, gotB)
+			for i := range gotF {
+				if math.Float32bits(gotF[i]) != math.Float32bits(wantF[i]) {
+					t.Fatalf("decode n=%d off=%d: value %d differs", n, off, i)
+				}
+			}
+
+			// Round in place at the offset.
+			gotR := append([]float32(nil), src...)
+			wantR := append([]float32(nil), src...)
+			F16Round(gotR)
+			F16RoundGeneric(wantR)
+			for i := range gotR {
+				if math.Float32bits(gotR[i]) != math.Float32bits(wantR[i]) {
+					t.Fatalf("round n=%d off=%d: value %d differs", n, off, i)
+				}
+			}
+
+			// Padding around the destination must be untouched.
+			if backB[0] != 0 {
+				t.Fatalf("encode n=%d off=%d wrote before dst", n, off)
+			}
+			for i := 1 + 2*n; i < len(backB); i++ {
+				if backB[i] != 0 {
+					t.Fatalf("encode n=%d off=%d wrote past dst end (byte %d)", n, off, i)
+				}
+				backB[i] = 0
+			}
+			for i := range backB[:1+2*n] {
+				backB[i] = 0
+			}
+		}
+	}
+}
+
+// TestElementwiseBitEqualAllTails checks Add and Scale bitwise against
+// the references across lengths straddling the vector/tail seam.
+func TestElementwiseBitEqualAllTails(t *testing.T) {
+	requireVector(t)
+	rng := rand.New(rand.NewSource(45))
+	for n := 0; n <= 67; n++ {
+		a1 := make([]float32, n)
+		a2 := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			a1[i] = rng.Float32()*2 - 1
+			a2[i] = a1[i]
+			b[i] = rng.Float32()*2 - 1
+		}
+		Add(a1, b)
+		AddGeneric(a2, b)
+		for i := range a1 {
+			if math.Float32bits(a1[i]) != math.Float32bits(a2[i]) {
+				t.Fatalf("add n=%d element %d", n, i)
+			}
+		}
+		Scale(a1, -1.7)
+		ScaleGeneric(a2, -1.7)
+		for i := range a1 {
+			if math.Float32bits(a1[i]) != math.Float32bits(a2[i]) {
+				t.Fatalf("scale n=%d element %d", n, i)
+			}
+		}
+	}
+}
+
+// TestAxpyDotToleranceAndDeterminism: the FMA kernels are allowed to
+// differ from the reference in rounding but must stay within tolerance,
+// propagate NaN, and return identical bits on repeated invocations.
+func TestAxpyDotToleranceAndDeterminism(t *testing.T) {
+	requireVector(t)
+	rng := rand.New(rand.NewSource(46))
+	for _, n := range []int{1, 7, 8, 9, 31, 32, 33, 511, 512, 1000} {
+		c0 := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			c0[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		got := append([]float32(nil), c0...)
+		want := append([]float32(nil), c0...)
+		again := append([]float32(nil), c0...)
+		Axpy(got, b, 0.37)
+		AxpyGeneric(want, b, 0.37)
+		Axpy(again, b, 0.37)
+		for i := range got {
+			if d := math.Abs(float64(got[i] - want[i])); d > 1e-6 {
+				t.Fatalf("axpy n=%d element %d: %v vs %v", n, i, got[i], want[i])
+			}
+			if math.Float32bits(got[i]) != math.Float32bits(again[i]) {
+				t.Fatalf("axpy n=%d element %d: nondeterministic", n, i)
+			}
+		}
+		d1 := Dot(c0, b)
+		d2 := DotGeneric(c0, b)
+		if math.Abs(float64(d1-d2)) > 1e-4*(math.Abs(float64(d2))+1) {
+			t.Fatalf("dot n=%d: %v vs %v", n, d1, d2)
+		}
+		if math.Float32bits(Dot(c0, b)) != math.Float32bits(d1) {
+			t.Fatalf("dot n=%d: nondeterministic", n)
+		}
+	}
+
+	// NaN and Inf propagate through zero coefficients (no zero-skip).
+	nan := float32(math.NaN())
+	c := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	bn := []float32{nan, 1, 1, 1, 1, 1, 1, 1, 1}
+	Axpy(c, bn, 0)
+	if !math.IsNaN(float64(c[0])) {
+		t.Errorf("axpy: 0*NaN gave %v, want NaN", c[0])
+	}
+	if !math.IsNaN(float64(Dot(bn, make([]float32, 9)))) {
+		t.Errorf("dot: NaN*0 did not propagate")
+	}
+}
+
+// TestForceGeneric pins and restores the dispatch.
+func TestForceGeneric(t *testing.T) {
+	if !Active() {
+		t.Skip("vector kernels not active")
+	}
+	restore := ForceGeneric()
+	if Active() || Level() != "generic" {
+		restore()
+		t.Fatal("ForceGeneric did not pin the generic kernels")
+	}
+	restore()
+	if !Active() {
+		t.Fatal("restore did not reselect the vector kernels")
+	}
+}
+
+// TestNoSIMDEnvParsing pins the RATEL_NOSIMD contract: unset and "0"
+// keep the vector kernels, anything else vetoes them.
+func TestNoSIMDEnvParsing(t *testing.T) {
+	for v, want := range map[string]bool{"": false, "0": false, "1": true, "true": true, "yes": true} {
+		if got := noSIMDEnv(v); got != want {
+			t.Errorf("noSIMDEnv(%q) = %v, want %v", v, got, want)
+		}
+	}
+}

@@ -8,11 +8,22 @@
 // (internal/tensor/pool), sharding only independent outputs — matmul row
 // panels, softmax rows, element-wise chunks — never reductions. Each output
 // element is therefore produced by exactly one goroutine with the same
-// accumulation order as the serial kernel, so results are bit-identical
+// per-element arithmetic as the serial kernel, so results are bit-identical
 // across thread counts and runs: the engine's correctness suite still
 // compares runs bit-for-bit. Parallelism is sized by RATEL_THREADS /
-// runtime.NumCPU and adjustable via SetParallelism; small tensors fall back
-// to the serial path and pay no scheduling overhead.
+// runtime.GOMAXPROCS and adjustable via SetParallelism; small tensors fall
+// back to the serial path and pay no scheduling overhead.
+//
+// Inner loops dispatch through internal/tensor/simd: AVX2/FMA/F16C
+// microkernels when the CPU supports them (RATEL_NOSIMD=1 pins the
+// portable reference). The fp16 codec and element-wise kernels are
+// bit-identical to the reference on every path; the matmul family uses
+// FMA on the vector path, which changes rounding versus the scalar
+// reference — deterministic on a given machine at any thread count and
+// tile size, but not bit-portable across machines with different feature
+// sets (DESIGN.md §11). Matmul tile sizes and the element-wise grain are
+// tunable per machine (SetTiling/SetElemGrain, `ratelbench tune`);
+// retiling never changes results, only cache behaviour.
 package tensor
 
 import (
@@ -21,6 +32,7 @@ import (
 	"math/rand"
 
 	"ratel/internal/tensor/pool"
+	"ratel/internal/tensor/simd"
 )
 
 // Tensor is a dense row-major float32 tensor.
@@ -84,12 +96,46 @@ func (t *Tensor) RandInit(rng *rand.Rand, std float64) {
 }
 
 // kBlock is the MatMul k-tile: one tile of B (kBlock x n panel) stays
-// cache-resident while a row panel of A sweeps it.
-const kBlock = 256
+// cache-resident while a row panel of A sweeps it. Tunable via SetTiling;
+// any value yields bit-identical results (the accumulation order over p
+// is increasing regardless of blocking).
+var kBlock = 256
 
 // jBlock is the MatMulT column tile: a jBlock-row panel of B is reused
-// across every row of the A panel before moving on.
-const jBlock = 64
+// across every row of the A panel before moving on. Tunable via
+// SetTiling; results are independent of its value.
+var jBlock = 64
+
+// SetTiling sets the matmul tile sizes (the MatMul k-tile and the MatMulT
+// column tile). Values < 1 are rejected. Tiling affects only cache
+// behaviour, never results; it is applied at startup (engine init loads
+// the `ratelbench tune` calibration profile) and must not be changed
+// while kernels are running.
+func SetTiling(k, j int) error {
+	if k < 1 || j < 1 {
+		return fmt.Errorf("tensor: tile sizes %d/%d, want >= 1", k, j)
+	}
+	kBlock, jBlock = k, j
+	return nil
+}
+
+// Tiling reports the current matmul tile sizes (kBlock, jBlock).
+func Tiling() (k, j int) { return kBlock, jBlock }
+
+// SetElemGrain sets the minimum elements per pool chunk for element-wise
+// kernels. Values < 1 are rejected. Like tiling, it affects scheduling
+// only — element-wise outputs are independent, so results are identical
+// for any grain.
+func SetElemGrain(n int) error {
+	if n < 1 {
+		return fmt.Errorf("tensor: element grain %d, want >= 1", n)
+	}
+	elemGrain = n
+	return nil
+}
+
+// ElemGrain reports the current element-wise chunk grain.
+func ElemGrain() int { return elemGrain }
 
 // MatMul computes c = a·b for rank-2 tensors [m,k]x[k,n].
 //
@@ -143,8 +189,8 @@ func MatMulInto(c, a, b *Tensor) error {
 }
 
 // matMulPanel computes rows [lo,hi) of c = a·b (zero, then accumulate in
-// increasing p). Named rather than a closure so the serial path allocates
-// nothing.
+// increasing p, one simd.Axpy row update per (i,p)). Named rather than a
+// closure so the serial path allocates nothing.
 func matMulPanel(cd, ad, bd []float32, k, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		crow := cd[i*n : (i+1)*n]
@@ -161,11 +207,7 @@ func matMulPanel(cd, ad, bd []float32, k, n, lo, hi int) {
 			arow := ad[i*k : (i+1)*k]
 			crow := cd[i*n : (i+1)*n]
 			for p := p0; p < p1; p++ {
-				av := arow[p]
-				brow := bd[p*n : (p+1)*n]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
+				simd.Axpy(crow, bd[p*n:(p+1)*n], arow[p])
 			}
 		}
 	}
@@ -220,7 +262,8 @@ func MatMulTInto(c, a, b *Tensor) error {
 	return nil
 }
 
-// matMulTPanel computes rows [lo,hi) of c = a·bᵀ, writing every cell.
+// matMulTPanel computes rows [lo,hi) of c = a·bᵀ, writing every cell
+// (one simd.Dot per cell).
 func matMulTPanel(cd, ad, bd []float32, k, n, lo, hi int) {
 	for j0 := 0; j0 < n; j0 += jBlock {
 		j1 := j0 + jBlock
@@ -231,12 +274,7 @@ func matMulTPanel(cd, ad, bd []float32, k, n, lo, hi int) {
 			arow := ad[i*k : (i+1)*k]
 			crow := cd[i*n : (i+1)*n]
 			for j := j0; j < j1; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s float32
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				crow[j] = s
+				crow[j] = simd.Dot(arow, bd[j*k:(j+1)*k])
 			}
 		}
 	}
@@ -305,11 +343,7 @@ func tMatMulPanel(cd, ad, bd []float32, k, m, n, lo, hi int) {
 		arow := ad[p*m : (p+1)*m]
 		brow := bd[p*n : (p+1)*n]
 		for i := lo; i < hi; i++ {
-			av := arow[i]
-			crow := cd[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			simd.Axpy(cd[i*n:(i+1)*n], brow, arow[i])
 		}
 	}
 }
@@ -342,10 +376,7 @@ func AddInPlace(a, b *Tensor) error {
 }
 
 func addChunk(ad, bd []float32, lo, hi int) {
-	a, b := ad[lo:hi], bd[lo:hi]
-	for i := range a {
-		a[i] += b[i]
-	}
+	simd.Add(ad[lo:hi], bd[lo:hi])
 }
 
 // AddBias adds bias (length n) to each row of x [m,n].
@@ -369,10 +400,7 @@ func AddBias(x, bias *Tensor) error {
 
 func addBiasRows(xd, bd []float32, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		row := xd[i*n : (i+1)*n]
-		for j := range row {
-			row[j] += bd[j]
-		}
+		simd.Add(xd[i*n:(i+1)*n], bd)
 	}
 }
 
@@ -387,10 +415,7 @@ func (t *Tensor) Scale(s float32) {
 }
 
 func scaleChunk(d []float32, s float32, lo, hi int) {
-	c := d[lo:hi]
-	for i := range c {
-		c[i] *= s
-	}
+	simd.Scale(d[lo:hi], s)
 }
 
 // GELU applies the tanh-approximated GELU elementwise, returning a new
@@ -502,8 +527,9 @@ func parallelElems(n int, body func(lo, hi int)) {
 }
 
 // elemGrain is the minimum elements per chunk for element-wise kernels,
-// keeping chunk dispatch amortized over a useful block of work.
-const elemGrain = 4096
+// keeping chunk dispatch amortized over a useful block of work. Tunable
+// via SetElemGrain (per-machine calibration).
+var elemGrain = 4096
 
 // parallelFor is the kernels' pool entry: serial below pool.SerialCutoff
 // ops or at parallelism 1, sharded otherwise.

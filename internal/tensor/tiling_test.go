@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ratel/internal/tensor/simd"
+)
+
+// TestTilingBitIdentical pins the autotuning safety property: the matmul
+// tile sizes and the element-wise grain affect only cache behaviour and
+// chunk boundaries, never results. Every (kBlock, jBlock, grain) setting
+// must produce bitwise-identical output — that is what makes a machine's
+// calibration profile (`ratelbench tune`) free to pick any tile.
+func TestTilingBitIdentical(t *testing.T) {
+	oldK, oldJ := Tiling()
+	oldGrain := ElemGrain()
+	defer func() {
+		if err := SetTiling(oldK, oldJ); err != nil {
+			t.Fatal(err)
+		}
+		if err := SetElemGrain(oldGrain); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(3))
+	a := randTensor(rng, 129, 300)
+	b := randTensor(rng, 300, 257)
+	bt := randTensor(rng, 257, 300)
+	at := randTensor(rng, 300, 129)
+	x := randTensor(rng, 301, 513)
+
+	if err := SetTiling(oldK, oldJ); err != nil {
+		t.Fatal(err)
+	}
+	wantMM, _ := MatMul(a, b)
+	wantMMT, _ := MatMulT(a, bt)
+	wantTMM, _ := TMatMul(at, b)
+	wantRnd := x.Clone()
+	wantRnd.RoundFP16InPlace()
+
+	for _, tile := range []struct{ k, j int }{{1, 1}, {7, 3}, {64, 16}, {512, 128}, {4096, 4096}} {
+		if err := SetTiling(tile.k, tile.j); err != nil {
+			t.Fatal(err)
+		}
+		gotMM, _ := MatMul(a, b)
+		gotMMT, _ := MatMulT(a, bt)
+		gotTMM, _ := TMatMul(at, b)
+		for i := range wantMM.Data {
+			if math.Float32bits(gotMM.Data[i]) != math.Float32bits(wantMM.Data[i]) {
+				t.Fatalf("MatMul kBlock=%d: element %d differs bitwise", tile.k, i)
+			}
+		}
+		for i := range wantMMT.Data {
+			if math.Float32bits(gotMMT.Data[i]) != math.Float32bits(wantMMT.Data[i]) {
+				t.Fatalf("MatMulT jBlock=%d: element %d differs bitwise", tile.j, i)
+			}
+		}
+		for i := range wantTMM.Data {
+			if math.Float32bits(gotTMM.Data[i]) != math.Float32bits(wantTMM.Data[i]) {
+				t.Fatalf("TMatMul tiles=%v: element %d differs bitwise", tile, i)
+			}
+		}
+	}
+
+	for _, grain := range []int{1, 63, 4096, 1 << 20} {
+		if err := SetElemGrain(grain); err != nil {
+			t.Fatal(err)
+		}
+		got := x.Clone()
+		got.RoundFP16InPlace()
+		for i := range wantRnd.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(wantRnd.Data[i]) {
+				t.Fatalf("RoundFP16InPlace grain=%d: element %d differs bitwise", grain, i)
+			}
+		}
+	}
+
+	if err := SetTiling(0, 5); err == nil {
+		t.Error("SetTiling accepted a zero tile")
+	}
+	if err := SetElemGrain(0); err == nil {
+		t.Error("SetElemGrain accepted zero")
+	}
+}
+
+// TestMatMulSIMDvsGenericTolerance compares the selected matmul kernels
+// against the pinned-generic dispatch: the FMA path may differ in
+// rounding but must stay within the documented tolerance. Skipped when
+// the vector kernels are not active (then the two paths are identical).
+func TestMatMulSIMDvsGenericTolerance(t *testing.T) {
+	if !simd.Active() {
+		t.Skip("vector kernels not active")
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := randTensor(rng, 65, 130)
+	b := randTensor(rng, 130, 67)
+	bt := randTensor(rng, 67, 130)
+
+	simdMM, _ := MatMul(a, b)
+	simdMMT, _ := MatMulT(a, bt)
+
+	restore := simd.ForceGeneric()
+	genMM, _ := MatMul(a, b)
+	genMMT, _ := MatMulT(a, bt)
+	restore()
+
+	if d := maxRelDiff(t, simdMM, genMM); d > kernelParityTol {
+		t.Errorf("MatMul simd-vs-generic rel diff %g", d)
+	}
+	if d := maxRelDiff(t, simdMMT, genMMT); d > kernelParityTol {
+		t.Errorf("MatMulT simd-vs-generic rel diff %g", d)
+	}
+}
+
+// TestFP16CodecSIMDvsGenericBitEqual pins the codec exactness contract at
+// the tensor layer: the dispatch-selected encode/decode/round produce the
+// same bytes and bits as the pinned-generic path, for ragged lengths that
+// cross the vector/tail seam and for special values.
+func TestFP16CodecSIMDvsGenericBitEqual(t *testing.T) {
+	if !simd.Active() {
+		t.Skip("vector kernels not active")
+	}
+	rng := rand.New(rand.NewSource(6))
+	vals := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		0, float32(math.Copysign(0, -1)), 65504, -65504, 1e-10, 6e-8,
+	}
+	for len(vals) < 1037 {
+		vals = append(vals, math.Float32frombits(rng.Uint32()))
+	}
+	enc := make([]byte, 2*len(vals))
+	if err := ToFP16BytesInto(enc, vals); err != nil {
+		t.Fatal(err)
+	}
+	dec := make([]float32, len(vals))
+	if err := FromFP16Bytes(enc, dec); err != nil {
+		t.Fatal(err)
+	}
+	rnd := append([]float32(nil), vals...)
+	if err := RoundFP16Into(rnd, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	restore := simd.ForceGeneric()
+	defer restore()
+	encGen := make([]byte, 2*len(vals))
+	if err := ToFP16BytesInto(encGen, vals); err != nil {
+		t.Fatal(err)
+	}
+	decGen := make([]float32, len(vals))
+	if err := FromFP16Bytes(encGen, decGen); err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		if enc[i] != encGen[i] {
+			t.Fatalf("encode byte %d differs (value bits %#08x)", i, math.Float32bits(vals[i/2]))
+		}
+	}
+	for i := range dec {
+		if math.Float32bits(dec[i]) != math.Float32bits(decGen[i]) {
+			t.Fatalf("decode value %d differs", i)
+		}
+		if math.Float32bits(rnd[i]) != math.Float32bits(RoundFP16(vals[i])) {
+			t.Fatalf("RoundFP16Into value %d differs from scalar RoundFP16", i)
+		}
+	}
+}
