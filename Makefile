@@ -30,9 +30,20 @@ lint:
 
 # Tier-2 umbrella: static analysis + repo analyzers + race detector +
 # portable-fallback pass + one-iteration benchmark smoke (benchmarks must
-# at least run).
+# at least run) + snapshot-integrity gate.
 .PHONY: check
-check: vet lint race test-nosimd bench-smoke
+check: vet lint race test-nosimd bench-smoke bench-gate
+
+# Snapshot-integrity gate: every committed BENCH_*.json must parse and
+# self-diff clean at zero tolerance, so the diff tool and the snapshot
+# schema can't drift apart. Compare a fresh run against a snapshot with
+#   go run ./cmd/ratelbench -tol 0.1 diff BENCH_x.json new.json
+.PHONY: bench-gate
+bench-gate:
+	@for f in BENCH_*.json; do \
+		echo "bench-gate: $$f"; \
+		go run ./cmd/ratelbench -tol 0 diff $$f $$f || exit 1; \
+	done
 
 # Kernel micro-benchmarks (BENCH_kernels.json is a committed snapshot).
 .PHONY: bench-kernels

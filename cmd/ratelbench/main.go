@@ -9,6 +9,10 @@
 // writes a JSON profile (default ratel-tune.json, or the -tune-out path)
 // that the engine applies at startup when RATEL_TUNE_PROFILE names it.
 // Tuning is result-neutral — it changes kernel speed, never kernel output.
+//
+// The "diff" subcommand compares two BENCH_*.json snapshots row by row
+// (matched on bench+variant) and exits non-zero when any metric regressed
+// beyond -tol; `make bench-gate` uses it as the snapshot-integrity gate.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"ratel/internal/benchdiff"
 	"ratel/internal/experiments"
 	"ratel/internal/profile"
 	"ratel/internal/tensor/simd"
@@ -27,12 +32,14 @@ func main() {
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
 	tuneOut := flag.String("tune-out", "ratel-tune.json", "profile path the tune subcommand writes")
 	tuneDim := flag.Int("tune-dim", 0, "matmul dimension the tune sweep times (0 = default 512)")
+	tol := flag.Float64("tol", 0.10, "relative tolerance for the diff subcommand (0.10 = 10%)")
 	flag.Parse()
 	args := flag.Args()
 
 	if len(args) < 1 {
 		fmt.Println("usage: ratelbench [-out dir] <experiment-id>...|all")
 		fmt.Println("       ratelbench [-tune-out file] [-tune-dim n] tune")
+		fmt.Println("       ratelbench [-tol frac] diff <old.json> <new.json>")
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
@@ -41,6 +48,15 @@ func main() {
 	}
 	if args[0] == "tune" {
 		if err := runTune(*tuneOut, *tuneDim); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if args[0] == "diff" {
+		if len(args) != 3 {
+			fatal(fmt.Errorf("diff needs exactly two snapshot paths, got %d args", len(args)-1))
+		}
+		if err := runDiff(args[1], args[2], *tol); err != nil {
 			fatal(err)
 		}
 		return
@@ -92,6 +108,20 @@ func runTune(out string, dim int) error {
 	fmt.Printf("best: kBlock=%d jBlock=%d elemGrain=%d\n", t.MatMulKBlock, t.MatMulJBlock, t.ElemGrain)
 	fmt.Printf("wrote %s — apply with %s=%s\n", out, profile.TuneEnvVar, out)
 	return nil
+}
+
+func runDiff(oldPath, newPath string, tol float64) error {
+	oldSnap, err := benchdiff.LoadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := benchdiff.LoadFile(newPath)
+	if err != nil {
+		return err
+	}
+	rep := benchdiff.Diff(oldSnap, newSnap, tol)
+	rep.Write(os.Stdout)
+	return rep.Err()
 }
 
 func fatal(err error) {

@@ -8,7 +8,13 @@
 //	rateltrain -steps 50 -layers 4 -hidden 32 -mode optimized -dir /tmp/ratel
 //	rateltrain -task chars -steps 300 -dropout 0.05   # char-level LM + sample
 //	rateltrain -trace trace.json                      # Chrome/Perfetto timeline
-//	rateltrain -debug-addr :6060                      # expvar metrics + pprof
+//	rateltrain -debug-addr :6060                      # metrics (expvar + /metrics) + pprof
+//
+// The engine keeps a flight recorder — a bounded ring of the last steps'
+// timing, stalls and byte flows — at all times. On SIGQUIT, a panic, or a
+// training-step error, rateltrain dumps it (with the recent span timeline
+// and a metrics snapshot, when those are enabled) to the -flight path as a
+// JSON postmortem whose "trace" field is a Chrome trace-event array.
 package main
 
 import (
@@ -18,6 +24,9 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ratel/internal/agoffload"
 	"ratel/internal/core"
@@ -47,7 +56,9 @@ func main() {
 	resume := flag.String("resume", "", "restore training state from this file before training")
 	evalEvery := flag.Int("eval-every", 0, "report a held-out evaluation loss every N steps")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto)")
-	debugAddr := flag.String("debug-addr", "", "serve live metrics on this address (expvar at /debug/vars, pprof at /debug/pprof)")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics on this address (expvar at /debug/vars, OpenMetrics at /metrics, pprof at /debug/pprof)")
+	flightOut := flag.String("flight", "ratel-flight.json", "flight-recorder dump path (written on SIGQUIT, panic or step error)")
+	reportEvery := flag.Int("report-every", 0, "with -trace, print a bottleneck-attribution line every N steps")
 	flag.Parse()
 
 	var gm agoffload.Mode
@@ -92,13 +103,14 @@ func main() {
 	if *debugAddr != "" {
 		registry = obs.NewRegistry()
 		registry.PublishExpvar("ratel")
+		http.Handle("/metrics", registry.MetricsHandler())
 		go func() {
-			// expvar and pprof self-register on the default mux.
+			// expvar, pprof and /metrics register on the default mux.
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "rateltrain: debug server:", err)
 			}
 		}()
-		fmt.Printf("debug server on %s (/debug/vars, /debug/pprof)\n", *debugAddr)
+		fmt.Printf("debug server on %s (/debug/vars, /metrics, /debug/pprof)\n", *debugAddr)
 	}
 
 	sess, err := core.Init(core.Options{
@@ -117,6 +129,49 @@ func main() {
 		fail(err)
 	}
 	defer sess.Close()
+
+	// The flight recorder is always on inside the engine; this dumps it.
+	// Safe to call from the signal goroutine mid-step — the ring, the span
+	// buffer and the registry are all concurrency-safe.
+	dumpFlight := func(reason string) {
+		recs := sess.FlightRecords()
+		if len(recs) == 0 {
+			return
+		}
+		var spans []obs.Span
+		if tracer != nil {
+			spans = tracer.Spans()
+		}
+		var metrics map[string]float64
+		if registry != nil {
+			metrics = registry.Snapshot()
+		}
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rateltrain: flight dump:", err)
+			return
+		}
+		dump := trace.BuildFlightDump(reason, recs, spans, metrics)
+		if err := trace.WriteFlightDump(dump, f); err != nil {
+			fmt.Fprintln(os.Stderr, "rateltrain: flight dump:", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "rateltrain: flight recorder (%s): %d steps dumped to %s\n",
+			reason, len(recs), *flightOut)
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGQUIT)
+	go func() {
+		<-sigc
+		dumpFlight("sigquit")
+		os.Exit(2)
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight("panic")
+			panic(r)
+		}
+	}()
 
 	pl := sess.Plan()
 	fmt.Printf("task %s (vocab %d), plan %v: swapping %v of activations (%d layers)\n",
@@ -162,10 +217,22 @@ func main() {
 		}
 		loss, err := sess.TrainStep(tokens, targets)
 		if err != nil {
+			dumpFlight("step-error")
 			fail(err)
 		}
 		if step == 1 || step%25 == 0 || step == *steps {
 			fmt.Printf("step %4d  loss %.4f\n", step, loss)
+		}
+		// Bottleneck attribution needs the span timeline, so the periodic
+		// verdict rides on -trace; the default stdout stays byte-identical.
+		if tracer != nil && *reportEvery > 0 && step%*reportEvery == 0 {
+			if recs := sess.FlightRecords(); len(recs) > 0 {
+				r := recs[len(recs)-1]
+				a := obs.Attribute(tracer.Spans(), r.Start, r.End)
+				fmt.Printf("step %4d  bound %s (%.0f%% of step, stalls %.0f%%), moved %d bytes (%d stalls, %v waiting)\n",
+					step, a.Bound, 100*a.BoundFraction, 100*a.StallFraction(),
+					r.Flow.Total(), r.Stalls, r.StallWait.Round(time.Microsecond))
+			}
 		}
 		if *evalEvery > 0 && step%*evalEvery == 0 {
 			eval, err := sess.Model().EvalLoss(evalTokens, evalTargets)

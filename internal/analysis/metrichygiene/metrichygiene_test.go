@@ -1,0 +1,26 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/metrichygiene"
+)
+
+func TestMetrichygiene(t *testing.T) {
+	analysistest.Run(t, metrichygiene.Analyzer, "metricsd")
+}
+
+func TestScope(t *testing.T) {
+	for _, pkg := range []string{
+		"ratel/internal/engine", "ratel/internal/nvme",
+		"ratel/internal/opt", "ratel/internal/tensor/pool",
+	} {
+		if !metrichygiene.Analyzer.AppliesTo(pkg) {
+			t.Errorf("metrichygiene should cover %s", pkg)
+		}
+	}
+	if metrichygiene.Analyzer.AppliesTo("ratel/internal/sim") {
+		t.Error("metrichygiene should not cover the simulator")
+	}
+}

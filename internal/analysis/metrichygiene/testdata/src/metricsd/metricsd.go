@@ -1,0 +1,68 @@
+// Package metricsd is metrichygiene's golden testdata. It imports the real
+// obs package so the analyzer resolves Registry methods exactly as it does
+// in the engine.
+package metricsd
+
+import (
+	"fmt"
+
+	"ratel/internal/obs"
+)
+
+const histName = "engine.step_wall_ns"
+
+type instruments struct {
+	steps *obs.Counter
+	wall  *obs.Histogram
+}
+
+func setupIsFine(r *obs.Registry) instruments {
+	return instruments{
+		steps: r.Counter("engine.steps"),
+		wall:  r.Histogram(histName), // constants are fine, not just literals
+	}
+}
+
+func gaugeIsFine(r *obs.Registry) *obs.Gauge {
+	return r.Gauge("flow.host_nvme_write_bytes")
+}
+
+func sprintfName(r *obs.Registry, i int) *obs.Counter {
+	return r.Counter(fmt.Sprintf("engine.block%d.bytes", i)) // want `metric name built with fmt.Sprintf`
+}
+
+func concatenatedName(r *obs.Registry, lane string) *obs.Gauge {
+	return r.Gauge("engine." + lane) // want `metric name is not a compile-time constant`
+}
+
+func badCase(r *obs.Registry) *obs.Counter {
+	return r.Counter("Engine.StepCount") // want `not snake_case`
+}
+
+func badSeparator(r *obs.Registry) *obs.Gauge {
+	return r.Gauge("engine.step-wall") // want `not snake_case`
+}
+
+func registeredInLoop(r *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("engine.loop_hits").Add(1) // want `registered inside a loop`
+	}
+}
+
+func registeredInRange(r *obs.Registry, names []string) {
+	for range names {
+		r.Gauge("engine.range_gauge").Set(1) // want `registered inside a loop`
+	}
+}
+
+func handleUseInLoopIsFine(r *obs.Registry, n int) {
+	c := r.Counter("engine.hoisted")
+	for i := 0; i < n; i++ {
+		c.Add(1) // the handle was hoisted; Add in a loop is the point
+	}
+}
+
+func nilRegistryStillChecked() {
+	var r *obs.Registry
+	r.Counter("BAD.Name") // want `not snake_case`
+}

@@ -6,6 +6,7 @@ import (
 	"ratel/internal/analysis"
 	"ratel/internal/analysis/bufreuse"
 	"ratel/internal/analysis/errdrop"
+	"ratel/internal/analysis/metrichygiene"
 	"ratel/internal/analysis/poolcapture"
 	"ratel/internal/analysis/simddispatch"
 	"ratel/internal/analysis/simdet"
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		bufreuse.Analyzer,
 		errdrop.Analyzer,
+		metrichygiene.Analyzer,
 		poolcapture.Analyzer,
 		simddispatch.Analyzer,
 		simdet.Analyzer,

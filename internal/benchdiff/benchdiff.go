@@ -1,0 +1,217 @@
+// Package benchdiff compares two BENCH_*.json benchmark snapshots. Rows
+// are matched by (bench, variant); every numeric metric the two rows share
+// is compared against a relative tolerance, with the regression direction
+// inferred from the metric name (ns_per_op up is a regression, gflops down
+// is). `ratelbench diff` is the CLI; `make bench-gate` self-diffs the
+// committed snapshots at tolerance 0 so the schema and the gate can't rot.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Row is one benchmark result: its identity and every numeric field.
+type Row struct {
+	Bench   string
+	Variant string
+	Metrics map[string]float64
+}
+
+// Key identifies a row within a snapshot.
+func (r Row) Key() string { return r.Bench + " / " + r.Variant }
+
+// Snapshot is a parsed BENCH_*.json file.
+type Snapshot struct {
+	Description string
+	Rows        []Row
+}
+
+// rawSnapshot mirrors the on-disk schema: results rows carry two string
+// identity fields and an open set of numeric metrics.
+type rawSnapshot struct {
+	Description string                   `json:"description"`
+	Results     []map[string]interface{} `json:"results"`
+}
+
+// Load parses a snapshot from r.
+func Load(r io.Reader) (Snapshot, error) {
+	var raw rawSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return Snapshot{}, fmt.Errorf("benchdiff: %w", err)
+	}
+	if len(raw.Results) == 0 {
+		return Snapshot{}, fmt.Errorf("benchdiff: snapshot has no results rows")
+	}
+	snap := Snapshot{Description: raw.Description}
+	seen := make(map[string]bool)
+	for i, rr := range raw.Results {
+		bench, _ := rr["bench"].(string)
+		if bench == "" {
+			return Snapshot{}, fmt.Errorf("benchdiff: results[%d] missing bench name", i)
+		}
+		variant, _ := rr["variant"].(string)
+		row := Row{Bench: bench, Variant: variant, Metrics: make(map[string]float64)}
+		for k, v := range rr {
+			if n, ok := v.(float64); ok {
+				row.Metrics[k] = n
+			}
+		}
+		if seen[row.Key()] {
+			return Snapshot{}, fmt.Errorf("benchdiff: duplicate row %q", row.Key())
+		}
+		seen[row.Key()] = true
+		snap.Rows = append(snap.Rows, row)
+	}
+	return snap, nil
+}
+
+// LoadFile parses a snapshot file.
+func LoadFile(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer f.Close()
+	snap, err := Load(f)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// lowerIsBetter classifies a metric by name: cost-like metrics regress
+// upward, rate-like metrics (gflops, gb_per_s, mparams_per_s, ...) regress
+// downward.
+func lowerIsBetter(metric string) bool {
+	switch metric {
+	case "ns_per_op", "bytes_per_op", "allocs_per_op":
+		return true
+	}
+	return false
+}
+
+// Delta is one metric comparison on one matched row.
+type Delta struct {
+	Bench, Variant, Metric string
+	Old, New               float64
+	// Rel is the signed relative change, positive when the metric moved in
+	// the regression direction (cost up, or rate down).
+	Rel        float64
+	Regression bool
+}
+
+// Report is the outcome of a diff.
+type Report struct {
+	Tolerance float64
+	Deltas    []Delta
+	// Missing rows exist only in the old snapshot; Added only in the new.
+	// Missing rows count as regressions — a benchmark that disappeared
+	// cannot be shown not to have regressed.
+	Missing, Added []string
+	Regressions    int
+}
+
+// Diff compares two snapshots at a relative tolerance (0.1 = 10%).
+func Diff(oldSnap, newSnap Snapshot, tol float64) Report {
+	rep := Report{Tolerance: tol}
+	newRows := make(map[string]Row, len(newSnap.Rows))
+	for _, r := range newSnap.Rows {
+		newRows[r.Key()] = r
+	}
+	matched := make(map[string]bool)
+	for _, o := range oldSnap.Rows {
+		n, ok := newRows[o.Key()]
+		if !ok {
+			rep.Missing = append(rep.Missing, o.Key())
+			rep.Regressions++
+			continue
+		}
+		matched[o.Key()] = true
+		metrics := make([]string, 0, len(o.Metrics))
+		for m := range o.Metrics {
+			if _, ok := n.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			d := Delta{Bench: o.Bench, Variant: o.Variant, Metric: m, Old: o.Metrics[m], New: n.Metrics[m]}
+			if d.Old != 0 {
+				d.Rel = (d.New - d.Old) / d.Old
+				if !lowerIsBetter(m) {
+					d.Rel = -d.Rel
+				}
+			} else if d.New != 0 {
+				d.Rel = 1 // from zero: treat any move as a full-size change
+				if !lowerIsBetter(m) {
+					d.Rel = -1
+				}
+			}
+			d.Regression = d.Rel > tol
+			if d.Regression {
+				rep.Regressions++
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	for _, n := range newSnap.Rows {
+		if !matched[n.Key()] {
+			rep.Added = append(rep.Added, n.Key())
+		}
+	}
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	return rep
+}
+
+// Err returns a non-nil error iff the report contains regressions, suitable
+// as a CI gate exit condition.
+func (r Report) Err() error {
+	if r.Regressions == 0 {
+		return nil
+	}
+	return fmt.Errorf("benchdiff: %d regression(s) beyond %.1f%% tolerance", r.Regressions, 100*r.Tolerance)
+}
+
+// Write renders the report: regressions first, then missing/added rows,
+// then a one-line summary. Unchanged metrics within tolerance print only
+// in the counts.
+func (r Report) Write(w io.Writer) {
+	for _, d := range r.Deltas {
+		if !d.Regression {
+			continue
+		}
+		fmt.Fprintf(w, "REGRESSION %s / %s: %s %.4g -> %.4g (%+.1f%%)\n",
+			d.Bench, d.Variant, d.Metric, d.Old, d.New, 100*rawRel(d))
+	}
+	for _, k := range r.Missing {
+		fmt.Fprintf(w, "MISSING %s (in old snapshot only)\n", k)
+	}
+	for _, k := range r.Added {
+		fmt.Fprintf(w, "added %s (new row, not compared)\n", k)
+	}
+	fmt.Fprintf(w, "compared %d metrics across %d rows: %d regression(s) at %.1f%% tolerance\n",
+		len(r.Deltas), rowCount(r), r.Regressions, 100*r.Tolerance)
+}
+
+// rawRel recovers the signed change in the metric's own direction for
+// display (Rel is normalized to "positive = worse").
+func rawRel(d Delta) float64 {
+	if lowerIsBetter(d.Metric) {
+		return d.Rel
+	}
+	return -d.Rel
+}
+
+func rowCount(r Report) int {
+	keys := make(map[string]bool)
+	for _, d := range r.Deltas {
+		keys[d.Bench+" / "+d.Variant] = true
+	}
+	return len(keys)
+}

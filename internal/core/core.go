@@ -157,6 +157,13 @@ func (s *Session) Stats() engine.Stats { return s.eng.Stats() }
 // optimizer step (zero value before the first TrainStep).
 func (s *Session) LastStepMetrics() engine.StepMetrics { return s.eng.LastStepMetrics() }
 
+// Flows reports the cumulative byte-flow ledger (every edge x purpose).
+func (s *Session) Flows() obs.FlowSnapshot { return s.eng.Flows() }
+
+// FlightRecords returns the engine's crash-ring of recent step records,
+// oldest first — the payload of a flight-recorder dump.
+func (s *Session) FlightRecords() []obs.StepRecord { return s.eng.FlightRecords() }
+
 // SaveCheckpoint writes the session's full training state (fp32 masters and
 // optimizer moments) to w; restoring and continuing is bit-identical to an
 // uninterrupted run.

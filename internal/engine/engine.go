@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,8 +30,22 @@ import (
 	"ratel/internal/opt"
 	"ratel/internal/profile"
 	"ratel/internal/tensor"
+	"ratel/internal/tensor/pool"
 	"ratel/internal/units"
 )
+
+// classifyFlowKey maps an NVMe object key to its byte-flow purpose by
+// namespace: activation blobs live under act/ and optimizer state under
+// states/ (the prefix the engine hands NewOutOfCoreAdam).
+func classifyFlowKey(key string) obs.FlowPurpose {
+	switch {
+	case strings.HasPrefix(key, "act/"):
+		return obs.FlowActivations
+	case strings.HasPrefix(key, "states/"):
+		return obs.FlowOptState
+	}
+	return obs.FlowOther
+}
 
 // Tier says where a block's activation cache lives until backward.
 type Tier int
@@ -176,10 +191,16 @@ type Engine struct {
 	pendingScr []chan error
 
 	// Telemetry (see telemetry.go). tracer may be nil; ins instruments are
-	// detached no-ops when Config.Metrics is nil.
+	// detached no-ops when Config.Metrics is nil. flows and flight are
+	// always on: both are fixed-size atomic structures whose update paths
+	// allocate nothing, so byte accounting and postmortem history never
+	// need opting into.
 	tracer           *obs.Tracer
 	labels           []blockLabels
 	ins              instruments
+	flows            *obs.FlowLedger
+	flight           *obs.FlightRecorder
+	prevFlow         obs.FlowSnapshot
 	prevKernelParams int64
 	prevKernelBusy   time.Duration
 	prevSSD          nvme.Stats
@@ -254,6 +275,8 @@ func New(cfg Config) (*Engine, error) {
 		tracer:    cfg.Tracer,
 		labels:    makeBlockLabels(len(m.Blocks)),
 		ins:       makeInstruments(cfg.Metrics),
+		flows:     obs.NewFlowLedger(),
+		flight:    obs.NewFlightRecorder(0),
 	}
 	e.blobLen = e.geom.blobBytes()
 	// Resolve the activation I/O window: the ring needs depth+1 slots so a
@@ -275,6 +298,16 @@ func New(cfg Config) (*Engine, error) {
 	e.fetchLive = make([]bool, len(m.Blocks))
 	a.SetTracer(cfg.Tracer)
 	e.optimizer.SetTracer(cfg.Tracer)
+	// Byte-flow and latency observers: the array credits host↔NVMe bytes
+	// per key namespace and feeds the transfer-latency histograms; the
+	// optimizer credits its staging and codec traffic. The worker pool's
+	// job histogram is process-wide, so it is only installed when this
+	// engine actually exports metrics.
+	a.SetObservers(e.ins.nvmeReadNS, e.ins.nvmeWritNS, e.flows, classifyFlowKey)
+	e.optimizer.SetFlowLedger(e.flows)
+	if cfg.Metrics != nil {
+		pool.Default().SetJobHistogram(e.ins.poolJobNS)
+	}
 	if cfg.ClipGroupNorm > 0 {
 		if err := e.optimizer.SetClipNorm(cfg.ClipGroupNorm); err != nil {
 			return nil, errors.Join(err, a.Close())
@@ -736,6 +769,10 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 				sp.End()
 			}
 			e.actOffload.Add(int64(e.blobLen))
+			// Ledger: the cache was fp16-encoded and staged through host
+			// memory on its way to NVMe (the array credits the NVMe write).
+			e.flows.Add(obs.EdgeCodecEncode, obs.FlowActivations, int64(e.blobLen))
+			e.flows.Add(obs.EdgeComputeHost, obs.FlowActivations, int64(e.blobLen))
 		case SwapHost:
 			// Pin the cache in main memory until backward consumes it. The
 			// blob outlives this call, so it comes from the shared buffer
@@ -760,6 +797,8 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			}
 			e.hostActs[i] = &hostAct{blob: blob, res: res}
 			e.actHost.Add(int64(len(blob)))
+			e.flows.Add(obs.EdgeCodecEncode, obs.FlowActivations, int64(len(blob)))
+			e.flows.Add(obs.EdgeComputeHost, obs.FlowActivations, int64(len(blob)))
 		}
 		// The live cache is dropped either way: swapped blocks restore it
 		// from their tier, the rest recompute from the saved block input.
@@ -860,7 +899,19 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		case SwapSSD:
 			blob := e.arena.slotBuf(i, e.blobLen)
 			if e.fetchLive[i] {
-				err = <-e.fetchCh[i]
+				select {
+				case err = <-e.fetchCh[i]:
+					// Read-ahead won: the blob was resident before backward
+					// needed it.
+				default:
+					// Read-ahead missed its deadline — backward is now blocked
+					// on the fetch. The wait lands on the stall lane so
+					// bottleneck attribution can tell "stalled-on-readahead"
+					// from plain NVMe-read occupancy.
+					sp = tr.StartSpan(obs.LaneStall, e.labels[i].fetchStall)
+					err = <-e.fetchCh[i]
+					sp.End()
+				}
 				e.fetchLive[i] = false
 			} else {
 				sp = tr.StartSpan(obs.LanePrefetch, e.labels[i].fetch)
@@ -875,6 +926,8 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 				return fail(err)
 			}
 			e.actFetched.Add(int64(len(blob)))
+			e.flows.Add(obs.EdgeCodecDecode, obs.FlowActivations, int64(len(blob)))
+			e.flows.Add(obs.EdgeComputeHost, obs.FlowActivations, int64(len(blob)))
 		case SwapHost:
 			ha := e.hostActs[i]
 			if ha == nil {
@@ -889,6 +942,8 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			nvme.Buffers.Put(ha.blob)
 			delete(e.hostActs, i)
 			e.actFetched.Add(int64(blobLen))
+			e.flows.Add(obs.EdgeCodecDecode, obs.FlowActivations, int64(blobLen))
+			e.flows.Add(obs.EdgeComputeHost, obs.FlowActivations, int64(blobLen))
 		default:
 			sp = tr.StartSpan(obs.LaneCompute, e.labels[i].recompute)
 			c, err = m.Blocks[i].Recompute(inputs[i])

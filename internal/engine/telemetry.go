@@ -19,16 +19,17 @@ import (
 // blockLabels precomputes the per-block span names so the training hot
 // path never builds strings.
 type blockLabels struct {
-	fwd       string // "blockN/fwd"           lane gpu
-	bwd       string // "blockN/bwd"           lane gpu
-	recompute string // "blockN/recompute"     lane gpu
-	offload   string // "blockN/act-offload"   lane offload (SSD tier)
-	pin       string // "blockN/act-pin"       lane offload (host tier)
-	prefetch  string // "blockN/act-prefetch"  lane prefetch
-	fetch     string // "blockN/act-fetch"     lane prefetch (sync fallback)
-	write     string // "blockN/act-write"     lane offload (async Put wall)
-	stall     string // "blockN/offload-stall" lane stall (window/pool full)
-	actKey    string // "act/blockN"           NVMe object key, not a span
+	fwd        string // "blockN/fwd"           lane gpu
+	bwd        string // "blockN/bwd"           lane gpu
+	recompute  string // "blockN/recompute"     lane gpu
+	offload    string // "blockN/act-offload"   lane offload (SSD tier)
+	pin        string // "blockN/act-pin"       lane offload (host tier)
+	prefetch   string // "blockN/act-prefetch"  lane prefetch
+	fetch      string // "blockN/act-fetch"     lane prefetch (sync fallback)
+	write      string // "blockN/act-write"     lane offload (async Put wall)
+	stall      string // "blockN/offload-stall" lane stall (window/pool full)
+	fetchStall string // "blockN/fetch-stall"   lane stall (read-ahead missed)
+	actKey     string // "act/blockN"           NVMe object key, not a span
 }
 
 func makeBlockLabels(layers int) []blockLabels {
@@ -36,16 +37,17 @@ func makeBlockLabels(layers int) []blockLabels {
 	for i := range out {
 		p := fmt.Sprintf("block%d", i)
 		out[i] = blockLabels{
-			fwd:       p + "/fwd",
-			bwd:       p + "/bwd",
-			recompute: p + "/recompute",
-			offload:   p + "/act-offload",
-			pin:       p + "/act-pin",
-			prefetch:  p + "/act-prefetch",
-			fetch:     p + "/act-fetch",
-			write:     p + "/act-write",
-			stall:     p + "/offload-stall",
-			actKey:    actKey(i),
+			fwd:        p + "/fwd",
+			bwd:        p + "/bwd",
+			recompute:  p + "/recompute",
+			offload:    p + "/act-offload",
+			pin:        p + "/act-pin",
+			prefetch:   p + "/act-prefetch",
+			fetch:      p + "/act-fetch",
+			write:      p + "/act-write",
+			stall:      p + "/offload-stall",
+			fetchStall: p + "/fetch-stall",
+			actKey:     actKey(i),
 		}
 	}
 	return out
@@ -93,6 +95,9 @@ type StepMetrics struct {
 	OffloadStallWait time.Duration
 	// OffloadQueuePeak is the deepest the offload queue got this step.
 	OffloadQueuePeak int
+	// Flow is the step's byte-flow ledger delta: bytes moved per
+	// (edge, purpose) cell during this step (see obs.FlowLedger).
+	Flow obs.FlowSnapshot
 }
 
 // AdamParamsPerSec is the step's measured CPU-optimizer throughput
@@ -166,6 +171,29 @@ type instruments struct {
 	bufSteals  *obs.Gauge
 	blobReuses *obs.Gauge
 	ringReuses *obs.Gauge
+
+	// Latency histograms (log2-bucketed, nanosecond samples): per-stage
+	// step latencies, NVMe object transfer times (fed by the array via
+	// SetObservers), and pool job latencies (fed by the worker pool).
+	stepWallNS *obs.Histogram
+	forwardNS  *obs.Histogram
+	backwardNS *obs.Histogram
+	drainNS    *obs.Histogram
+	nvmeReadNS *obs.Histogram
+	nvmeWritNS *obs.Histogram
+	poolJobNS  *obs.Histogram
+
+	// Byte-flow gauges: the ledger's cumulative per-edge and per-purpose
+	// totals, refreshed once per step from one snapshot.
+	flowComputeHost *obs.Gauge
+	flowNVMeRead    *obs.Gauge
+	flowNVMeWrite   *obs.Gauge
+	flowEncode      *obs.Gauge
+	flowDecode      *obs.Gauge
+	flowActs        *obs.Gauge
+	flowParams      *obs.Gauge
+	flowGrads       *obs.Gauge
+	flowOptState    *obs.Gauge
 }
 
 func makeInstruments(r *obs.Registry) instruments {
@@ -210,6 +238,24 @@ func makeInstruments(r *obs.Registry) instruments {
 		bufSteals:  r.Gauge("nvme.buf_steals"),
 		blobReuses: r.Gauge("engine.blob_reuses"),
 		ringReuses: r.Gauge("engine.ring_reuses"),
+
+		stepWallNS: r.Histogram("engine.step_wall_ns"),
+		forwardNS:  r.Histogram("engine.forward_ns"),
+		backwardNS: r.Histogram("engine.backward_ns"),
+		drainNS:    r.Histogram("engine.optimizer_drain_ns"),
+		nvmeReadNS: r.Histogram("nvme.read_ns"),
+		nvmeWritNS: r.Histogram("nvme.write_ns"),
+		poolJobNS:  r.Histogram("pool.job_ns"),
+
+		flowComputeHost: r.Gauge("flow.compute_host_bytes"),
+		flowNVMeRead:    r.Gauge("flow.host_nvme_read_bytes"),
+		flowNVMeWrite:   r.Gauge("flow.host_nvme_write_bytes"),
+		flowEncode:      r.Gauge("flow.codec_encode_bytes"),
+		flowDecode:      r.Gauge("flow.codec_decode_bytes"),
+		flowActs:        r.Gauge("flow.activations_bytes"),
+		flowParams:      r.Gauge("flow.params_bytes"),
+		flowGrads:       r.Gauge("flow.grads_bytes"),
+		flowOptState:    r.Gauge("flow.opt_state_bytes"),
 	}
 }
 
@@ -239,9 +285,38 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	}
 	e.prevKernelParams, e.prevKernelBusy = kp, kb
 
+	// Fold this step's byte flow out of the cumulative ledger; the delta
+	// rides on StepMetrics and the flight record, the running totals on
+	// the flow gauges below. All value types — nothing here allocates.
+	flow := e.flows.Snapshot()
+	m.Flow = flow.Sub(e.prevFlow)
+	e.prevFlow = flow
+
 	e.mu.Lock()
 	e.lastStep = m
 	e.mu.Unlock()
+
+	// Flight recorder: the last K steps' profiles survive for postmortem
+	// dumps even when span tracing is off. Offsets are on the tracer
+	// timeline when available (so dumps join records to spans).
+	endOff := e.tracer.Now()
+	startOff := endOff - wall
+	if startOff < 0 {
+		startOff = 0
+	}
+	e.flight.Record(obs.StepRecord{
+		Step:           m.Step,
+		Start:          startOff,
+		End:            endOff,
+		Wall:           wall,
+		Forward:        fwd,
+		Backward:       bwd,
+		OptimizerDrain: drain,
+		Tokens:         tokens,
+		Stalls:         int64(m.OffloadStalls),
+		StallWait:      m.OffloadStallWait,
+		Flow:           m.Flow,
+	})
 
 	ins := &e.ins
 	ins.steps.Add(1)
@@ -294,4 +369,29 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	ins.bufSteals.Set(float64(bs.Steals))
 	ins.blobReuses.Set(float64(e.arena.blobReuses.Load()))
 	ins.ringReuses.Set(float64(e.arena.ringReuses.Load()))
+
+	ins.stepWallNS.RecordDuration(wall)
+	ins.forwardNS.RecordDuration(fwd)
+	ins.backwardNS.RecordDuration(bwd)
+	ins.drainNS.RecordDuration(drain)
+
+	ins.flowComputeHost.Set(float64(flow.Edge(obs.EdgeComputeHost)))
+	ins.flowNVMeRead.Set(float64(flow.Edge(obs.EdgeHostNVMeRead)))
+	ins.flowNVMeWrite.Set(float64(flow.Edge(obs.EdgeHostNVMeWrite)))
+	ins.flowEncode.Set(float64(flow.Edge(obs.EdgeCodecEncode)))
+	ins.flowDecode.Set(float64(flow.Edge(obs.EdgeCodecDecode)))
+	ins.flowActs.Set(float64(flow.Purpose(obs.FlowActivations)))
+	ins.flowParams.Set(float64(flow.Purpose(obs.FlowParams)))
+	ins.flowGrads.Set(float64(flow.Purpose(obs.FlowGrads)))
+	ins.flowOptState.Set(float64(flow.Purpose(obs.FlowOptState)))
 }
+
+// Flows returns the engine's cumulative byte-flow ledger snapshot: bytes
+// moved per (edge, purpose) cell since construction. The ledger is always
+// on — it is a fixed atomic matrix, so accounting costs nothing visible.
+func (e *Engine) Flows() obs.FlowSnapshot { return e.flows.Snapshot() }
+
+// FlightRecords returns the flight recorder's retained step records,
+// oldest first — the last K steps' timing, stall, and flow profiles kept
+// for postmortem dumps (see trace.WriteFlightJSON).
+func (e *Engine) FlightRecords() []obs.StepRecord { return e.flight.Records() }

@@ -1,0 +1,187 @@
+package obs
+
+import "sync/atomic"
+
+// This file is the byte-flow side of the observability layer: a ledger
+// attributing every byte the engine moves to an edge of the memory
+// hierarchy (which tiers it crossed) and a purpose (whose bytes they
+// were). The span tracer answers "how long"; the ledger answers "how many
+// bytes, and whose" — together they are the inputs to bottleneck
+// attribution (attrib.go) and the flight recorder.
+
+// FlowEdge names one data-movement edge in the compute↔host↔NVMe
+// hierarchy (plus the codec transforms that sit on the host side of it).
+type FlowEdge uint8
+
+const (
+	// EdgeComputeHost: bytes staged between the compute ("GPU") working
+	// set and pinned host memory — activation offload/pin traffic and
+	// parameter installs.
+	EdgeComputeHost FlowEdge = iota
+	// EdgeHostNVMeRead: bytes read from the NVMe array into host buffers.
+	EdgeHostNVMeRead
+	// EdgeHostNVMeWrite: bytes written from host buffers to the NVMe array.
+	EdgeHostNVMeWrite
+	// EdgeCodecEncode: logical fp32 bytes entering the fp16-on-the-wire
+	// encoder (arena blob encode, optimizer state save).
+	EdgeCodecEncode
+	// EdgeCodecDecode: logical fp32 bytes produced by the decoder (arena
+	// blob decode, optimizer state load).
+	EdgeCodecDecode
+
+	numFlowEdges
+)
+
+// String names the edge for reports and JSON dumps.
+func (e FlowEdge) String() string {
+	switch e {
+	case EdgeComputeHost:
+		return "compute_host"
+	case EdgeHostNVMeRead:
+		return "host_nvme_read"
+	case EdgeHostNVMeWrite:
+		return "host_nvme_write"
+	case EdgeCodecEncode:
+		return "codec_encode"
+	case EdgeCodecDecode:
+		return "codec_decode"
+	}
+	return "edge_unknown"
+}
+
+// FlowEdges lists every edge in declaration order.
+func FlowEdges() []FlowEdge {
+	return []FlowEdge{EdgeComputeHost, EdgeHostNVMeRead, EdgeHostNVMeWrite, EdgeCodecEncode, EdgeCodecDecode}
+}
+
+// FlowPurpose names whose bytes moved.
+type FlowPurpose uint8
+
+const (
+	FlowActivations FlowPurpose = iota // activation blobs (act/* keys, arena traffic)
+	FlowParams                         // parameter groups (P16 installs)
+	FlowGrads                          // gradient staging into the optimizer
+	FlowOptState                       // out-of-core Adam state (states/* keys)
+	FlowOther                          // unclassified traffic
+
+	numFlowPurposes
+)
+
+// String names the purpose for reports and JSON dumps.
+func (p FlowPurpose) String() string {
+	switch p {
+	case FlowActivations:
+		return "activations"
+	case FlowParams:
+		return "params"
+	case FlowGrads:
+		return "grads"
+	case FlowOptState:
+		return "opt_state"
+	case FlowOther:
+		return "other"
+	}
+	return "purpose_unknown"
+}
+
+// FlowPurposes lists every purpose in declaration order.
+func FlowPurposes() []FlowPurpose {
+	return []FlowPurpose{FlowActivations, FlowParams, FlowGrads, FlowOptState, FlowOther}
+}
+
+// FlowLedger accumulates bytes moved per (edge, purpose) cell. It is a
+// fixed atomic matrix: Add is lock-free and allocation-free, so the
+// ledger stays on under the steady-state alloc pin. Cells are cumulative
+// since creation; per-step flow is the difference of two snapshots.
+//
+// A nil *FlowLedger is a valid disabled ledger.
+type FlowLedger struct {
+	cells [numFlowEdges][numFlowPurposes]atomic.Int64
+}
+
+// NewFlowLedger creates an enabled, empty ledger.
+func NewFlowLedger() *FlowLedger { return &FlowLedger{} }
+
+// Add credits n bytes to the (edge, purpose) cell. Out-of-range enums and
+// non-positive counts are ignored.
+func (l *FlowLedger) Add(e FlowEdge, p FlowPurpose, n int64) {
+	if l == nil || n <= 0 || e >= numFlowEdges || p >= numFlowPurposes {
+		return
+	}
+	l.cells[e][p].Add(n)
+}
+
+// FlowSnapshot is a value-type copy of the ledger matrix.
+type FlowSnapshot struct {
+	Cells [numFlowEdges][numFlowPurposes]int64
+}
+
+// Snapshot reads every cell. Concurrent writers may land between cell
+// reads; totals are consistent enough for per-step reporting.
+func (l *FlowLedger) Snapshot() FlowSnapshot {
+	var s FlowSnapshot
+	if l == nil {
+		return s
+	}
+	for e := 0; e < int(numFlowEdges); e++ {
+		for p := 0; p < int(numFlowPurposes); p++ {
+			s.Cells[e][p] = l.cells[e][p].Load()
+		}
+	}
+	return s
+}
+
+// Get reads one cell.
+func (s FlowSnapshot) Get(e FlowEdge, p FlowPurpose) int64 {
+	if e >= numFlowEdges || p >= numFlowPurposes {
+		return 0
+	}
+	return s.Cells[e][p]
+}
+
+// Edge sums one edge across purposes.
+func (s FlowSnapshot) Edge(e FlowEdge) int64 {
+	if e >= numFlowEdges {
+		return 0
+	}
+	var t int64
+	for p := 0; p < int(numFlowPurposes); p++ {
+		t += s.Cells[e][p]
+	}
+	return t
+}
+
+// Purpose sums one purpose across edges.
+func (s FlowSnapshot) Purpose(p FlowPurpose) int64 {
+	if p >= numFlowPurposes {
+		return 0
+	}
+	var t int64
+	for e := 0; e < int(numFlowEdges); e++ {
+		t += s.Cells[e][p]
+	}
+	return t
+}
+
+// Total sums every cell.
+func (s FlowSnapshot) Total() int64 {
+	var t int64
+	for e := 0; e < int(numFlowEdges); e++ {
+		for p := 0; p < int(numFlowPurposes); p++ {
+			t += s.Cells[e][p]
+		}
+	}
+	return t
+}
+
+// Sub returns the per-cell difference s - prev: the flow between two
+// snapshots (one step, one reporting interval).
+func (s FlowSnapshot) Sub(prev FlowSnapshot) FlowSnapshot {
+	var d FlowSnapshot
+	for e := 0; e < int(numFlowEdges); e++ {
+		for p := 0; p < int(numFlowPurposes); p++ {
+			d.Cells[e][p] = s.Cells[e][p] - prev.Cells[e][p]
+		}
+	}
+	return d
+}

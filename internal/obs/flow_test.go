@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlowLedgerBasics(t *testing.T) {
+	l := NewFlowLedger()
+	l.Add(EdgeHostNVMeWrite, FlowActivations, 4096)
+	l.Add(EdgeHostNVMeWrite, FlowActivations, 4096)
+	l.Add(EdgeHostNVMeRead, FlowOptState, 1024)
+	l.Add(EdgeCodecEncode, FlowActivations, 8192)
+	l.Add(EdgeHostNVMeWrite, FlowActivations, -10) // ignored
+	s := l.Snapshot()
+	if got := s.Get(EdgeHostNVMeWrite, FlowActivations); got != 8192 {
+		t.Fatalf("write/activations = %d, want 8192", got)
+	}
+	if got := s.Edge(EdgeHostNVMeWrite); got != 8192 {
+		t.Fatalf("Edge(write) = %d, want 8192", got)
+	}
+	if got := s.Purpose(FlowActivations); got != 8192+8192 {
+		t.Fatalf("Purpose(activations) = %d, want 16384", got)
+	}
+	if got := s.Total(); got != 8192+1024+8192 {
+		t.Fatalf("Total = %d, want 17408", got)
+	}
+}
+
+func TestFlowSnapshotSub(t *testing.T) {
+	l := NewFlowLedger()
+	l.Add(EdgeHostNVMeRead, FlowParams, 100)
+	a := l.Snapshot()
+	l.Add(EdgeHostNVMeRead, FlowParams, 50)
+	l.Add(EdgeComputeHost, FlowGrads, 7)
+	b := l.Snapshot()
+	d := b.Sub(a)
+	if got := d.Get(EdgeHostNVMeRead, FlowParams); got != 50 {
+		t.Fatalf("delta read/params = %d, want 50", got)
+	}
+	if got := d.Get(EdgeComputeHost, FlowGrads); got != 7 {
+		t.Fatalf("delta compute_host/grads = %d, want 7", got)
+	}
+	if got := d.Total(); got != 57 {
+		t.Fatalf("delta total = %d, want 57", got)
+	}
+}
+
+func TestFlowLedgerNilSafe(t *testing.T) {
+	var l *FlowLedger
+	l.Add(EdgeComputeHost, FlowParams, 100)
+	if s := l.Snapshot(); s.Total() != 0 {
+		t.Fatal("nil ledger snapshot should be zero")
+	}
+}
+
+func TestFlowLedgerConcurrent(t *testing.T) {
+	l := NewFlowLedger()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Add(EdgeHostNVMeWrite, FlowActivations, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Snapshot().Get(EdgeHostNVMeWrite, FlowActivations); got != 8*1000*3 {
+		t.Fatalf("concurrent adds = %d, want %d", got, 8*1000*3)
+	}
+}
+
+// The ledger update path shares the steady-state alloc pin with the
+// engine's step loop.
+func TestFlowLedgerAddAllocationFree(t *testing.T) {
+	l := NewFlowLedger()
+	if n := testing.AllocsPerRun(1000, func() { l.Add(EdgeHostNVMeWrite, FlowActivations, 4096) }); n != 0 {
+		t.Fatalf("Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { _ = l.Snapshot() }); n != 0 {
+		t.Fatalf("Snapshot allocates %v per op, want 0", n)
+	}
+}
+
+func TestFlowEnumStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range FlowEdges() {
+		s := e.String()
+		if s == "edge_unknown" || seen[s] {
+			t.Fatalf("edge %d has bad/duplicate name %q", e, s)
+		}
+		seen[s] = true
+	}
+	for _, p := range FlowPurposes() {
+		s := p.String()
+		if s == "purpose_unknown" || seen[s] {
+			t.Fatalf("purpose %d has bad/duplicate name %q", p, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAttributeVerdicts(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name  string
+		spans []Span
+		want  Verdict
+	}{
+		{
+			name: "compute bound",
+			spans: []Span{
+				{Lane: LaneCompute, Name: "block0/fwd", Start: 0, End: ms(90)},
+				{Lane: LaneNVMeWrite, Name: "act/block0", Start: ms(10), End: ms(30)},
+			},
+			want: VerdictComputeBound,
+		},
+		{
+			name: "nvme write bound",
+			spans: []Span{
+				{Lane: LaneCompute, Name: "block0/fwd", Start: 0, End: ms(20)},
+				{Lane: LaneNVMeWrite, Name: "act/block0", Start: 0, End: ms(95)},
+			},
+			want: VerdictNVMeWriteBound,
+		},
+		{
+			name: "nvme read bound",
+			spans: []Span{
+				{Lane: LaneNVMeRead, Name: "act/block0", Start: 0, End: ms(80)},
+				{Lane: LaneCompute, Name: "block0/bwd", Start: ms(10), End: ms(40)},
+			},
+			want: VerdictNVMeReadBound,
+		},
+		{
+			name: "adam bound",
+			spans: []Span{
+				{Lane: LaneAdam, Name: "group0", Start: 0, End: ms(70)},
+				{Lane: LaneCompute, Name: "block0/bwd", Start: 0, End: ms(30)},
+			},
+			want: VerdictAdamBound,
+		},
+		{
+			name: "stalled on readahead",
+			spans: []Span{
+				{Lane: LaneCompute, Name: "block0/bwd", Start: 0, End: ms(50)},
+				{Lane: LaneStall, Name: "block1/fetch-stall", Start: ms(50), End: ms(90)},
+			},
+			want: VerdictStalledReadhead,
+		},
+		{
+			name: "stalled on offload",
+			spans: []Span{
+				{Lane: LaneCompute, Name: "block0/fwd", Start: 0, End: ms(40)},
+				{Lane: LaneStall, Name: "block1/offload-stall", Start: ms(40), End: ms(80)},
+			},
+			want: VerdictStalledOffload,
+		},
+		{
+			name:  "idle window",
+			spans: nil,
+			want:  VerdictIdle,
+		},
+	}
+	for _, tc := range cases {
+		a := Attribute(tc.spans, 0, ms(100))
+		if a.Bound != tc.want {
+			t.Errorf("%s: verdict = %s, want %s (attribution %+v)", tc.name, a.Bound, tc.want, a)
+		}
+		if tc.want != VerdictIdle && a.BoundFraction <= 0 {
+			t.Errorf("%s: BoundFraction = %g, want > 0", tc.name, a.BoundFraction)
+		}
+	}
+}
+
+func TestAttributeStallSplit(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	spans := []Span{
+		{Lane: LaneStall, Name: "block2/fetch-stall", Start: 0, End: ms(30)},
+		{Lane: LaneStall, Name: "block5/offload-stall", Start: ms(40), End: ms(50)},
+	}
+	a := Attribute(spans, 0, ms(100))
+	if a.FetchStall != ms(30) {
+		t.Fatalf("FetchStall = %v, want 30ms", a.FetchStall)
+	}
+	if a.OffloadStall != ms(10) {
+		t.Fatalf("OffloadStall = %v, want 10ms", a.OffloadStall)
+	}
+	if got := a.StallFraction(); got < 0.39 || got > 0.41 {
+		t.Fatalf("StallFraction = %g, want 0.4", got)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(StepRecord{Step: i, Wall: time.Duration(i) * time.Millisecond})
+	}
+	recs := f.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if want := 6 + i; r.Step != want {
+			t.Fatalf("Records[%d].Step = %d, want %d (oldest-first)", i, r.Step, want)
+		}
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+}
+
+func TestFlightRecorderNilSafeAndAllocationFree(t *testing.T) {
+	var nilF *FlightRecorder
+	nilF.Record(StepRecord{Step: 1})
+	if nilF.Records() != nil || nilF.Len() != 0 {
+		t.Fatal("nil recorder should read empty")
+	}
+	f := NewFlightRecorder(8)
+	rec := StepRecord{Step: 3, Wall: time.Millisecond}
+	if n := testing.AllocsPerRun(1000, func() { f.Record(rec) }); n != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", n)
+	}
+}

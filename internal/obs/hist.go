@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed log2-bucketed streaming histogram for non-negative
+// int64 samples (the engine records latencies in nanoseconds). Bucket i
+// counts samples v with bits.Len64(v) == i, i.e. bucket 0 holds v == 0 and
+// bucket i>0 holds [2^(i-1), 2^i). Sixty-five buckets cover the whole
+// int64 range, so the record path is a handful of atomic adds: no locks,
+// no allocation, no resizing — safe on the step hot path under the
+// steady-state alloc pin.
+//
+// A nil *Histogram is a valid disabled histogram, matching the Counter /
+// Gauge / Tracer convention: Record costs one branch and all reads return
+// zeros, so instruments stay unconditionally wired.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histBuckets is bits.Len64(maxInt64)+1: one bucket per possible bit
+// length of a non-negative sample, plus bucket 0 for zero samples.
+const histBuckets = 64
+
+// NewHistogram creates an enabled, empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one sample. Negative samples are clamped to zero (a clock
+// step backwards should not poison the max or underflow a bucket index).
+// The path is allocation-free and lock-free.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// RecordDuration records a duration as nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count is the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum is the total of all recorded samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max is the largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by walking the
+// cumulative bucket counts and interpolating linearly inside the landing
+// bucket. Log bucketing bounds the relative error at 2x worst case —
+// ample for "is P99 a millisecond or a second" attribution. Returns 0 on
+// an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the sample we want, 1-based; q=1 lands on the last sample.
+	rank := int64(q*float64(total-1)) + 1
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := int64(1) << (i - 1) // bucket covers [lo, 2*lo)
+		// Position of the wanted rank inside this bucket, interpolated.
+		within := float64(rank-(cum-c)) / float64(c)
+		v := lo + int64(within*float64(lo))
+		if m := h.max.Load(); v > m {
+			v = m
+		}
+		return v
+	}
+	return h.max.Load()
+}
+
+// HistSnapshot is a point-in-time read of a histogram: counts plus the
+// three quantiles the per-step telemetry reports. It is a value type so
+// snapshotting allocates nothing beyond the caller's storage.
+type HistSnapshot struct {
+	Count int64
+	Sum   int64
+	Max   int64
+	P50   int64
+	P90   int64
+	P99   int64
+}
+
+// Mean is Sum/Count (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot reads the histogram at one moment. Buckets may shift under a
+// concurrent writer; the snapshot is a consistent-enough view for
+// reporting, not a linearizable cut.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	return HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// HistBucket is one non-empty bucket for exposition: Count samples were
+// recorded with value <= Upper (the bucket's inclusive upper bound), in
+// OpenMetrics cumulative-le convention the caller accumulates.
+type HistBucket struct {
+	Upper int64 // inclusive upper bound of the bucket's value range
+	Count int64 // samples in this bucket (not cumulative)
+}
+
+// Buckets returns the non-empty buckets in ascending value order. The
+// OpenMetrics exporter turns these into cumulative `le` series.
+func (h *Histogram) Buckets() []HistBucket {
+	if h == nil {
+		return nil
+	}
+	var out []HistBucket
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		upper := int64(0)
+		if i > 0 {
+			upper = int64(1)<<i - 1
+		}
+		out = append(out, HistBucket{Upper: upper, Count: c})
+	}
+	return out
+}

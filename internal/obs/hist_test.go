@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	h.Record(0)
+	h.Record(1)
+	h.Record(100)
+	h.Record(1000)
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 1101 {
+		t.Fatalf("Sum = %d, want 1101", got)
+	}
+	if got := h.Max(); got != 1000 {
+		t.Fatalf("Max = %d, want 1000", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) = %d, want max 1000", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %d, want 0", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample should clamp to 0: count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+}
+
+// Quantile estimates from log buckets are bounded by the bucket geometry:
+// the estimate lands in the same power-of-two bucket as the true value, so
+// it is within a factor of 2.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	samples := make([]int64, 10000)
+	for i := range samples {
+		// Latency-ish spread across several orders of magnitude.
+		v := int64(1) << uint(rng.Intn(24))
+		v += rng.Int63n(v)
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		truth := samples[int(q*float64(len(samples)-1))]
+		got := h.Quantile(q)
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("Quantile(%g) = %d, true value %d: outside 2x bound", q, got, truth)
+		}
+	}
+}
+
+func TestHistogramRecordDuration(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(3 * time.Millisecond)
+	if got := h.Sum(); got != int64(3*time.Millisecond) {
+		t.Fatalf("Sum = %d, want %d", got, int64(3*time.Millisecond))
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(5)
+	h.RecordDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.9) != 0 {
+		t.Fatal("nil histogram reads should be zero")
+	}
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("nil Snapshot = %+v, want zero", s)
+	}
+	if b := h.Buckets(); b != nil {
+		t.Fatalf("nil Buckets = %v, want nil", b)
+	}
+}
+
+// The record path must be allocation-free: it runs on the engine step hot
+// path under the steady-state alloc pin.
+func TestHistogramRecordAllocationFree(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Record(12345) }); n != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", n)
+	}
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nilH.Record(12345) }); n != 0 {
+		t.Fatalf("disabled Record allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { _ = h.Snapshot() }); n != 0 {
+		t.Fatalf("Snapshot allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0) // bucket 0, upper 0
+	h.Record(1) // bucket 1, upper 1
+	h.Record(2) // bucket 2, upper 3
+	h.Record(3) // bucket 2, upper 3
+	h.Record(9) // bucket 4, upper 15
+	want := []HistBucket{{0, 1}, {1, 1}, {3, 2}, {15, 1}}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("Buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Buckets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	var total int64
+	for _, b := range got {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, Count() = %d", total, h.Count())
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("engine.step_wall_ns")
+	if h2 := r.Histogram("engine.step_wall_ns"); h2 != h {
+		t.Fatal("Histogram should return the same instrument per name")
+	}
+	h.Record(100)
+	h.Record(300)
+	snap := r.Snapshot()
+	if snap["engine.step_wall_ns.count"] != 2 {
+		t.Fatalf("snapshot count = %v, want 2", snap["engine.step_wall_ns.count"])
+	}
+	if snap["engine.step_wall_ns.max"] != 300 {
+		t.Fatalf("snapshot max = %v, want 300", snap["engine.step_wall_ns.max"])
+	}
+	found := false
+	for _, n := range r.Names() {
+		if n == "engine.step_wall_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() should list the histogram")
+	}
+
+	var nilReg *Registry
+	if h := nilReg.Histogram("x"); h != nil {
+		t.Fatal("nil registry should hand out the nil disabled histogram")
+	}
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nvme.bytes_read").Add(4096)
+	r.Gauge("engine.tokens_per_s").Set(123.5)
+	h := r.Histogram("engine.step_wall_ns")
+	h.Record(10)
+	h.Record(100)
+	h.Record(1000)
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE nvme_bytes_read_total counter",
+		"nvme_bytes_read_total 4096",
+		"# TYPE engine_tokens_per_s gauge",
+		"engine_tokens_per_s 123.5",
+		"# TYPE engine_step_wall_ns histogram",
+		`engine_step_wall_ns_bucket{le="+Inf"} 3`,
+		"engine_step_wall_ns_sum 1110",
+		"engine_step_wall_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and non-decreasing.
+	lines := strings.Split(out, "\n")
+	var last int64 = -1
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "engine_step_wall_ns_bucket") {
+			continue
+		}
+		fields := strings.Fields(ln)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", ln, err)
+		}
+		if v < last {
+			t.Fatalf("bucket series not cumulative at %q", ln)
+		}
+		last = v
+	}
+
+	var nilReg *Registry
+	if err := nilReg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal("nil registry WriteOpenMetrics should be a no-op")
+	}
+}

@@ -55,11 +55,16 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter), gauges: make(map[string]*Gauge)}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -92,20 +97,45 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil // nil *Histogram is the valid disabled instrument
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Snapshot reads every instrument at one moment into a flat map (counters
-// as exact integers widened to float64).
+// as exact integers widened to float64). Histograms flatten to
+// name.count/.mean/.p50/.p90/.p99/.max entries.
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+6*len(r.hists))
 	for name, c := range r.counters {
 		out[name] = float64(c.Value())
 	}
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		out[name+".count"] = float64(s.Count)
+		out[name+".mean"] = s.Mean()
+		out[name+".p50"] = float64(s.P50)
+		out[name+".p90"] = float64(s.P90)
+		out[name+".p99"] = float64(s.P99)
+		out[name+".max"] = float64(s.Max)
 	}
 	return out
 }
@@ -117,11 +147,14 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name := range r.counters {
 		names = append(names, name)
 	}
 	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.hists {
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// This file renders the registry in the OpenMetrics / Prometheus text
+// exposition format, alongside the expvar JSON publishing: counters as
+// `<name>_total`, gauges as plain samples, histograms as cumulative
+// `<name>_bucket{le="..."}` series plus `_sum` and `_count`. Metric names
+// are sanitized (dots and dashes become underscores) because the registry
+// uses dotted names internally. Output is sorted, so two renders of the
+// same registry state are byte-identical — scrape-diffable in tests.
+
+// WriteOpenMetrics renders every instrument to w in the Prometheus text
+// format. Histogram samples carry the unit the recorder used (the engine
+// records latencies in nanoseconds).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeysCounter(counters) {
+		m := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", m, m, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeysGauge(gauges) {
+		m := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m, m, gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeysHist(hists) {
+		if err := writeHist(w, promName(name), hists[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, m string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m); err != nil {
+		return err
+	}
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m, b.Upper, cum); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if cum < count {
+		// Samples recorded between the bucket walk and the count read.
+		cum = count
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m, h.Sum(), m, count)
+	return err
+}
+
+// promName maps a registry name to a legal Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeysCounter(m map[string]*Counter) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysGauge(m map[string]*Gauge) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysHist(m map[string]*Histogram) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetricsHandler serves the registry at an HTTP endpoint in the
+// Prometheus text format (rateltrain mounts it at /metrics on the
+// -debug-addr mux, next to expvar's /debug/vars).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteOpenMetrics(w)
+	})
+}

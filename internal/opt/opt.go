@@ -153,6 +153,7 @@ type OutOfCoreAdam struct {
 	clipNorm  float64 // per-group L2 clip; 0 disables
 
 	tracer     *obs.Tracer       // optional: records per-chunk Adam spans
+	flows      *obs.FlowLedger   // optional: per-edge/purpose byte accounting
 	adamLabels map[string]string // group -> "group/opt-adam", precomputed
 	keys       map[string]groupKeys
 
@@ -192,6 +193,15 @@ func (o *OutOfCoreAdam) KernelStats() (params int64, busy time.Duration) {
 // "<group>/opt-adam" task labels so measured and simulated timelines join
 // by name. Call before training starts.
 func (o *OutOfCoreAdam) SetTracer(tr *obs.Tracer) { o.tracer = tr }
+
+// SetFlowLedger installs a byte-flow ledger: every UpdateGroup credits
+// its gradient staging (fp16 wire bytes, compute→host), its fp16
+// parameter install (host→compute), and the fp32 codec traffic of the
+// state stream (3 tensors each way). The host↔NVMe bytes themselves are
+// accounted by the store (nvme.Array.SetObservers), not here — the two
+// views reconcile because the optimizer streams state through the store
+// uncompressed. Call before training starts; updates are allocation-free.
+func (o *OutOfCoreAdam) SetFlowLedger(l *obs.FlowLedger) { o.flows = l }
 
 // adamLabel returns the group's precomputed span label (built at InitGroup
 // so the UpdateGroup hot path never concatenates).
@@ -323,6 +333,8 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	if err := o.loadFP32Into(v, buf, ks.v, g.Name, "v"); err != nil {
 		return err
 	}
+	// Three fp32 state tensors decoded from their wire form (P32, M, V).
+	o.flows.Add(obs.EdgeCodecDecode, obs.FlowOptState, int64(3*4*n))
 
 	inv := 1.0
 	if o.gradScale > 0 {
@@ -350,6 +362,8 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 			idx++
 		}
 	}
+	// Gradients crossed the compute→host boundary in fp16 (G16).
+	o.flows.Add(obs.EdgeComputeHost, obs.FlowGrads, int64(2*n))
 	if o.clipNorm > 0 {
 		var sq float64
 		for _, gv := range grad {
@@ -380,6 +394,8 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 	if err := o.saveFP32(buf, ks.v, v); err != nil {
 		return err
 	}
+	// Three fp32 state tensors re-encoded to their wire form.
+	o.flows.Add(obs.EdgeCodecEncode, obs.FlowOptState, int64(3*4*n))
 	// Install P16 = fp16(P32) working copies through the chunked round
 	// kernel (bit-identical to the scalar loop per element).
 	off := 0
@@ -389,6 +405,8 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 		}
 		off += len(p.W.Data)
 	}
+	// Fresh fp16 working weights cross back to the compute tier.
+	o.flows.Add(obs.EdgeComputeHost, obs.FlowParams, int64(2*n))
 	return nil
 }
 

@@ -28,6 +28,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ratel/internal/obs"
 )
 
 // maxSegs caps the number of per-job segments. Segment cursors live in a
@@ -116,6 +119,12 @@ func (j *job) work(worker bool, id int) {
 type Pool struct {
 	jobs  chan *job
 	limit atomic.Int32 // participants per job (workers + caller)
+
+	// jobLat, when set, receives each parallel job's wall time (dispatch
+	// to completion) — the pool-latency histogram the engine's telemetry
+	// exports. Inline runs are not recorded: they have no dispatch cost,
+	// and timing them would put two clock reads on the serial fast path.
+	jobLat atomic.Pointer[obs.Histogram]
 
 	mu      sync.Mutex
 	spawned int // worker goroutines started so far
@@ -230,6 +239,11 @@ func (p *Pool) SetLimit(n int) {
 // Limit reports the current participants-per-job limit.
 func (p *Pool) Limit() int { return int(p.limit.Load()) }
 
+// SetJobHistogram installs (or, with nil, removes) the histogram that
+// receives each parallel job's wall time. Safe to call concurrently with
+// Run; the record path is allocation-free.
+func (p *Pool) SetJobHistogram(h *obs.Histogram) { p.jobLat.Store(h) }
+
 // Run executes run(0..chunks-1), each chunk exactly once, sharding chunks
 // across up to Limit() participants. It returns when every chunk has
 // finished. Chunks must be independent: they may run concurrently and in
@@ -248,6 +262,11 @@ func (p *Pool) Run(chunks int, run func(chunk int)) {
 		return
 	}
 	p.stats.jobs.Add(1)
+	lat := p.jobLat.Load()
+	var latStart time.Time
+	if lat != nil {
+		latStart = time.Now()
+	}
 	segs := lim
 	if segs > chunks {
 		segs = chunks
@@ -278,6 +297,9 @@ func (p *Pool) Run(chunks int, run func(chunk int)) {
 	}
 	j.work(false, 0)
 	<-j.fin
+	if lat != nil {
+		lat.RecordDuration(time.Since(latStart))
+	}
 }
 
 // For splits [0,n) into contiguous chunks of at least grain elements and
