@@ -20,19 +20,35 @@ test-nosimd:
 vet:
 	go vet ./...
 
-# Repo-specific analyzers (simdet, unitsafe, spanpair, poolcapture,
-# errdrop, bufreuse, simddispatch — see DESIGN.md §8). Also runs as a vet
-# tool:
+# Repo-specific analyzers (slotlife, xferown, atomicmix, gojoin, simdet,
+# unitsafe, spanpair, poolcapture, errdrop, simddispatch, metrichygiene —
+# see DESIGN.md §8 and §13), followed by the suppression audit so every
+# //ratelvet:ignore and its reason is visible in the lint output. Also
+# runs as a vet tool:
 #   go build -o bin/ratelvet ./cmd/ratelvet && go vet -vettool=bin/ratelvet ./...
 .PHONY: lint
 lint:
 	go run ./cmd/ratelvet ./...
+	go run ./cmd/ratelvet audit
+
+# Suppression budget: the //ratelvet:ignore count may not grow past the
+# committed baseline (lint-baseline.txt). Remove suppressions freely and
+# lower the baseline; raising it requires the justification in review.
+.PHONY: suppress-gate
+suppress-gate:
+	@count=$$(go run ./cmd/ratelvet audit | tail -1 | sed 's/[^0-9]*//g'); \
+	base=$$(cat lint-baseline.txt); \
+	echo "suppress-gate: $$count suppression(s), baseline $$base"; \
+	if [ "$$count" -gt "$$base" ]; then \
+		echo "suppress-gate: count $$count exceeds the committed baseline $$base — remove the suppression or justify raising lint-baseline.txt" >&2; \
+		exit 1; \
+	fi
 
 # Tier-2 umbrella: static analysis + repo analyzers + race detector +
 # portable-fallback pass + one-iteration benchmark smoke (benchmarks must
 # at least run) + snapshot-integrity gate.
 .PHONY: check
-check: vet lint race test-nosimd bench-smoke bench-gate
+check: vet lint suppress-gate race test-nosimd bench-smoke bench-gate
 
 # Snapshot-integrity gate: every committed BENCH_*.json must parse and
 # self-diff clean at zero tolerance, so the diff tool and the snapshot

@@ -1,26 +1,38 @@
 // Command ratelvet runs the repo's domain-specific static analyzers
-// (simdet, unitsafe, spanpair, poolcapture, errdrop — see DESIGN.md §8).
+// (slotlife, xferown, atomicmix, gojoin, simdet, unitsafe, spanpair,
+// poolcapture, errdrop, ... — see DESIGN.md §8 and §13).
 //
-// Standalone:
+// Standalone (loads test variants too, so analyzers with IncludeTests see
+// _test.go files):
 //
 //	go run ./cmd/ratelvet ./...
+//	go run ./cmd/ratelvet -json ./...
+//
+// Suppression audit (lists every //ratelvet:ignore with its reason):
+//
+//	go run ./cmd/ratelvet audit
 //
 // As a vet tool, speaking the cmd/go unitchecker protocol so findings join
 // the normal vet cache and diagnostics pipeline:
 //
 //	go vet -vettool=$(go env GOPATH)/bin/ratelvet ./...
 //
-// Findings print as file:line:col: [analyzer] message. Exit status is 0
-// when clean, 1 on usage or load errors, and 2 when findings exist (the
-// same convention go vet's unitchecker uses).
+// Findings print as file:line:col: [analyzer] message; suppressed findings
+// are omitted from text output but carried (flagged) in -json. Exit status
+// is 0 when clean, 1 on usage or load errors, and 2 when unsuppressed
+// findings exist (the same convention go vet's unitchecker uses).
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"ratel/internal/analysis"
@@ -45,7 +57,23 @@ func run(args []string) int {
 			return runVetUnit(args[0])
 		}
 	}
-	return runStandalone(args)
+	if len(args) > 0 && args[0] == "audit" {
+		return runAudit(args[1:])
+	}
+	jsonOut := false
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "ratelvet: unknown flag %q (flags: -json; subcommands: audit; plus the vet protocol's -V=full and -flags)\n", a)
+			return 1
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	return runStandalone(patterns, jsonOut)
 }
 
 // printVersion answers go vet's -V=full buildid probe. The executable's
@@ -62,40 +90,160 @@ func printVersion() {
 	fmt.Printf("%s version devel buildID=%02x\n", name, sum)
 }
 
-// runStandalone loads the given patterns (default ./...) from the current
-// directory and reports findings from every registered analyzer.
-func runStandalone(patterns []string) int {
-	for _, p := range patterns {
-		if strings.HasPrefix(p, "-") {
-			fmt.Fprintf(os.Stderr, "ratelvet: unknown flag %q (the only flags are the vet protocol's -V=full and -flags)\n", p)
-			return 1
+// analyzersFor selects the analyzer subset for one loaded package. Test
+// variants run only IncludeTests analyzers (the others already covered the
+// plain build); plain packages skip IncludeTests analyzers when a test
+// variant exists (it re-checks the same sources plus the _test.go files),
+// and run everything when none does.
+func analyzersFor(pkg *analysis.Package, hasVariant map[string]bool) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range registry.All() {
+		switch {
+		case pkg.ForTest && !a.IncludeTests:
+			continue
+		case !pkg.ForTest && a.IncludeTests && hasVariant[pkg.PkgPath]:
+			continue
 		}
+		out = append(out, a)
 	}
-	pkgs, err := analysis.Load(".", patterns...)
+	return out
+}
+
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// runStandalone loads the given patterns (default ./...) from the current
+// directory, test variants included, and reports findings from every
+// registered analyzer.
+func runStandalone(patterns []string, jsonOut bool) int {
+	pkgs, err := analysis.LoadWithTests(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	hasVariant := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if pkg.ForTest {
+			hasVariant[pkg.PkgPath] = true
+		}
+	}
 	exit := 0
+	var all []jsonFinding
 	for _, pkg := range pkgs {
 		if pkg.TypeError != nil {
 			fmt.Fprintf(os.Stderr, "ratelvet: %s: %v\n", pkg.PkgPath, pkg.TypeError)
 			exit = 1
 			continue
 		}
-		findings, err := analysis.Run(pkg, registry.All())
+		findings, err := analysis.Run(pkg, analyzersFor(pkg, hasVariant))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		for _, f := range findings {
-			fmt.Println(f)
-			if exit == 0 {
+			if jsonOut {
+				all = append(all, jsonFinding{
+					File:       f.Position.Filename,
+					Line:       f.Position.Line,
+					Col:        f.Position.Column,
+					Analyzer:   f.Analyzer,
+					Message:    f.Message,
+					Suppressed: f.Suppressed,
+				})
+			} else if !f.Suppressed {
+				fmt.Println(f)
+			}
+			if !f.Suppressed && exit == 0 {
 				exit = 2
 			}
 		}
 	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonFinding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "ratelvet: %v\n", err)
+			return 1
+		}
+	}
 	return exit
+}
+
+// runAudit walks the module's Go sources (testdata excluded — those files
+// exercise analyzers, they are not production suppressions) and lists
+// every //ratelvet:ignore comment with its analyzer and reason, sorted by
+// position. The count is the suppression budget `make check` gates against
+// lint-baseline.txt.
+func runAudit(args []string) int {
+	root := "."
+	if len(args) == 1 {
+		root = args[0]
+	} else if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "ratelvet: usage: ratelvet audit [dir]")
+		return 1
+	}
+	type entry struct {
+		path string
+		s    analysis.Suppression
+	}
+	var entries []entry
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || (name != "." && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		for _, s := range analysis.CollectSuppressions(fset, f) {
+			entries = append(entries, entry{path: path, s: s})
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ratelvet: audit: %v\n", err)
+		return 1
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].path != entries[j].path {
+			return entries[i].path < entries[j].path
+		}
+		return entries[i].s.Line < entries[j].s.Line
+	})
+	for _, e := range entries {
+		reason := e.s.Reason
+		if reason == "" {
+			reason = "(missing reason)"
+		}
+		analyzer := e.s.Analyzer
+		if analyzer == "" {
+			analyzer = "(missing analyzer)"
+		}
+		fmt.Printf("%s:%d: %s: %s\n", e.path, e.s.Line, analyzer, reason)
+	}
+	fmt.Printf("total: %d suppression(s)\n", len(entries))
+	return 0
 }
 
 // vetConfig is the subset of cmd/go's vet config file that ratelvet needs.
@@ -113,7 +261,11 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// runVetUnit analyzes one package as directed by a vet config file.
+// runVetUnit analyzes one package as directed by a vet config file. With
+// `go vet -vettool`, test variants arrive as their own units with import
+// paths like "ratel/internal/engine [ratel/internal/engine.test]"; those
+// run only IncludeTests analyzers (the plain unit covers the rest) under
+// the base path so analyzer scopes match.
 func runVetUnit(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -132,6 +284,23 @@ func runVetUnit(cfgPath string) int {
 		return writeVetx(cfg.VetxOutput)
 	}
 
+	importPath := cfg.ImportPath
+	isVariant := false
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+		isVariant = true
+	}
+	var active []*analysis.Analyzer
+	for _, a := range registry.All() {
+		if isVariant && !a.IncludeTests {
+			continue
+		}
+		active = append(active, a)
+	}
+	if len(active) == 0 {
+		return writeVetx(cfg.VetxOutput)
+	}
+
 	// Source files import by the paths on the left of ImportMap; export
 	// data is keyed by the canonical paths on the right. Flatten the two
 	// hops into the single map CheckPackage resolves through.
@@ -145,7 +314,7 @@ func runVetUnit(cfgPath string) int {
 		}
 	}
 
-	pkg, err := analysis.CheckPackage(cfg.ImportPath, cfg.Dir, cfg.GoFiles, exports)
+	pkg, err := analysis.CheckPackage(importPath, cfg.Dir, cfg.GoFiles, exports)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ratelvet: %v\n", err)
 		return 1
@@ -158,21 +327,23 @@ func runVetUnit(cfgPath string) int {
 		return 1
 	}
 
-	findings, err := analysis.Run(pkg, registry.All())
+	findings, err := analysis.Run(pkg, active)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ratelvet: %v\n", err)
 		return 1
 	}
+	exit := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, f)
+		exit = 2
+	}
 	if code := writeVetx(cfg.VetxOutput); code != 0 {
 		return code
 	}
-	if len(findings) == 0 {
-		return 0
-	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
-	}
-	return 2
+	return exit
 }
 
 // writeVetx records the (empty — ratelvet exports no facts) vetx output

@@ -42,8 +42,24 @@ type Analyzer struct {
 	// units package that defines the helpers it steers callers toward.
 	Exclude []string
 
+	// Aliases are retired analyzer names this analyzer answers for:
+	// existing //ratelvet:ignore comments naming an alias keep suppressing
+	// the successor's diagnostics (xferown aliases the retired bufreuse).
+	Aliases []string
+
+	// IncludeTests runs the analyzer on the test variant of each package
+	// (_test.go files compiled into the package), not just the plain build.
+	// atomicmix needs it: a plain write in a test races the same as one in
+	// production code.
+	IncludeTests bool
+
 	// Run executes the analyzer on one package.
 	Run func(*Pass) error
+}
+
+// Names returns the analyzer's name plus all aliases.
+func (a *Analyzer) Names() []string {
+	return append([]string{a.Name}, a.Aliases...)
 }
 
 // AppliesTo reports whether the analyzer's scope covers a package path.
@@ -78,6 +94,23 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver installs it.
 	Report func(Diagnostic)
+
+	cfgs map[*ast.BlockStmt]*CFG
+}
+
+// FuncCFG returns the control-flow graph for a function body, building it
+// on first request and memoizing per pass (several analyzers walk the same
+// functions). body may be nil.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG {
+	if c, ok := p.cfgs[body]; ok {
+		return c
+	}
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	c := BuildCFG(body)
+	p.cfgs[body] = c
+	return c
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -158,6 +158,9 @@ func Run(t *testing.T, a *analysis.Analyzer, name string) {
 		matched[k] = make([]bool, len(res))
 	}
 	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
 		k := key{file: f.Position.Filename, line: f.Position.Line}
 		ok := false
 		for i, re := range wants[k] {

@@ -1,0 +1,416 @@
+// Package atomicmix guards the module's atomics discipline: a location
+// accessed through sync/atomic anywhere must be accessed atomically
+// everywhere — one plain load or store next to atomic ones is a data race
+// the race detector only catches when the interleaving cooperates. The
+// check is module-wide and includes test files (IncludeTests): a plain
+// read in a test assertion races exactly like one in production. It also
+// flags hot plain fields laid out immediately adjacent to atomic fields,
+// where false sharing bounces the cache line between cores (the same
+// layout hygiene the pool's padded cursors exist for).
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ratel/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: `locations accessed with sync/atomic must be atomic everywhere
+
+Collects every variable or struct field whose address is passed to a
+sync/atomic free function, then flags plain reads, writes, and address
+captures of the same location anywhere in the package — test files
+included. Array/slice locations are tracked per base variable and flagged
+on element accesses. Separately, a plain scalar field written inside a
+loop and laid out immediately adjacent to an atomic field (sync/atomic
+typed or atomically accessed) is flagged for false sharing; pad with
+_ [N]byte or regroup the fields. Exactness: typed atomics (atomic.Int64
+and friends) are safe by construction and only participate via the
+adjacency check; locations reached through interface values or aliased
+pointers are out of scope.`,
+	IncludeTests: true,
+	Run:          run,
+}
+
+// key identifies one atomically-accessed location.
+type key struct {
+	v *types.Var
+	// indexed marks array/slice bases (atomic.AddInt32(&counts[i], 1)):
+	// only element accesses are flagged, not len/range/slice-header uses.
+	indexed bool
+}
+
+func run(pass *analysis.Pass) error {
+	keys := collectAtomicKeys(pass)
+	if len(keys) > 0 {
+		flagPlainAccesses(pass, keys)
+	}
+	flagAdjacency(pass, keys)
+	return nil
+}
+
+// atomicArg returns the &-operand of a sync/atomic free-function call's
+// first argument, nil otherwise.
+func atomicArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || analysis.FuncPkgPath(fn) != "sync/atomic" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	return ast.Unparen(un.X)
+}
+
+// resolveTarget maps an atomic call's &-operand to a tracked location.
+func resolveTarget(info *types.Info, e ast.Expr) (key, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return key{v: v}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return key{v: v}, true
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return key{v: v}, true
+		}
+	case *ast.IndexExpr:
+		switch base := ast.Unparen(e.X).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[base].(*types.Var); ok {
+				return key{v: v, indexed: true}, true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[base]; ok {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					return key{v: v, indexed: true}, true
+				}
+			}
+		}
+	}
+	return key{}, false
+}
+
+func collectAtomicKeys(pass *analysis.Pass) map[*types.Var]key {
+	keys := make(map[*types.Var]key)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if e := atomicArg(pass.TypesInfo, call); e != nil {
+				if k, ok := resolveTarget(pass.TypesInfo, e); ok {
+					keys[k.v] = k
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// span is a half-open source range sanctioned for plain syntax (the inside
+// of an atomic call's &-argument).
+type span struct{ lo, hi token.Pos }
+
+func flagPlainAccesses(pass *analysis.Pass, keys map[*types.Var]key) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		var sanctioned []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if e := atomicArg(info, call); e != nil {
+					sanctioned = append(sanctioned, span{e.Pos(), e.End()})
+				}
+			}
+			return true
+		})
+		inSanctioned := func(p token.Pos) bool {
+			for _, s := range sanctioned {
+				if p >= s.lo && p < s.hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Parent stack so an access can be classified read vs write.
+		// ast.Inspect signals the pop with a nil node.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			access, k, ok := accessOf(info, n, keys)
+			if ok && !inSanctioned(access.Pos()) {
+				reportAccess(pass, access, k, stack)
+			}
+			return true
+		})
+	}
+}
+
+// accessOf reports whether node n is a flaggable access of a tracked
+// location: the selector/ident naming a scalar key, or an index expression
+// over an indexed key's base.
+func accessOf(info *types.Info, n ast.Node, keys map[*types.Var]key) (ast.Expr, key, bool) {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[n]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				if k, tracked := keys[v]; tracked && !k.indexed {
+					return n, k, true
+				}
+			}
+		}
+	case *ast.Ident:
+		v, ok := info.Uses[n].(*types.Var)
+		if !ok || v.IsField() {
+			// Field uses surface as the Sel of a SelectorExpr (handled
+			// above) or as composite-literal keys (pre-publication writes,
+			// plain by design) — only bare variable idents belong here.
+			return nil, key{}, false
+		}
+		k, tracked := keys[v]
+		if !tracked || k.indexed {
+			return nil, key{}, false
+		}
+		return n, k, true
+	case *ast.IndexExpr:
+		if v := indexBase(info, n.X); v != nil {
+			if k, tracked := keys[v]; tracked && k.indexed {
+				return n, k, true
+			}
+		}
+	case *ast.RangeStmt:
+		// A value-carrying range reads every element plainly; a key-only
+		// range walks indices without touching the data.
+		if n.Value == nil {
+			return nil, key{}, false
+		}
+		if v := indexBase(info, n.X); v != nil {
+			if k, tracked := keys[v]; tracked && k.indexed {
+				return n.X, k, true
+			}
+		}
+	}
+	return nil, key{}, false
+}
+
+// indexBase resolves the base variable of an indexable expression.
+func indexBase(info *types.Info, e ast.Expr) *types.Var {
+	switch b := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[b].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[b]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+	}
+	return nil
+}
+
+// reportAccess classifies the access via the parent stack and reports it.
+// The stack's last element is the access expression itself.
+func reportAccess(pass *analysis.Pass, access ast.Expr, k key, stack []ast.Node) {
+	// Walk outward past parens/selector wrappers to the governing node.
+	self := ast.Node(access)
+	for i := len(stack) - 2; i >= 0; i-- {
+		parent := stack[i]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			self = p
+			continue
+		case *ast.SelectorExpr:
+			// access is the X of a deeper selector (s.counts[i].field) —
+			// treat the outer selector as the access context.
+			if p.X == self {
+				self = p
+				continue
+			}
+		case *ast.KeyValueExpr:
+			if p.Key == self {
+				// Composite-literal field initialization: pre-publication,
+				// plain by design.
+				return
+			}
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == self {
+					pass.Reportf(access.Pos(), "%s is written plainly but accessed with sync/atomic elsewhere: use atomic.Store*/Add* (plain write races the atomic readers)", describe(k))
+					return
+				}
+			}
+		case *ast.IncDecStmt:
+			if p.X == self {
+				pass.Reportf(access.Pos(), "%s is mutated plainly (%s) but accessed with sync/atomic elsewhere: use atomic.Add*", describe(k), p.Tok)
+				return
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND && p.X == self {
+				pass.Reportf(access.Pos(), "address of atomically-accessed %s escapes outside sync/atomic: the alias permits unchecked plain access", describe(k))
+				return
+			}
+		}
+		break
+	}
+	pass.Reportf(access.Pos(), "%s is read plainly but accessed with sync/atomic elsewhere: use atomic.Load* (plain read races the atomic writers)", describe(k))
+}
+
+func describe(k key) string {
+	kind := "variable"
+	if k.v.IsField() {
+		kind = "field"
+	} else if k.indexed {
+		kind = "array"
+	}
+	return kind + " \"" + k.v.Name() + "\""
+}
+
+// flagAdjacency reports hot plain scalar fields laid out immediately next
+// to an atomic field: false sharing bounces the shared cache line.
+func flagAdjacency(pass *analysis.Pass, keys map[*types.Var]key) {
+	info := pass.TypesInfo
+	hot := hotWrittenFields(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			// Flatten the field list (one entry per name) preserving order.
+			type fieldInfo struct {
+				id *ast.Ident
+				v  *types.Var
+			}
+			var flat []fieldInfo
+			for _, fl := range st.Fields.List {
+				if len(fl.Names) == 0 {
+					flat = append(flat, fieldInfo{})
+					continue
+				}
+				for _, name := range fl.Names {
+					v, _ := info.Defs[name].(*types.Var)
+					flat = append(flat, fieldInfo{id: name, v: v})
+				}
+			}
+			isAtomic := func(fi fieldInfo) bool {
+				if fi.v == nil {
+					return false
+				}
+				if isAtomicType(fi.v.Type()) {
+					return true
+				}
+				_, tracked := keys[fi.v]
+				return tracked
+			}
+			for i, fi := range flat {
+				if fi.v == nil || fi.id.Name == "_" || isAtomic(fi) {
+					continue
+				}
+				if !isPlainScalar(fi.v.Type()) || !hot[fi.v] {
+					continue
+				}
+				var neighbor *types.Var
+				if i > 0 && isAtomic(flat[i-1]) {
+					neighbor = flat[i-1].v
+				} else if i+1 < len(flat) && isAtomic(flat[i+1]) {
+					neighbor = flat[i+1].v
+				}
+				if neighbor != nil {
+					pass.Reportf(fi.id.Pos(), "hot field %q shares a cache line with atomic field %q: pad with _ [N]byte or regroup to stop false sharing", fi.id.Name, neighbor.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hotWrittenFields finds struct fields written inside a loop somewhere in
+// the package — the "hot" half of the false-sharing pair.
+func hotWrittenFields(pass *analysis.Pass) map[*types.Var]bool {
+	info := pass.TypesInfo
+	hot := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		depth := 0
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				depth++
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				depth--
+				return false
+			case *ast.RangeStmt:
+				depth++
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				depth--
+				return false
+			case *ast.AssignStmt:
+				if depth > 0 {
+					for _, l := range n.Lhs {
+						markFieldWrite(info, l, hot)
+					}
+				}
+			case *ast.IncDecStmt:
+				if depth > 0 {
+					markFieldWrite(info, n.X, hot)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return hot
+}
+
+func markFieldWrite(info *types.Info, e ast.Expr, hot map[*types.Var]bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			hot[v] = true
+		}
+	}
+}
+
+func isAtomicType(t types.Type) bool {
+	for _, name := range []string{"Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value"} {
+		if analysis.NamedType(t, "sync/atomic", name) {
+			return true
+		}
+	}
+	return false
+}
+
+func isPlainScalar(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsNumeric|types.IsBoolean) != 0
+}

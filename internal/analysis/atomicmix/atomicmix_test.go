@@ -1,0 +1,21 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "atomd")
+}
+
+func TestCoversTestsModuleWide(t *testing.T) {
+	if !atomicmix.Analyzer.IncludeTests {
+		t.Error("atomicmix must include _test.go files: a plain read in a test races like any other")
+	}
+	if atomicmix.Analyzer.Scope != nil {
+		t.Error("atomicmix is module-wide: atomics discipline is not an engine-only concern")
+	}
+}

@@ -1,0 +1,131 @@
+// Package atomd is atomicmix's golden testdata: locations accessed via
+// sync/atomic free functions must be accessed atomically everywhere, and
+// hot plain fields must not share a cache line with atomic fields.
+package atomd
+
+import "sync/atomic"
+
+type stats struct {
+	n int64
+}
+
+func (s *stats) bump() { atomic.AddInt64(&s.n, 1) }
+
+func (s *stats) read() int64 { return atomic.LoadInt64(&s.n) }
+
+func (s *stats) plainRead() int64 {
+	return s.n // want `field "n" is read plainly but accessed with sync/atomic elsewhere`
+}
+
+func (s *stats) plainWrite() {
+	s.n = 0 // want `field "n" is written plainly but accessed with sync/atomic elsewhere`
+}
+
+// One branch is atomic, the other plain: the mix only shows up when both
+// paths are considered together.
+func (s *stats) plainIncOnOnePath(ok bool) {
+	if ok {
+		s.n++ // want `field "n" is mutated plainly`
+	} else {
+		atomic.AddInt64(&s.n, 1)
+	}
+}
+
+// An escaping alias permits unchecked plain access downstream.
+func (s *stats) addressEscapes() *int64 {
+	return &s.n // want `address of atomically-accessed field "n" escapes outside sync/atomic`
+}
+
+// Composite-literal initialization happens before publication: plain by
+// design, no finding.
+func newStats() *stats {
+	return &stats{n: 0}
+}
+
+var counts [4]int32
+
+func bumpShard(i int) { atomic.AddInt32(&counts[i], 1) }
+
+// Element reads race the sharded atomic writers; len/range over the array
+// header does not touch elements and stays clean.
+func snapshotPlain() int32 {
+	var total int32
+	for i := range counts {
+		total += counts[i] // want `array "counts" is read plainly but accessed with sync/atomic elsewhere`
+	}
+	return total
+}
+
+func snapshotAtomic() int32 {
+	var total int32
+	for i := range counts {
+		total += atomic.LoadInt32(&counts[i])
+	}
+	return total
+}
+
+func resetShard() {
+	counts[0] = 0 // want `array "counts" is written plainly but accessed with sync/atomic elsewhere`
+}
+
+// A value-carrying range reads every element; only key-only iteration
+// (as in snapshotAtomic) leaves the elements untouched.
+func rangeValuePlain() int32 {
+	var total int32
+	for _, v := range counts { // want `array "counts" is read plainly but accessed with sync/atomic elsewhere`
+		total += v
+	}
+	return total
+}
+
+var published uint32
+
+func publish() { atomic.StoreUint32(&published, 1) }
+
+func checkPlain() bool {
+	return published == 1 // want `variable "published" is read plainly but accessed with sync/atomic elsewhere`
+}
+
+// Typed atomics are safe by construction: no plain-access findings.
+type typed struct {
+	total atomic.Int64
+}
+
+func (t *typed) ok() int64 {
+	t.total.Add(1)
+	return t.total.Load()
+}
+
+// hits is written every iteration right next to the atomic sequence
+// counter: both live on one cache line and every atomic op bounces it.
+type falseShared struct {
+	seq  atomic.Uint64
+	hits int64 // want `hot field "hits" shares a cache line with atomic field "seq"`
+}
+
+func (f *falseShared) spin(n int) {
+	for i := 0; i < n; i++ {
+		f.hits++
+	}
+}
+
+// Padding between the pair restores line isolation: clean.
+type padded struct {
+	seq  atomic.Uint64
+	_    [56]byte
+	hits int64
+}
+
+func (p *padded) spin(n int) {
+	for i := 0; i < n; i++ {
+		p.hits++
+	}
+}
+
+// gen is written once outside any loop — cold, so adjacency is harmless.
+type coldNeighbor struct {
+	seq atomic.Uint64
+	gen int64
+}
+
+func (c *coldNeighbor) set(g int64) { c.gen = g }

@@ -1,0 +1,633 @@
+package analysis
+
+// This file is the control-flow half of ratelvet's dataflow substrate
+// (DESIGN.md §13): a per-function intraprocedural CFG over the raw AST,
+// built without type information so it works on any parsed function. The
+// graph models branches, loops (including labeled break/continue and
+// goto), switch/type-switch fallthrough, select arms (with and without
+// default), explicit panic exits, and defer execution: every return or
+// panic edge is routed through a chain of defer blocks in LIFO order, so a
+// release performed in a deferred call is visible to dataflow on every exit
+// path. Function literals are opaque values in the enclosing graph —
+// analyzers build separate CFGs for closure bodies.
+//
+// Exactness contract (what analyzers may assume):
+//
+//   - Blocks are straight-line: entering a block executes all its Nodes in
+//     order. Exits (return, panic, branch) always end a block.
+//   - A defer registered in a block that dominates an exit is on every
+//     path to that exit (no bypass edge); other defers get a bypass edge,
+//     so they "may" run — conservative in both directions.
+//   - Only explicit panic(...) statements produce panic edges. Implicit
+//     runtime panics (nil derefs, bounds) are not modeled; analyzers that
+//     must hold under them should treat every exit uniformly.
+//   - A DeferStmt node in a body block is the registration point (its
+//     arguments are evaluated there); the deferred *ast.CallExpr reappears
+//     as the sole node of a "defer" chain block on each exit it reaches.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Body is the function body the graph was built from.
+	Body *ast.BlockStmt
+	// Blocks lists every block in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is the first executed block.
+	Entry *Block
+	// Exit is the virtual normal-return block: every return (and
+	// falling off the end of the body) reaches it through that exit's
+	// defer chain. It holds no nodes.
+	Exit *Block
+	// PanicExit is the virtual exit reached by explicit panic(...)
+	// statements, also through the defer chain. Nil-safe to compare
+	// against; it exists even when no panic occurs.
+	PanicExit *Block
+	// GoSpawns lists every go statement in the body, outermost-first,
+	// excluding those inside nested function literals.
+	GoSpawns []*ast.GoStmt
+	// Defers lists every defer statement in registration order, excluding
+	// those inside nested function literals.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one straight-line region.
+type Block struct {
+	Index   int
+	Comment string // structural origin: "entry", "if.then", "for.head", "defer", ...
+	Nodes   []ast.Node
+	Succs   []*Block
+	Preds   []*Block
+}
+
+// BuildCFG constructs the CFG of a function body (a *ast.FuncDecl.Body or
+// *ast.FuncLit.Body). The body may be nil (external/assembly functions):
+// the result is an empty graph whose entry connects straight to the exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{Body: body}
+	b := &cfgBuilder{c: c, labels: map[string]*Block{}}
+	b.cur = b.block("entry")
+	c.Entry = b.cur
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Falling off the end of the body is a return.
+	if b.cur != nil {
+		b.exits = append(b.exits, pendingExit{from: b.cur, panics: false})
+	}
+	b.resolveGotos()
+
+	// Exit wiring happens after dominators so conditional defers are known.
+	c.Exit = b.block("exit")
+	c.PanicExit = b.block("panic.exit")
+	dom := dominators(c.Blocks[:len(c.Blocks)-2], c.Entry)
+	for _, px := range b.exits {
+		b.wireExit(px, dom)
+	}
+	return c
+}
+
+// cfgBuilder carries construction state.
+type cfgBuilder struct {
+	c   *CFG
+	cur *Block // nil when the current position is unreachable
+
+	// targets is the break/continue stack, innermost last.
+	targets []branchTarget
+	// labels maps label names to their blocks (goto targets).
+	labels map[string]*Block
+	// pendingLabel is the label naming the next loop/switch/select.
+	pendingLabel string
+	// fallthroughTo is the next case clause's block inside a switch.
+	fallthroughTo *Block
+
+	defers []deferSite
+	exits  []pendingExit
+	gotos  []pendingGoto
+}
+
+type branchTarget struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type deferSite struct {
+	stmt  *ast.DeferStmt
+	block *Block
+}
+
+type pendingExit struct {
+	from   *Block
+	panics bool
+}
+
+type pendingGoto struct {
+	from *Block
+	name string
+	pos  token.Pos
+}
+
+func (b *cfgBuilder) block(comment string) *Block {
+	blk := &Block{Index: len(b.c.Blocks), Comment: comment}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump connects the current block to target, if reachable.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		edge(b.cur, to)
+	}
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a labeled loop/switch/select.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.block("label." + s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		label := b.takeLabel()
+		_ = label // if statements are not break targets
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.block("if.then")
+		done := b.block("if.done")
+		if cond != nil {
+			edge(cond, then)
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			els := b.block("if.else")
+			if cond != nil {
+				edge(cond, els)
+			}
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(done)
+		} else if cond != nil {
+			edge(cond, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.block("for.head")
+		b.jump(head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.block("for.body")
+		done := b.block("for.done")
+		edge(head, body)
+		if s.Cond != nil {
+			edge(head, done)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.block("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			edge(post, head)
+			cont = post
+		}
+		b.targets = append(b.targets, branchTarget{label: label, breakTo: done, continueTo: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(cont)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.block("range.head")
+		b.jump(head)
+		head.Nodes = append(head.Nodes, s)
+		body := b.block("range.body")
+		done := b.block("range.done")
+		edge(head, body)
+		edge(head, done)
+		b.targets = append(b.targets, branchTarget{label: label, breakTo: done, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(cc ast.Stmt, blk *Block) []ast.Stmt {
+			clause := cc.(*ast.CaseClause)
+			for _, e := range clause.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			return clause.Body
+		}, func(cc ast.Stmt) bool { return cc.(*ast.CaseClause).List == nil })
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, func(cc ast.Stmt, blk *Block) []ast.Stmt {
+			return cc.(*ast.CaseClause).Body
+		}, func(cc ast.Stmt) bool { return cc.(*ast.CaseClause).List == nil })
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		done := b.block("select.done")
+		b.targets = append(b.targets, branchTarget{label: label, breakTo: done})
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			comment := "select.recv"
+			switch clause.Comm.(type) {
+			case nil:
+				comment = "select.default"
+			case *ast.SendStmt:
+				comment = "select.send"
+			}
+			arm := b.block(comment)
+			if head != nil {
+				edge(head, arm)
+			}
+			if clause.Comm != nil {
+				arm.Nodes = append(arm.Nodes, clause.Comm)
+			}
+			b.cur = arm
+			b.stmtList(clause.Body)
+			b.jump(done)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		// For select{} (no arms) done has no predecessors: statements after
+		// it land in an unreachable block, which is exactly right.
+		b.cur = done
+
+	case *ast.BranchStmt:
+		if b.cur == nil {
+			return
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s.Label, false); t != nil {
+				edge(b.cur, t.breakTo)
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(s.Label, true); t != nil {
+				edge(b.cur, t.continueTo)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, name: s.Label.Name, pos: s.Pos()})
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				edge(b.cur, b.fallthroughTo)
+			}
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		if b.cur == nil {
+			return
+		}
+		b.add(s)
+		b.exits = append(b.exits, pendingExit{from: b.cur, panics: false})
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		if b.cur == nil {
+			return
+		}
+		b.add(s)
+		b.defers = append(b.defers, deferSite{stmt: s, block: b.cur})
+		b.c.Defers = append(b.c.Defers, s)
+
+	case *ast.GoStmt:
+		if b.cur == nil {
+			return
+		}
+		b.add(s)
+		b.c.GoSpawns = append(b.c.GoSpawns, s)
+
+	case *ast.ExprStmt:
+		if b.cur == nil {
+			return
+		}
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.exits = append(b.exits, pendingExit{from: b.cur, panics: true})
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, ...
+		b.add(s)
+	}
+}
+
+// switchClauses builds the per-clause blocks shared by value and type
+// switches. nodes fills a clause block's guard nodes and returns its body.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, nodes func(ast.Stmt, *Block) []ast.Stmt, isDefault func(ast.Stmt) bool) {
+	head := b.cur
+	done := b.block("switch.done")
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		comment := "switch.case"
+		if isDefault(cc) {
+			comment = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.block(comment)
+		if head != nil {
+			edge(head, blocks[i])
+		}
+	}
+	if !hasDefault && head != nil {
+		edge(head, done)
+	}
+	b.targets = append(b.targets, branchTarget{label: label, breakTo: done})
+	for i, cc := range clauses {
+		body := nodes(cc, blocks[i])
+		if i+1 < len(clauses) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = blocks[i]
+		b.stmtList(body)
+		b.jump(done)
+	}
+	b.fallthroughTo = nil
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// findTarget resolves a break/continue to its loop or switch.
+func (b *cfgBuilder) findTarget(label *ast.Ident, needContinue bool) *branchTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needContinue && t.continueTo == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if lb, ok := b.labels[g.name]; ok {
+			edge(g.from, lb)
+		}
+	}
+}
+
+// wireExit routes one return/panic block through its defer chain to the
+// exit. Defers whose registration block can reach the exiting block are in
+// the chain (reverse registration order — LIFO); those whose registration
+// does not dominate the exit get bypass edges, so they only "may" run.
+func (b *cfgBuilder) wireExit(px pendingExit, dom dominatorSets) {
+	target := b.c.Exit
+	if px.panics {
+		target = b.c.PanicExit
+	}
+	var chain []*Block
+	var conditional []bool
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		d := b.defers[i]
+		if d.block != px.from && !reaches(d.block, px.from) {
+			continue
+		}
+		db := b.block("defer")
+		db.Nodes = append(db.Nodes, ast.Node(d.stmt.Call))
+		chain = append(chain, db)
+		conditional = append(conditional, !dom.dominates(d.block, px.from))
+	}
+	seq := append([]*Block{px.from}, chain...)
+	seq = append(seq, target)
+	for i := 0; i+1 < len(seq); i++ {
+		edge(seq[i], seq[i+1])
+		// Bypass runs of conditional defers: a defer that may not have been
+		// registered can be skipped.
+		for j := i + 1; j < len(seq)-1; j++ {
+			hop := j - 1 // index into chain for seq[j]
+			if !conditional[hop] {
+				break
+			}
+			edge(seq[i], seq[j+1])
+		}
+	}
+}
+
+// reaches reports whether a path of core edges leads from a to z.
+func reaches(a, z *Block) bool {
+	seen := map[*Block]bool{}
+	var dfs func(b *Block) bool
+	dfs = func(b *Block) bool {
+		if b == z {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if a == z {
+		// Self-reach requires a cycle.
+		for _, s := range a.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(a)
+}
+
+// dominatorSets holds, per block index, the set of blocks dominating it.
+type dominatorSets [][]bool
+
+func (d dominatorSets) dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	if b.Index >= len(d) || a.Index >= len(d) {
+		return false
+	}
+	return d[b.Index][a.Index]
+}
+
+// dominators computes dominance over the core graph (before exit wiring)
+// with the classic iterative data-flow formulation — function graphs are
+// small enough that the O(n²) sets never matter.
+func dominators(blocks []*Block, entry *Block) dominatorSets {
+	n := len(blocks)
+	dom := make(dominatorSets, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		if blocks[i] == entry {
+			dom[i][i] = true
+			continue
+		}
+		for j := range dom[i] {
+			dom[i][j] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range blocks {
+			if b == entry {
+				continue
+			}
+			i := b.Index
+			for j := 0; j < n; j++ {
+				if j == i || !dom[i][j] {
+					continue
+				}
+				// j stays a dominator only if it dominates every pred.
+				keep := len(b.Preds) > 0
+				for _, p := range b.Preds {
+					if p.Index >= n || !dom[p.Index][j] {
+						keep = false
+						break
+					}
+				}
+				if !keep {
+					dom[i][j] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return dom
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Format renders the graph in a stable textual shape for golden tests:
+// one line per block with its comment, condensed nodes, and successor
+// indices.
+func (c *CFG) Format(fset *token.FileSet) string {
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", b.Index, b.Comment)
+		for _, n := range b.Nodes {
+			sb.WriteString(" {")
+			sb.WriteString(condense(fset, n))
+			sb.WriteString("}")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// condense prints one node on one line with collapsed whitespace. Range
+// statements appear whole in their head block (dataflow needs the key /
+// value / operand triple) but render as just their header here so the body
+// is not printed twice.
+func condense(fset *token.FileSet, n ast.Node) string {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		hdr := "range " + condense(fset, r.X)
+		if r.Key != nil {
+			assign := condense(fset, r.Key)
+			if r.Value != nil {
+				assign += ", " + condense(fset, r.Value)
+			}
+			hdr = assign + " " + r.Tok.String() + " " + hdr
+		}
+		return hdr
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFrom parses a file containing exactly one function declaration and
+// returns its CFG plus the fset used to parse it.
+func buildFrom(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\n" + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return BuildCFG(fd.Body), fset
+		}
+	}
+	t.Fatal("no function found")
+	return nil, nil
+}
+
+// wantShape pins the formatted graph. The golden is written with leading
+// tab indentation for readability; both sides are trimmed per line.
+func wantShape(t *testing.T, c *CFG, fset *token.FileSet, golden string) {
+	t.Helper()
+	got := strings.TrimSpace(c.Format(fset))
+	var want []string
+	for _, line := range strings.Split(strings.TrimSpace(golden), "\n") {
+		want = append(want, strings.TrimSpace(line))
+	}
+	if got != strings.Join(want, "\n") {
+		t.Errorf("CFG shape mismatch\n--- got ---\n%s\n--- want ---\n%s", got, strings.Join(want, "\n"))
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c, fset := buildFrom(t, `func f() { x := 1; use(x) }`)
+	wantShape(t, c, fset, `
+		b0 entry: {x := 1} {use(x)} -> b1
+		b1 exit:
+		b2 panic.exit:
+	`)
+}
+
+func TestCFGIfElse(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(ok bool) int {
+	if ok {
+		return 1
+	} else {
+		touch()
+	}
+	return 2
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {ok} -> b1 b3
+		b1 if.then: {return 1} -> b4
+		b2 if.done: {return 2} -> b4
+		b3 if.else: {touch()} -> b2
+		b4 exit:
+		b5 panic.exit:
+	`)
+}
+
+// Defer ordering: defers run LIFO, so the chain on the exit path must list
+// the second registration first.
+func TestCFGDeferOrdering(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f() {
+	defer first()
+	defer second()
+	work()
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {defer first()} {defer second()} {work()} -> b3
+		b1 exit:
+		b2 panic.exit:
+		b3 defer: {second()} -> b4
+		b4 defer: {first()} -> b1
+	`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(c.Defers))
+	}
+}
+
+// A defer registered under a condition gets a bypass edge on exits it does
+// not dominate: the exit path may skip it.
+func TestCFGConditionalDeferBypass(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(ok bool) {
+	if ok {
+		defer cleanup()
+	}
+	work()
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {ok} -> b1 b2
+		b1 if.then: {defer cleanup()} -> b2
+		b2 if.done: {work()} -> b5 b3
+		b3 exit:
+		b4 panic.exit:
+		b5 defer: {cleanup()} -> b3
+	`)
+}
+
+// An unconditional defer plus an explicit panic: the panic path runs the
+// defer chain into the panic exit, the return path into the normal exit.
+func TestCFGPanicRunsDefers(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(bad bool) {
+	defer rescue()
+	if bad {
+		panic("bad")
+	}
+	work()
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {defer rescue()} {bad} -> b1 b2
+		b1 if.then: {panic("bad")} -> b5
+		b2 if.done: {work()} -> b6
+		b3 exit:
+		b4 panic.exit:
+		b5 defer: {rescue()} -> b4
+		b6 defer: {rescue()} -> b3
+	`)
+}
+
+// panic/recover: recover lives inside a deferred closure; the closure body
+// is opaque (one node) and the chain reaches both exits.
+func TestCFGPanicRecover(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f() {
+	defer func() {
+		if r := recover(); r != nil {
+			note(r)
+		}
+	}()
+	panic("boom")
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {defer func() { if r := recover(); r != nil { note(r) } }()} {panic("boom")} -> b3
+		b1 exit:
+		b2 panic.exit:
+		b3 defer: {func() { if r := recover(); r != nil { note(r) } }()} -> b2
+	`)
+}
+
+func TestCFGForLoop(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+	done()
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {i := 0} -> b1
+		b1 for.head: {i < n} -> b2 b3
+		b2 for.body: {work(i)} -> b4
+		b3 for.done: {done()} -> b5
+		b4 for.post: {i++} -> b1
+		b5 exit:
+		b6 panic.exit:
+	`)
+}
+
+// Labeled break/continue: continue outer must target the outer post block,
+// break outer the outer done block — not the inner loop's.
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(n int) {
+	outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if skip(j) {
+				continue outer
+			}
+			if stop(j) {
+				break outer
+			}
+			work(i, j)
+		}
+	}
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: -> b1
+		b1 label.outer: {i := 0} -> b2
+		b2 for.head: {i < n} -> b3 b4
+		b3 for.body: {j := 0} -> b6
+		b4 for.done: -> b14
+		b5 for.post: {i++} -> b2
+		b6 for.head: {j < n} -> b7 b8
+		b7 for.body: {skip(j)} -> b10 b11
+		b8 for.done: -> b5
+		b9 for.post: {j++} -> b6
+		b10 if.then: -> b5
+		b11 if.done: {stop(j)} -> b12 b13
+		b12 if.then: -> b4
+		b13 if.done: {work(i, j)} -> b9
+		b14 exit:
+		b15 panic.exit:
+	`)
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		work(x)
+	}
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: -> b1
+		b1 range.head: {_, x := range xs} -> b2 b3
+		b2 range.body: {work(x)} -> b1
+		b3 range.done: -> b4
+		b4 exit:
+		b5 panic.exit:
+	`)
+}
+
+// Select with default: one arm per comm clause plus a default arm; every
+// arm joins at select.done, and the head branches to all of them.
+func TestCFGSelectWithDefault(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(ch chan int, out chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	case out <- 1:
+		sent()
+	default:
+		idle()
+	}
+	done()
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: -> b2 b3 b4
+		b1 select.done: {done()} -> b5
+		b2 select.recv: {v := <-ch} {use(v)} -> b1
+		b3 select.send: {out <- 1} {sent()} -> b1
+		b4 select.default: {idle()} -> b1
+		b5 exit:
+		b6 panic.exit:
+	`)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		other()
+	}
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {x} -> b2 b3 b4
+		b1 switch.done: -> b5
+		b2 switch.case: {1} {one()} -> b3
+		b3 switch.case: {2} {two()} -> b1
+		b4 switch.default: {other()} -> b1
+		b5 exit:
+		b6 panic.exit:
+	`)
+}
+
+// Nested closures are opaque: go/defer statements inside a function
+// literal belong to the literal's own CFG, not the enclosing one, and the
+// literal appears as a single node.
+func TestCFGNestedClosuresOpaque(t *testing.T) {
+	c, _ := buildFrom(t, `
+func f() {
+	go func() {
+		defer inner()
+		go spawnDeep()
+	}()
+	work()
+}`)
+	if len(c.GoSpawns) != 1 {
+		t.Fatalf("GoSpawns = %d, want 1 (nested go belongs to the closure)", len(c.GoSpawns))
+	}
+	if len(c.Defers) != 0 {
+		t.Fatalf("Defers = %d, want 0 (defer inside closure is opaque)", len(c.Defers))
+	}
+	// The closure body builds its own graph.
+	lit := c.GoSpawns[0].Call.Fun.(*ast.FuncLit)
+	inner := BuildCFG(lit.Body)
+	if len(inner.Defers) != 1 || len(inner.GoSpawns) != 1 {
+		t.Fatalf("inner Defers=%d GoSpawns=%d, want 1 and 1", len(inner.Defers), len(inner.GoSpawns))
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c, fset := buildFrom(t, `
+func f() {
+	i := 0
+loop:
+	if i < 3 {
+		i++
+		goto loop
+	}
+}`)
+	wantShape(t, c, fset, `
+		b0 entry: {i := 0} -> b1
+		b1 label.loop: {i < 3} -> b2 b3
+		b2 if.then: {i++} -> b1
+		b3 if.done: -> b4
+		b4 exit:
+		b5 panic.exit:
+	`)
+}
+
+func TestCFGNilBody(t *testing.T) {
+	c := BuildCFG(nil)
+	if c.Entry == nil || c.Exit == nil || c.PanicExit == nil {
+		t.Fatal("nil body must still produce entry/exit blocks")
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Fatalf("nil body entry should flow straight to exit, got %v", c.Entry.Succs)
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+// Forward dataflow over a CFG (DESIGN.md §13). The lattice is a small
+// abstract-ownership domain shared by the protocol analyzers:
+//
+//	        Escaped            (top: crossed a goroutine/closure boundary)
+//	           |
+//	      MaybeReleased        (released on some path, live on another)
+//	       /        \
+//	   Owned      Released
+//	       \        /
+//	       Borrowed            (usable, but this frame must not release)
+//	           |
+//	        Bottom             (untracked / unreachable)
+//
+// Join is the least upper bound along that diagram with one asymmetry:
+// Owned ⊔ Borrowed = Owned, because a value that is owned on any path must
+// be released on every path — treating it as borrowed would hide a leak.
+// Analyzers give their own meaning to the points (slotlife reads Owned as
+// "token held", xferown as "buffer usable"); the runner only joins.
+
+import "go/ast"
+
+// Val is one point of the ownership lattice.
+type Val uint8
+
+const (
+	// Bottom: not tracked on this path (or path unreachable).
+	Bottom Val = iota
+	// Borrowed: usable, but ownership belongs to another frame — this
+	// function must not release it.
+	Borrowed
+	// Owned: this frame holds the value and is responsible for exactly one
+	// release.
+	Owned
+	// Released: ownership was given up; any further use is a bug.
+	Released
+	// MaybeReleased: released on at least one incoming path and still live
+	// on another — uses are flagged, re-releases are double-releases.
+	MaybeReleased
+	// Escaped: the value crossed into a goroutine or stored location this
+	// analysis cannot see; all bets are off (top).
+	Escaped
+)
+
+func (v Val) String() string {
+	switch v {
+	case Bottom:
+		return "bottom"
+	case Borrowed:
+		return "borrowed"
+	case Owned:
+		return "owned"
+	case Released:
+		return "released"
+	case MaybeReleased:
+		return "maybe-released"
+	case Escaped:
+		return "escaped"
+	}
+	return "val?"
+}
+
+// JoinVal is the least upper bound of two lattice points.
+func JoinVal(a, b Val) Val {
+	if a == b {
+		return a
+	}
+	if a == Bottom {
+		return b
+	}
+	if b == Bottom {
+		return a
+	}
+	if a == Escaped || b == Escaped {
+		return Escaped
+	}
+	// Order the pair so a <= b numerically; the remaining distinct pairs
+	// over {Borrowed, Owned, Released, MaybeReleased} are few.
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == Borrowed && b == Owned:
+		return Owned // owned-on-any-path must be released on every path
+	case a == Borrowed && b == Released:
+		return MaybeReleased
+	case a == Borrowed && b == MaybeReleased:
+		return MaybeReleased
+	case a == Owned && b == Released:
+		return MaybeReleased
+	case a == Owned && b == MaybeReleased:
+		return MaybeReleased
+	case a == Released && b == MaybeReleased:
+		return MaybeReleased
+	}
+	return Escaped // unreachable
+}
+
+// State maps tracked keys (typically *types.Var) to lattice points. Keys
+// absent from the map are Bottom.
+type State map[any]Val
+
+// Get returns the point for key, Bottom if untracked.
+func (s State) Get(key any) Val {
+	return s[key]
+}
+
+// Set records a point; setting Bottom removes the key.
+func (s State) Set(key any, v Val) {
+	if v == Bottom {
+		delete(s, key)
+		return
+	}
+	s[key] = v
+}
+
+func (s State) clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto merges other into s, returning true if s changed.
+func (s State) joinInto(other State) bool {
+	changed := false
+	for k, v := range other {
+		nv := JoinVal(s[k], v)
+		if nv != s[k] {
+			s[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Flow runs a forward dataflow problem to fixpoint over a CFG.
+type Flow struct {
+	CFG *CFG
+	// Transfer applies one node's effect to st in place. It must be
+	// monotone for the fixpoint to terminate (the iteration cap backstops
+	// a non-monotone transfer, trading precision for termination).
+	Transfer func(blk *Block, n ast.Node, st State)
+}
+
+// maxFixpointSweeps bounds full-graph sweeps. The lattice has height 4 per
+// key, so honest transfers converge in a handful of sweeps; this is a
+// backstop against a buggy analyzer, not a tuning knob.
+const maxFixpointSweeps = 64
+
+// Fixpoint computes per-block entry states. in[b.Index] is the join of all
+// predecessor exit states; Entry starts empty (analyzers seed initial
+// ownership in their Transfer on defining nodes).
+func (f *Flow) Fixpoint() []State {
+	n := len(f.CFG.Blocks)
+	in := make([]State, n)
+	for i := range in {
+		in[i] = State{}
+	}
+	work := []*Block{f.CFG.Entry}
+	queued := make([]bool, n)
+	queued[f.CFG.Entry.Index] = true
+	sweeps := 0
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		if sweeps++; sweeps > maxFixpointSweeps*n {
+			break
+		}
+		out := in[blk.Index].clone()
+		for _, node := range blk.Nodes {
+			f.Transfer(blk, node, out)
+		}
+		for _, s := range blk.Succs {
+			if in[s.Index].joinInto(out) && !queued[s.Index] {
+				work = append(work, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return in
+}
+
+// Visit replays every block once from its fixpoint entry state, calling
+// report before applying each node's transfer — so report sees the state
+// the node executes in. Blocks never reached keep empty states; analyzers
+// that care can skip blocks with no predecessors.
+func (f *Flow) Visit(in []State, report func(blk *Block, n ast.Node, st State)) {
+	for _, blk := range f.CFG.Blocks {
+		st := in[blk.Index].clone()
+		for _, node := range blk.Nodes {
+			report(blk, node, st)
+			f.Transfer(blk, node, st)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, parsed, type-checked package.
@@ -23,6 +24,11 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+
+	// ForTest marks the test variant of a package: the same sources plus
+	// in-package _test.go files, type-checked together under the base
+	// import path (so analyzer scopes match). Produced by LoadWithTests.
+	ForTest bool
 
 	// TypeError holds the first type-checking failure, if any. Analyzers
 	// still run on packages with type errors; they must tolerate partial
@@ -38,6 +44,7 @@ type listedPackage struct {
 	Export     string
 	DepOnly    bool
 	Standard   bool
+	ForTest    string
 	Error      *struct{ Err string }
 }
 
@@ -47,13 +54,29 @@ type listedPackage struct {
 // resolution `go vet` uses, so Load works offline and never re-typechecks
 // the world from source.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, false, patterns...)
+}
+
+// LoadWithTests is Load plus each package's internal test variant (the
+// package compiled with its in-package _test.go files), type-checked under
+// the base import path with Package.ForTest set. External _test packages
+// and generated .test mains are skipped: the protocol analyzers care about
+// code that lives inside the package, not black-box tests.
+func LoadWithTests(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, true, patterns...)
+}
+
+func load(dir string, withTests bool, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{
-		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error",
-	}, patterns...)
+	args := []string{"list", "-e", "-export", "-deps"}
+	if withTests {
+		args = append(args, "-test")
+	}
+	args = append(args,
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,ForTest,Error")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -76,9 +99,19 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly {
-			roots = append(roots, lp)
+		if lp.DepOnly {
+			continue
 		}
+		if lp.ForTest != "" {
+			// Keep only the internal variant "X [X.test]"; drop external
+			// "X_test [X.test]" packages and synthesized "X.test" mains.
+			if lp.ImportPath != lp.ForTest+" ["+lp.ForTest+".test]" {
+				continue
+			}
+		} else if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		roots = append(roots, lp)
 	}
 
 	var pkgs []*Package
@@ -90,10 +123,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		for _, f := range lp.GoFiles {
 			files = append(files, filepath.Join(lp.Dir, f))
 		}
-		pkg, err := CheckPackage(lp.ImportPath, lp.Dir, files, exports)
+		path := lp.ImportPath
+		if lp.ForTest != "" {
+			path = lp.ForTest
+		}
+		pkg, err := CheckPackage(path, lp.Dir, files, exports)
 		if err != nil {
 			return nil, err
 		}
+		pkg.ForTest = lp.ForTest != ""
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

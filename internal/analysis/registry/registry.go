@@ -4,26 +4,34 @@ package registry
 
 import (
 	"ratel/internal/analysis"
-	"ratel/internal/analysis/bufreuse"
+	"ratel/internal/analysis/atomicmix"
 	"ratel/internal/analysis/errdrop"
+	"ratel/internal/analysis/gojoin"
 	"ratel/internal/analysis/metrichygiene"
 	"ratel/internal/analysis/poolcapture"
 	"ratel/internal/analysis/simddispatch"
 	"ratel/internal/analysis/simdet"
+	"ratel/internal/analysis/slotlife"
 	"ratel/internal/analysis/spanpair"
 	"ratel/internal/analysis/unitsafe"
+	"ratel/internal/analysis/xferown"
 )
 
 // All returns the full analyzer set in stable (alphabetical) order.
+// bufreuse is retired: xferown supersedes it (and answers for its name in
+// //ratelvet:ignore comments via the alias mechanism).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
-		bufreuse.Analyzer,
+		atomicmix.Analyzer,
 		errdrop.Analyzer,
+		gojoin.Analyzer,
 		metrichygiene.Analyzer,
 		poolcapture.Analyzer,
 		simddispatch.Analyzer,
 		simdet.Analyzer,
+		slotlife.Analyzer,
 		spanpair.Analyzer,
 		unitsafe.Analyzer,
+		xferown.Analyzer,
 	}
 }

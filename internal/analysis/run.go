@@ -11,20 +11,30 @@ type Finding struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+	// Suppressed marks findings covered by a //ratelvet:ignore comment.
+	// They are kept (flagged) so `-json` output and audits can show them;
+	// text output and exit codes skip them.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
 }
 
-// Run applies every analyzer whose scope covers the package and returns the
-// surviving findings (suppressions applied), sorted by position. Malformed
-// suppression comments are returned as findings from the pseudo-analyzer
-// "ratelvet" regardless of which analyzers ran.
+// Run applies every analyzer whose scope covers the package and returns all
+// findings sorted by position, suppressed ones flagged rather than dropped.
+// Malformed suppression comments are returned as findings from the
+// pseudo-analyzer "ratelvet" regardless of which analyzers ran; those are
+// never suppressible. Suppressions naming an analyzer's retired alias count
+// for the successor.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	known := make(map[string]bool, len(analyzers))
+	aliases := make(map[string][]string, len(analyzers))
 	for _, a := range analyzers {
-		known[a.Name] = true
+		for _, n := range a.Names() {
+			known[n] = true
+		}
+		aliases[a.Name] = a.Names()
 	}
 
 	var raw []Diagnostic
@@ -55,14 +65,17 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 
 	var out []Finding
 	for _, d := range raw {
-		// The suppression hygiene checks cannot themselves be suppressed.
-		if d.Analyzer != "ratelvet" && set.suppressed(pkg.Fset, d.Analyzer, d.Pos) {
-			continue
+		names := aliases[d.Analyzer]
+		if names == nil {
+			names = []string{d.Analyzer}
 		}
+		// The suppression hygiene checks cannot themselves be suppressed.
+		sup := d.Analyzer != "ratelvet" && set.suppressed(pkg.Fset, names, d.Pos)
 		out = append(out, Finding{
-			Analyzer: d.Analyzer,
-			Position: pkg.Fset.Position(d.Pos),
-			Message:  d.Message,
+			Analyzer:   d.Analyzer,
+			Position:   pkg.Fset.Position(d.Pos),
+			Message:    d.Message,
+			Suppressed: sup,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,23 @@
+package slotlife_test
+
+import (
+	"testing"
+
+	"ratel/internal/analysis/analysistest"
+	"ratel/internal/analysis/slotlife"
+)
+
+func TestSlotlife(t *testing.T) {
+	analysistest.Run(t, slotlife.Analyzer, "slotd")
+}
+
+func TestScope(t *testing.T) {
+	if !slotlife.Analyzer.AppliesTo("ratel/internal/engine") {
+		t.Error("slotlife should cover the engine")
+	}
+	for _, pkg := range []string{"ratel/internal/nvme", "ratel/internal/tensor/pool"} {
+		if slotlife.Analyzer.AppliesTo(pkg) {
+			t.Errorf("slotlife should not cover %s (the protocol lives in engine)", pkg)
+		}
+	}
+}

@@ -17,17 +17,19 @@ import (
 // nothing).
 const IgnorePrefix = "ratelvet:ignore"
 
-// suppression is one parsed //ratelvet:ignore comment.
-type suppression struct {
-	line     int
-	analyzer string
-	reason   string
-	pos      token.Pos
+// Suppression is one parsed //ratelvet:ignore comment. The `ratelvet
+// audit` subcommand lists them tree-wide; run.go indexes them per package.
+type Suppression struct {
+	Line     int
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
 }
 
-// collectSuppressions parses every ignore comment in a file.
-func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
-	var out []suppression
+// CollectSuppressions parses every ignore comment in a file, malformed
+// ones included (empty Analyzer or Reason — the audit shows them too).
+func CollectSuppressions(fset *token.FileSet, f *ast.File) []Suppression {
+	var out []Suppression
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -37,12 +39,12 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
 			fields := strings.Fields(rest)
-			s := suppression{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			s := Suppression{Line: fset.Position(c.Pos()).Line, Pos: c.Pos()}
 			if len(fields) > 0 {
-				s.analyzer = fields[0]
+				s.Analyzer = fields[0]
 			}
 			if len(fields) > 1 {
-				s.reason = strings.Join(fields[1:], " ")
+				s.Reason = strings.Join(fields[1:], " ")
 			}
 			out = append(out, s)
 		}
@@ -61,22 +63,22 @@ type suppressionSet struct {
 func newSuppressionSet(pkg *Package, known map[string]bool, report func(Diagnostic)) suppressionSet {
 	set := suppressionSet{byFileLine: make(map[string]map[int][]string)}
 	for _, f := range pkg.Files {
-		for _, s := range collectSuppressions(pkg.Fset, f) {
+		for _, s := range CollectSuppressions(pkg.Fset, f) {
 			switch {
-			case s.analyzer == "":
-				report(Diagnostic{Pos: s.pos, Analyzer: "ratelvet",
+			case s.Analyzer == "":
+				report(Diagnostic{Pos: s.Pos, Analyzer: "ratelvet",
 					Message: "ratelvet:ignore needs an analyzer name and a reason"})
 				continue
-			case known != nil && !known[s.analyzer]:
-				report(Diagnostic{Pos: s.pos, Analyzer: "ratelvet",
-					Message: "ratelvet:ignore names unknown analyzer " + strconv(s.analyzer)})
+			case known != nil && !known[s.Analyzer]:
+				report(Diagnostic{Pos: s.Pos, Analyzer: "ratelvet",
+					Message: "ratelvet:ignore names unknown analyzer " + strconv(s.Analyzer)})
 				continue
-			case s.reason == "":
-				report(Diagnostic{Pos: s.pos, Analyzer: "ratelvet",
-					Message: "ratelvet:ignore " + s.analyzer + " needs a reason (//ratelvet:ignore " + s.analyzer + " <why this is safe>)"})
+			case s.Reason == "":
+				report(Diagnostic{Pos: s.Pos, Analyzer: "ratelvet",
+					Message: "ratelvet:ignore " + s.Analyzer + " needs a reason (//ratelvet:ignore " + s.Analyzer + " <why this is safe>)"})
 				continue
 			}
-			file := pkg.Fset.Position(s.pos).Filename
+			file := pkg.Fset.Position(s.Pos).Filename
 			lines := set.byFileLine[file]
 			if lines == nil {
 				lines = make(map[int][]string)
@@ -84,8 +86,8 @@ func newSuppressionSet(pkg *Package, known map[string]bool, report func(Diagnost
 			}
 			// The suppression covers its own line and the next one, so it
 			// works both trailing a statement and on the line above it.
-			lines[s.line] = append(lines[s.line], s.analyzer)
-			lines[s.line+1] = append(lines[s.line+1], s.analyzer)
+			lines[s.Line] = append(lines[s.Line], s.Analyzer)
+			lines[s.Line+1] = append(lines[s.Line+1], s.Analyzer)
 		}
 	}
 	return set
@@ -93,13 +95,16 @@ func newSuppressionSet(pkg *Package, known map[string]bool, report func(Diagnost
 
 func strconv(s string) string { return "\"" + s + "\"" }
 
-// suppressed reports whether a diagnostic from analyzer at position pos is
-// covered by an ignore comment.
-func (set suppressionSet) suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+// suppressed reports whether a diagnostic at pos is covered by an ignore
+// comment naming any of the analyzer's accepted names (its own plus
+// retired aliases).
+func (set suppressionSet) suppressed(fset *token.FileSet, names []string, pos token.Pos) bool {
 	p := fset.Position(pos)
 	for _, a := range set.byFileLine[p.Filename][p.Line] {
-		if a == analyzer {
-			return true
+		for _, n := range names {
+			if a == n {
+				return true
+			}
 		}
 	}
 	return false

@@ -1,4 +1,6 @@
-// Package bufd is bufreuse's golden testdata. It imports the real nvme
+// Package bufd is the migration suite inherited verbatim from the retired
+// bufreuse analyzer: every finding its straight-line scan reported must
+// still be reported by xferown's dataflow. It imports the real nvme
 // package so receiver-type resolution works exactly as it does in the
 // engine.
 package bufd

@@ -129,6 +129,10 @@ type Pool struct {
 	mu      sync.Mutex
 	spawned int // worker goroutines started so far
 
+	// closeOnce makes Close idempotent: the jobs channel is closed at
+	// most once no matter how many owners tear the pool down.
+	closeOnce sync.Once
+
 	stats struct {
 		jobs            atomic.Int64
 		inlineRuns      atomic.Int64
@@ -238,6 +242,17 @@ func (p *Pool) SetLimit(n int) {
 
 // Limit reports the current participants-per-job limit.
 func (p *Pool) Limit() int { return int(p.limit.Load()) }
+
+// Close retires the pool's workers: closing the jobs channel lets each
+// parked worker finish any queued job and exit its range loop — the join
+// edge the gojoin analyzer requires for the worker spawns in SetLimit.
+// Close is idempotent and safe to call concurrently. The pool must be
+// idle: Run after (or racing) Close panics on the closed channel. The
+// process-wide Default pool lives for the whole process and is never
+// closed.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+}
 
 // SetJobHistogram installs (or, with nil, removes) the histogram that
 // receives each parallel job's wall time. Safe to call concurrently with

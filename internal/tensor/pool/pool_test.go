@@ -15,8 +15,8 @@ func TestRunEveryChunkOnce(t *testing.T) {
 		for _, chunks := range []int{0, 1, 2, 3, workers, 4*workers + 3, 257} {
 			counts := make([]int32, chunks)
 			p.Run(chunks, func(c int) { atomic.AddInt32(&counts[c], 1) })
-			for c, got := range counts {
-				if got != 1 {
+			for c := range counts {
+				if got := atomic.LoadInt32(&counts[c]); got != 1 {
 					t.Fatalf("workers=%d chunks=%d: chunk %d ran %d times", workers, chunks, c, got)
 				}
 			}
@@ -224,8 +224,8 @@ func TestSegmentedRunEveryChunkOnce(t *testing.T) {
 			}
 			counts := make([]int32, chunks)
 			p.Run(chunks, func(c int) { atomic.AddInt32(&counts[c], 1) })
-			for c, got := range counts {
-				if got != 1 {
+			for c := range counts {
+				if got := atomic.LoadInt32(&counts[c]); got != 1 {
 					t.Fatalf("workers=%d chunks=%d: chunk %d ran %d times", workers, chunks, c, got)
 				}
 			}
@@ -257,8 +257,8 @@ func TestSubmitterDrainsAllSegments(t *testing.T) {
 	const chunks = 32
 	counts := make([]int32, chunks)
 	p.Run(chunks, func(c int) { atomic.AddInt32(&counts[c], 1) })
-	for c, got := range counts {
-		if got != 1 {
+	for c := range counts {
+		if got := atomic.LoadInt32(&counts[c]); got != 1 {
 			t.Fatalf("chunk %d ran %d times", c, got)
 		}
 	}
@@ -301,6 +301,33 @@ func TestEnvWorkers(t *testing.T) {
 	} {
 		if got := envWorkers(tc.in, def); got != tc.want {
 			t.Errorf("envWorkers(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestCloseIdempotent checks Close retires the workers exactly once: a
+// second (or concurrent) Close must not double-close the jobs channel,
+// and closed workers drain without panicking.
+func TestCloseIdempotent(t *testing.T) {
+	p := New(4)
+	const chunks = 8
+	counts := make([]int32, chunks)
+	p.Run(chunks, func(c int) { atomic.AddInt32(&counts[c], 1) })
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+	p.Close() // again, after the workers are gone
+
+	for c := range counts {
+		if got := atomic.LoadInt32(&counts[c]); got != 1 {
+			t.Fatalf("chunk %d ran %d times", c, got)
 		}
 	}
 }
