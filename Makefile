@@ -78,6 +78,14 @@ bench-datapath:
 bench-overlap:
 	go test -run '^$$' -bench 'BenchmarkTrainStepOverlap' -benchtime=15x -benchmem ./internal/engine
 
+# Optimizer scheduling benchmark: sync vs readiness-ordered state reads vs
+# importance-partitioned async Adam at staleness 1 and 2, under the same
+# Table III-shaped device throttles (BENCH_optimizer.json is a committed
+# snapshot).
+.PHONY: bench-optimizer
+bench-optimizer:
+	go test -run '^$$' -bench 'BenchmarkTrainStepOptSchedule' -benchtime=15x -benchmem ./internal/engine
+
 # Every benchmark in the module at measurement settings.
 .PHONY: bench
 bench:

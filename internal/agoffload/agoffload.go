@@ -19,6 +19,7 @@ package agoffload
 
 import (
 	"fmt"
+	"sort"
 
 	"ratel/internal/sim"
 	"ratel/internal/units"
@@ -27,11 +28,19 @@ import (
 // Mode selects the gradient-offloading schedule.
 type Mode int
 
-// Scheduling modes, in increasing order of overlap.
+// Scheduling modes, in increasing order of overlap. Readiness and AsyncTopK
+// are the optimizer-scheduling counterparts of the engine's OptSchedule
+// knob: Readiness issues each chunk's state read at gradient arrival,
+// depth-bounded by the prefetch window (reads no longer wait their turn in
+// the update chain); AsyncTopK keeps only the top-k most important chunks
+// in-step and defers the tail to a background applier (the deferred chunks
+// are returned, not scheduled).
 const (
 	Serialized Mode = iota
 	Naive
 	Optimized
+	Readiness
+	AsyncTopK
 )
 
 // String names the mode.
@@ -43,6 +52,10 @@ func (m Mode) String() string {
 		return "naive"
 	case Optimized:
 		return "optimized"
+	case Readiness:
+		return "readiness"
+	case AsyncTopK:
+		return "async-topk"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -77,13 +90,44 @@ type Rates struct {
 	AdamParamsPerSec float64
 }
 
+// Options tunes the optimizer-scheduling modes. Zero values take the
+// engine's defaults.
+type Options struct {
+	// Depth bounds the readiness prefetch window: at most Depth state reads
+	// may run ahead of the update chain (0 = 2, the engine's default
+	// pipeline depth).
+	Depth int
+	// TopK is the number of chunks the AsyncTopK mode keeps in-step,
+	// ranked by parameter count — the simulator's stand-in for the
+	// engine's gradient-norm importance (0 = half the chunks, rounded up).
+	TopK int
+}
+
 // Schedule appends the optimizer tasks for all chunks to a schedule.
 // Task IDs are assigned from nextID upward; it returns the tasks, the next
 // free ID, and the IDs of the final write-backs (the iteration's optimizer
-// completion set).
+// completion set). Readiness/AsyncTopK run with default Options; use
+// ScheduleWith to tune them or to observe the deferred tail.
 func Schedule(mode Mode, chunks []Chunk, nextID int, r Rates) (tasks []sim.Task, next int, finals []int, err error) {
+	tasks, next, finals, _, err = ScheduleWith(mode, chunks, nextID, r, Options{})
+	return tasks, next, finals, err
+}
+
+// ScheduleWith is Schedule with scheduling options. In AsyncTopK mode the
+// chunks outside the top-k partition are returned in deferred instead of
+// being scheduled — their handler traffic rides on a background applier
+// outside the iteration's critical path; every other mode returns a nil
+// deferred slice.
+func ScheduleWith(mode Mode, chunks []Chunk, nextID int, r Rates, o Options) (tasks []sim.Task, next int, finals []int, deferred []Chunk, err error) {
 	if r.AdamParamsPerSec <= 0 {
-		return nil, 0, nil, fmt.Errorf("agoffload: non-positive Adam rate %v", r.AdamParamsPerSec)
+		return nil, 0, nil, nil, fmt.Errorf("agoffload: non-positive Adam rate %v", r.AdamParamsPerSec)
+	}
+	if mode == AsyncTopK {
+		chunks, deferred = partitionTopK(chunks, o.TopK)
+	}
+	depth := o.Depth
+	if depth <= 0 {
+		depth = 2
 	}
 	id := nextID
 	alloc := func() int { id++; return id - 1 }
@@ -101,11 +145,12 @@ func Schedule(mode Mode, chunks []Chunk, nextID int, r Rates) (tasks []sim.Task,
 		}
 	}
 
-	prevWrite := -1   // previous chunk's write-back (Naive chain)
-	prevCompute := -1 // previous chunk's CPU update
+	prevWrite := -1                           // previous chunk's write-back (Naive chain)
+	prevCompute := -1                         // previous chunk's CPU update
+	computeIDs := make([]int, 0, len(chunks)) // per-chunk updates (Readiness depth bound)
 	for i, c := range chunks {
 		if c.Params <= 0 {
-			return nil, 0, nil, fmt.Errorf("agoffload: chunk %d (%s) has %d params", i, c.Label, c.Params)
+			return nil, 0, nil, nil, fmt.Errorf("agoffload: chunk %d (%s) has %d params", i, c.Label, c.Params)
 		}
 		deps := func(extra ...int) []int {
 			var d []int
@@ -129,10 +174,17 @@ func Schedule(mode Mode, chunks []Chunk, nextID int, r Rates) (tasks []sim.Task,
 		var readID = -1
 		if streaming {
 			readDeps := deps()
-			if mode == Naive {
+			switch mode {
+			case Naive:
 				// Fig. 3a: the next tensor's SSD->Main waits for the
 				// previous tensor's Main->SSD.
 				readDeps = deps(prevWrite)
+			case Readiness:
+				// Depth-bounded prefetch: read i reuses the buffer slot
+				// freed when update i-depth consumed its state.
+				if i >= depth {
+					readDeps = deps(computeIDs[i-depth])
+				}
 			}
 			readID = alloc()
 			tasks = append(tasks, sim.Task{
@@ -159,6 +211,7 @@ func Schedule(mode Mode, chunks []Chunk, nextID int, r Rates) (tasks []sim.Task,
 			Deps:     computeDeps,
 		})
 		prevCompute = computeID
+		computeIDs = append(computeIDs, computeID)
 
 		if streaming {
 			writeID := alloc()
@@ -175,7 +228,36 @@ func Schedule(mode Mode, chunks []Chunk, nextID int, r Rates) (tasks []sim.Task,
 			finals = append(finals, computeID)
 		}
 	}
-	return tasks, id, finals, nil
+	return tasks, id, finals, deferred, nil
+}
+
+// partitionTopK splits chunks into the top-k by parameter count (kept
+// in-step, original order preserved) and the deferred tail. k <= 0 keeps
+// half the chunks, rounded up.
+func partitionTopK(chunks []Chunk, k int) (kept, deferred []Chunk) {
+	if k <= 0 {
+		k = (len(chunks) + 1) / 2
+	}
+	if k >= len(chunks) {
+		return chunks, nil
+	}
+	// Rank by parameter count without disturbing the arrival order of the
+	// kept partition: select the k-th largest as a threshold.
+	ranked := append([]Chunk(nil), chunks...)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Params > ranked[j].Params })
+	keep := make(map[string]int, k)
+	for _, c := range ranked[:k] {
+		keep[c.Label]++
+	}
+	for _, c := range chunks {
+		if keep[c.Label] > 0 {
+			keep[c.Label]--
+			kept = append(kept, c)
+		} else {
+			deferred = append(deferred, c)
+		}
+	}
+	return kept, deferred
 }
 
 // ChunksForBlocks builds one chunk per (label, params) pair with the given

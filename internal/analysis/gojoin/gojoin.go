@@ -37,6 +37,7 @@ consumption for joining but carry no close obligation.`,
 	Scope: []string{
 		"ratel/internal/engine",
 		"ratel/internal/nvme",
+		"ratel/internal/opt",
 		"ratel/internal/tensor/pool",
 	},
 	Run: run,

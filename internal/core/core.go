@@ -36,6 +36,16 @@ type Options struct {
 	// GradMode selects the active-gradient-offloading schedule; the default
 	// is the optimized pipeline of Fig. 3b.
 	GradMode agoffload.Mode
+	// OptSchedule selects the optimizer scheduling mode: sync (default),
+	// readiness (state reads issued at gradient arrival, bit-identical),
+	// or async (importance-partitioned deferred Adam with bounded
+	// staleness). AsyncTopK, MaxStaleness and ImportanceEvery tune the
+	// async mode; zero values take the engine defaults (half the groups,
+	// 1 step, every step).
+	OptSchedule     opt.ScheduleMode
+	AsyncTopK       int
+	MaxStaleness    int
+	ImportanceEvery int
 	// Devices is the NVMe array width (1 if zero); Dir backs it with files
 	// when non-empty.
 	Devices int
@@ -83,6 +93,10 @@ func Init(opts Options) (*Session, error) {
 		Model:            opts.Model,
 		Adam:             opts.Adam,
 		GradMode:         opts.GradMode,
+		OptSchedule:      opts.OptSchedule,
+		AsyncTopK:        opts.AsyncTopK,
+		MaxStaleness:     opts.MaxStaleness,
+		ImportanceEvery:  opts.ImportanceEvery,
 		Devices:          opts.Devices,
 		Dir:              opts.Dir,
 		HostMemory:       opts.HostMemory,
@@ -163,6 +177,11 @@ func (s *Session) Flows() obs.FlowSnapshot { return s.eng.Flows() }
 // FlightRecords returns the engine's crash-ring of recent step records,
 // oldest first — the payload of a flight-recorder dump.
 func (s *Session) FlightRecords() []obs.StepRecord { return s.eng.FlightRecords() }
+
+// FlushAsync joins every in-flight deferred optimizer update (async
+// scheduling only; a no-op otherwise). Call it before reading final
+// weights or traffic totals so they reflect all staged gradients.
+func (s *Session) FlushAsync() error { return s.eng.FlushAsync() }
 
 // SaveCheckpoint writes the session's full training state (fp32 masters and
 // optimizer moments) to w; restoring and continuing is bit-identical to an

@@ -118,6 +118,27 @@ type Config struct {
 	// global: the global norm is only known after all gradients arrive,
 	// which would re-serialize the optimizer (§IV-C's whole point).
 	ClipGroupNorm float64
+	// OptSchedule selects the optimizer scheduling mode: ScheduleSync
+	// (default, each handler streams its own state inline),
+	// ScheduleReadiness (state reads issued at gradient arrival,
+	// bit-identical), or ScheduleAsync (importance-partitioned async Adam
+	// with bounded staleness). The non-sync modes are incompatible with
+	// DynamicLossScale and DelayedUpdate.
+	OptSchedule opt.ScheduleMode
+	// AsyncTopK is the number of important parameter groups (top-k by
+	// gradient L2 norm) updated synchronously in-step in ScheduleAsync mode;
+	// the rest drain on the background applier. 0 means half the groups
+	// (rounded up).
+	AsyncTopK int
+	// MaxStaleness bounds, in steps, how far behind a deferred group's
+	// installed weights may lag in ScheduleAsync mode: a step whose start
+	// would exceed the bound blocks on the backlogged applies first. 0 means
+	// 1 (the classic one-step-stale async update).
+	MaxStaleness int
+	// ImportanceEvery is the importance-partition recompute cadence in
+	// steps for ScheduleAsync mode; 0 means every step. The first step
+	// always updates fully synchronously (no norms observed yet).
+	ImportanceEvery int
 	// PipelineDepth bounds the activation I/O window in each direction:
 	// forward may have up to this many write-behind offloads in flight while
 	// compute proceeds, and backward read-ahead launches the fetch for block
@@ -189,6 +210,31 @@ type Engine struct {
 	// slice scratch. Engine steps are serial, so neither needs locking.
 	stepChs    []chan error
 	pendingScr []chan error
+
+	// Optimizer scheduling (see opt/schedule_async.go). pref is the
+	// readiness-ordered state prefetcher (ScheduleReadiness, nil otherwise);
+	// applier and the per-group deferred slots implement the
+	// importance-partitioned async mode (ScheduleAsync, nil otherwise). The
+	// partition fields are owned by the step goroutine: asyncImportant names
+	// the groups updating in-step under the current partition, asyncNorms
+	// collects this step's gradient norms, and asyncRouted reports whether a
+	// partition has been committed yet (before that, everything is sync).
+	pref           *opt.StatePrefetcher
+	applier        *opt.AsyncApplier
+	deferreds      []*opt.DeferredUpdate
+	deferredByName map[string]*opt.DeferredUpdate
+	asyncImportant map[string]bool
+	asyncNorms     map[string]float64
+	asyncRouted    bool
+	asyncK         int
+	maxStaleness   int
+	importEvery    int
+	// Per-step optimizer-scheduling telemetry, owned by the step goroutine
+	// and folded into StepMetrics at noteStep.
+	deferredGroupsN int
+	deferredBytesN  int64
+	stalenessPeakN  int
+	prefLaunchedN   int
 
 	// Telemetry (see telemetry.go). tracer may be nil; ins instruments are
 	// detached no-ops when Config.Metrics is nil. flows and flight are
@@ -313,6 +359,36 @@ func New(cfg Config) (*Engine, error) {
 			return nil, errors.Join(err, a.Close())
 		}
 	}
+	if cfg.OptSchedule != opt.ScheduleSync {
+		if cfg.DynamicLossScale {
+			err := fmt.Errorf("engine: %v optimizer scheduling is incompatible with dynamic loss scaling (a skipped step cannot be unwound from the schedule)", cfg.OptSchedule)
+			return nil, errors.Join(err, a.Close())
+		}
+		if cfg.DelayedUpdate {
+			err := fmt.Errorf("engine: %v optimizer scheduling is incompatible with the delayed update (both reschedule the same updates)", cfg.OptSchedule)
+			return nil, errors.Join(err, a.Close())
+		}
+	}
+	switch cfg.OptSchedule {
+	case opt.ScheduleSync, opt.ScheduleReadiness, opt.ScheduleAsync:
+	default:
+		err := fmt.Errorf("engine: unknown optimizer schedule %v", cfg.OptSchedule)
+		return nil, errors.Join(err, a.Close())
+	}
+	if cfg.OptSchedule == opt.ScheduleAsync {
+		e.asyncK = cfg.AsyncTopK
+		if e.asyncK <= 0 {
+			e.asyncK = (len(e.groups) + 1) / 2
+		}
+		e.maxStaleness = cfg.MaxStaleness
+		if e.maxStaleness <= 0 {
+			e.maxStaleness = 1
+		}
+		e.importEvery = cfg.ImportanceEvery
+		if e.importEvery <= 0 {
+			e.importEvery = 1
+		}
+	}
 	if cfg.DynamicLossScale {
 		if cfg.GradMode != agoffload.Serialized {
 			err := fmt.Errorf("engine: dynamic loss scaling requires the serialized gradient mode (updates must wait for overflow validation)")
@@ -333,8 +409,39 @@ func New(cfg Config) (*Engine, error) {
 			return nil, errors.Join(err, a.Close())
 		}
 	}
-	// Writer goroutines start last so no construction-error path has to stop
-	// them: every earlier failure closes just the array.
+	// Background goroutines (writers, state prefetcher, async applier)
+	// start last so no construction-error path has to stop them: every
+	// earlier failure closes just the array.
+	switch cfg.OptSchedule {
+	case opt.ScheduleReadiness:
+		// The prefetch window reuses the activation pipeline depth (min 1 —
+		// even the synchronous-activation configuration gets one read of
+		// overlap).
+		pdepth := e.depth
+		if pdepth < 1 {
+			pdepth = 1
+		}
+		e.pref = opt.NewStatePrefetcher(e.optimizer, pdepth, len(e.groups))
+		for _, g := range e.groups {
+			e.pref.Register(g)
+		}
+	case opt.ScheduleAsync:
+		// Every group gets a preallocated deferred slot: the importance
+		// partition shifts over training, so sizing for the current tail
+		// would re-allocate (and blow the steady-state alloc budget) on
+		// every partition change.
+		e.applier = opt.NewAsyncApplier(e.optimizer, len(e.groups))
+		e.deferreds = make([]*opt.DeferredUpdate, 0, len(e.groups))
+		e.deferredByName = make(map[string]*opt.DeferredUpdate, len(e.groups))
+		e.asyncImportant = make(map[string]bool, len(e.groups))
+		e.asyncNorms = make(map[string]float64, len(e.groups))
+		for _, g := range e.groups {
+			d := e.optimizer.NewDeferred(g)
+			e.deferreds = append(e.deferreds, d)
+			e.deferredByName[g.Name] = d
+			e.asyncNorms[g.Name] = 0
+		}
+	}
 	if e.depth > 0 {
 		// One writer serializes a depth-1 window exactly like the old inline
 		// path. Deeper windows get one writer per in-flight blob up to the
@@ -364,10 +471,14 @@ func (e *Engine) currentScale() float64 {
 // LossScale reports the active loss scale (for tests and telemetry).
 func (e *Engine) LossScale() float64 { return e.currentScale() }
 
-// Close stops the offload pipeline's writer goroutines and releases the
-// NVMe array.
+// Close stops the offload pipeline's writer goroutines, the optimizer
+// scheduling goroutines (state prefetcher / async applier), and releases
+// the NVMe array. Call FlushAsync first when the pending deferred updates'
+// results matter.
 func (e *Engine) Close() error {
 	e.pipe.close()
+	e.pref.Close()
+	e.applier.Close()
 	return e.array.Close()
 }
 
@@ -407,8 +518,11 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 	m := e.model
 	m.ZeroGrads()
 	e.pipe.resetStepCounters()
+	e.resetOptSchedCounters()
 	if !e.cfg.DelayedUpdate {
-		e.beginStep()
+		if err := e.beginStep(); err != nil {
+			return 0, err
+		}
 	}
 	stepStart := time.Now()
 	stepSp := e.tracer.StartSpan(obs.LaneStep, labelStep)
@@ -432,7 +546,7 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 		go func() {
 			defer workerWG.Done()
 			for j := range jobs {
-				j.errCh <- e.optimizer.UpdateGroup(j.group)
+				j.errCh <- e.updateGroup(j.group)
 			}
 		}()
 	}
@@ -442,6 +556,12 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 		if e.cfg.DelayedUpdate {
 			return nil // handled after backward, one step late
 		}
+		if e.applier != nil {
+			if handled, err := e.maybeDefer(g); handled || err != nil {
+				return err
+			}
+		}
+		e.launchPrefetch(g)
 		switch e.cfg.GradMode {
 		case agoffload.Optimized:
 			errCh := e.stepCh(len(pending))
@@ -449,7 +569,7 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 			pending = append(pending, errCh)
 			return nil
 		case agoffload.Naive:
-			return e.optimizer.UpdateGroup(g)
+			return e.updateGroup(g)
 		default:
 			deferred = append(deferred, g)
 			return nil
@@ -479,7 +599,7 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 			return nil
 		}
 		for _, g := range deferred {
-			if err := e.optimizer.UpdateGroup(g); err != nil {
+			if err := e.updateGroup(g); err != nil {
 				return err
 			}
 		}
@@ -490,9 +610,13 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 	}
 	fail := func(err error) (float64, error) {
 		// Don't apply a partial serialized update for a failed step; the
-		// already-submitted Optimized handlers are drained either way.
+		// already-submitted Optimized handlers are drained either way, and
+		// so are any abandoned readiness prefetches.
 		deferred = nil
 		ferr := finish()
+		if derr := e.pref.DrainLive(); derr != nil && ferr == nil {
+			ferr = derr
+		}
 		if ferr != nil {
 			return 0, fmt.Errorf("%w (and optimizer drain failed: %v)", err, ferr)
 		}
@@ -505,14 +629,19 @@ func (e *Engine) TrainStep(tokens, targets [][]int) (float64, error) {
 	}
 
 	drainStart := time.Now()
-	if err := finish(); err != nil {
-		return 0, err
+	ferr := finish()
+	if derr := e.pref.DrainLive(); derr != nil && ferr == nil {
+		ferr = derr
+	}
+	if ferr != nil {
+		return 0, ferr
 	}
 	if e.cfg.DelayedUpdate {
 		if err := e.applyDelayed(groups); err != nil {
 			return 0, err
 		}
 	}
+	e.refreshPartition()
 	drain := time.Since(drainStart)
 	e.mu.Lock()
 	e.stats.Steps++
@@ -560,10 +689,16 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 	if e.scaler != nil {
 		return 0, fmt.Errorf("engine: gradient accumulation with dynamic loss scaling is unsupported (use a static LossScale)")
 	}
+	if e.applier != nil {
+		return 0, fmt.Errorf("engine: gradient accumulation with async optimizer scheduling is unsupported")
+	}
 	m := e.model
 	m.ZeroGrads()
 	e.pipe.resetStepCounters()
-	e.beginStep()
+	e.resetOptSchedCounters()
+	if err := e.beginStep(); err != nil {
+		return 0, err
+	}
 	stepStart := time.Now()
 	stepSp := e.tracer.StartSpan(obs.LaneStep, labelStep)
 	defer stepSp.End()
@@ -598,7 +733,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 		go func() {
 			defer workerWG.Done()
 			for j := range jobs {
-				j.errCh <- e.optimizer.UpdateGroup(j.group)
+				j.errCh <- e.updateGroup(j.group)
 			}
 		}()
 	}
@@ -609,6 +744,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 		for _, p := range g.Params {
 			p.G.Scale(scale)
 		}
+		e.launchPrefetch(g)
 		switch e.cfg.GradMode {
 		case agoffload.Optimized:
 			errCh := e.stepCh(len(pending))
@@ -616,7 +752,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 			pending = append(pending, errCh)
 			return nil
 		case agoffload.Naive:
-			return e.optimizer.UpdateGroup(g)
+			return e.updateGroup(g)
 		default:
 			deferred = append(deferred, g)
 			return nil
@@ -633,7 +769,7 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 			}
 		}
 		for _, g := range deferred {
-			if err := e.optimizer.UpdateGroup(g); err != nil {
+			if err := e.updateGroup(g); err != nil {
 				return err
 			}
 		}
@@ -643,7 +779,11 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 	last := micro[len(micro)-1]
 	loss, fwdDur, bwdDur, err := e.runBatch(last.Tokens, last.Targets, groups, submit)
 	if err != nil {
-		if ferr := finish(); ferr != nil {
+		ferr := finish()
+		if derr := e.pref.DrainLive(); derr != nil && ferr == nil {
+			ferr = derr
+		}
+		if ferr != nil {
 			return 0, fmt.Errorf("%w (and optimizer drain failed: %v)", err, ferr)
 		}
 		return 0, err
@@ -653,8 +793,12 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 	bwdTotal += bwdDur
 	tokenCount += countTokens(last.Tokens)
 	drainStart := time.Now()
-	if err := finish(); err != nil {
-		return 0, err
+	ferr := finish()
+	if derr := e.pref.DrainLive(); derr != nil && ferr == nil {
+		ferr = derr
+	}
+	if ferr != nil {
+		return 0, ferr
 	}
 	drain := time.Since(drainStart)
 	e.mu.Lock()
@@ -665,8 +809,10 @@ func (e *Engine) TrainStepAccum(micro []Batch) (float64, error) {
 }
 
 // beginStep advances the optimizer, applies the learning-rate schedule and
-// the current gradient unscale factor.
-func (e *Engine) beginStep() {
+// the current gradient unscale factor. Under async scheduling it also runs
+// the staleness barrier: deferred updates older than MaxStaleness are joined
+// before the new step's gradients can overwrite their groups.
+func (e *Engine) beginStep() error {
 	e.optimizer.BeginStep()
 	if e.cfg.LRSchedule != nil {
 		e.optimizer.SetLR(e.cfg.LRSchedule(e.optimizer.Step()))
@@ -676,6 +822,157 @@ func (e *Engine) beginStep() {
 		// error to keep the hot path clean.
 		_ = e.optimizer.SetGradScale(s)
 	}
+	if e.applier != nil {
+		return e.stalenessBarrier()
+	}
+	return nil
+}
+
+// updateGroup routes one group's synchronous update through the readiness
+// prefetcher when that schedule is enabled; otherwise it hits the optimizer
+// directly, exactly as before.
+func (e *Engine) updateGroup(g nn.ParamGroup) error {
+	if e.pref != nil {
+		return e.pref.UpdateGroup(g)
+	}
+	return e.optimizer.UpdateGroup(g)
+}
+
+// launchPrefetch issues the group's readiness-ordered state read the moment
+// its gradient lands in backward. No-op outside readiness scheduling.
+func (e *Engine) launchPrefetch(g nn.ParamGroup) {
+	if e.pref == nil {
+		return
+	}
+	e.pref.Launch(g.Name)
+	e.prefLaunchedN++
+}
+
+// resetOptSchedCounters clears the per-step scheduling telemetry.
+func (e *Engine) resetOptSchedCounters() {
+	e.deferredGroupsN = 0
+	e.deferredBytesN = 0
+	e.stalenessPeakN = 0
+	e.prefLaunchedN = 0
+}
+
+// maybeDefer routes a group under async scheduling: important groups (and
+// every group until the first partition is computed) fall through to the
+// synchronous path, unimportant groups are staged and handed to the
+// background applier. Returns handled=true when the group was deferred.
+// Either way the group's previous deferred apply is joined first, so a slot
+// is never reused (or raced by a sync update) while in flight.
+func (e *Engine) maybeDefer(g nn.ParamGroup) (bool, error) {
+	if e.importanceDue() {
+		e.asyncNorms[g.Name] = gradNorm(g)
+	}
+	d := e.deferredByName[g.Name]
+	if err := d.Wait(); err != nil {
+		return true, err
+	}
+	if !e.asyncRouted || e.asyncImportant[g.Name] {
+		return false, nil
+	}
+	if err := e.optimizer.StageDeferred(d, g); err != nil {
+		return true, err
+	}
+	e.applier.Submit(d)
+	e.deferredGroupsN++
+	e.deferredBytesN += d.DeferredBytes()
+	return true, nil
+}
+
+// importanceDue reports whether this step recomputes the importance
+// partition (every ImportanceEvery steps; step 1 is always due).
+func (e *Engine) importanceDue() bool {
+	return e.optimizer.Step()%e.importEvery == 0 || !e.asyncRouted
+}
+
+// gradNorm is the L2 norm of a group's gradients, used to rank groups for
+// the importance partition.
+func gradNorm(g nn.ParamGroup) float64 {
+	var sum float64
+	for _, p := range g.Params {
+		if p.G == nil {
+			continue
+		}
+		for _, v := range p.G.Data {
+			sum += float64(v) * float64(v)
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// refreshPartition recomputes the top-k importance partition from the norms
+// sampled this step. Called at the end of a successful TrainStep so the new
+// partition routes the *next* step's gradients.
+func (e *Engine) refreshPartition() {
+	if e.applier == nil || !e.importanceDue() {
+		return
+	}
+	for name := range e.asyncImportant {
+		delete(e.asyncImportant, name)
+	}
+	for rank := 0; rank < e.asyncK && rank < len(e.groups); rank++ {
+		best := -1
+		var bestNorm float64
+		for i, g := range e.groups {
+			if e.asyncImportant[g.Name] {
+				continue
+			}
+			if n := e.asyncNorms[g.Name]; best < 0 || n > bestNorm {
+				best, bestNorm = i, n
+			}
+		}
+		e.asyncImportant[e.groups[best].Name] = true
+	}
+	e.asyncRouted = true
+}
+
+// stalenessBarrier enforces MaxStaleness at the top of step t: any deferred
+// update staged at step d with t-d > MaxStaleness is force-joined. Younger
+// updates are deliberately NOT installed early even when the applier has
+// finished — installs happen only at this fixed lag (or when the group is
+// re-staged), so the trajectory depends on step arithmetic alone, never on
+// applier timing, and training stays bit-reproducible across thread counts
+// and reruns. The post-barrier peak staleness (≤ MaxStaleness by
+// construction) is recorded for telemetry.
+func (e *Engine) stalenessBarrier() error {
+	t := e.optimizer.Step()
+	peak := 0
+	for _, d := range e.deferreds {
+		if !d.Pending() {
+			continue
+		}
+		age := t - d.Step()
+		if age > e.maxStaleness {
+			if err := d.Wait(); err != nil {
+				return err
+			}
+			continue
+		}
+		if age > peak {
+			peak = age
+		}
+	}
+	e.stalenessPeakN = peak
+	return nil
+}
+
+// FlushAsync joins every in-flight deferred optimizer update, installing
+// their results. It is a no-op outside async scheduling; checkpointing and
+// weight export call it so persisted state reflects all staged gradients.
+func (e *Engine) FlushAsync() error {
+	if e.applier == nil {
+		return nil
+	}
+	var joined error
+	for _, d := range e.deferreds {
+		if err := d.Wait(); err != nil {
+			joined = errors.Join(joined, err)
+		}
+	}
+	return joined
 }
 
 // runBatch executes one forward/backward pass, accumulating gradients and

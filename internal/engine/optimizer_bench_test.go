@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+
+	"ratel/internal/agoffload"
+	"ratel/internal/nn"
+	"ratel/internal/nvme"
+	"ratel/internal/opt"
+)
+
+// optimizerBenchConfig shapes a step whose cost is dominated by optimizer
+// state streaming (BENCH_optimizer.json): a wide-ish model over a short
+// sequence, everything recomputed so the only SSD traffic is the 26 B/param
+// state round-trip, on a Table III-shaped throttled array (same 1/200
+// scaling argument as BENCH_overlap.json). The synchronous optimized
+// schedule serializes each group's read->adam->write on the handler worker;
+// the variants move that state traffic off the critical path.
+func optimizerBenchConfig(mut func(*Config)) Config {
+	cfg := Config{
+		Model:    nn.Config{Vocab: 32, Seq: 64, Hidden: 64, Heads: 4, Layers: 4, Batch: 2, Seed: 21},
+		GradMode: agoffload.Optimized,
+		Devices:  3,
+		SSD: &nvme.Config{
+			ReadBW:     overlapReadBW,
+			WriteBW:    overlapWriteBW,
+			StripeSize: 1 << 16,
+		},
+	}
+	mut(&cfg)
+	return cfg
+}
+
+// BenchmarkTrainStepOptSchedule compares the optimizer scheduling modes on
+// the state-streaming-bound step: sync (the baseline drain), readiness
+// (state reads issued at gradient arrival, bit-identical), and async at two
+// staleness bounds (tail partition deferred to the background applier).
+func BenchmarkTrainStepOptSchedule(b *testing.B) {
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"sync", func(c *Config) {}},
+		{"readiness", func(c *Config) { c.OptSchedule = opt.ScheduleReadiness }},
+		{"async-s1", func(c *Config) {
+			c.OptSchedule = opt.ScheduleAsync
+			c.AsyncTopK = 2
+			c.MaxStaleness = 1
+		}},
+		{"async-s2", func(c *Config) {
+			c.OptSchedule = opt.ScheduleAsync
+			c.AsyncTopK = 2
+			c.MaxStaleness = 2
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			e, err := New(optimizerBenchConfig(v.mut))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			tokens, targets := data(e.cfg.Model, 9)
+			for i := 0; i < 3; i++ {
+				if _, err := e.TrainStep(tokens, targets); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.TrainStep(tokens, targets); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := e.FlushAsync(); err != nil {
+				b.Fatal(err)
+			}
+			m := e.LastStepMetrics()
+			b.ReportMetric(float64(m.OptimizerDrain.Microseconds()), "drain-µs/step")
+			b.ReportMetric(float64(m.DeferredGroups), "deferred-groups/step")
+		})
+	}
+}
+
+// TestOptimizerBenchValues pins the benchmark's comparability claim: on the
+// throttled bench config, the readiness variant follows the sync variant's
+// trajectory bit-for-bit, and the async variants respect their staleness
+// bounds.
+func TestOptimizerBenchValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throttled-array training in -short mode")
+	}
+	run := func(mut func(*Config)) ([]float64, *Engine) {
+		e, err := New(optimizerBenchConfig(mut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		tokens, targets := data(e.cfg.Model, 9)
+		var losses []float64
+		for i := 0; i < 3; i++ {
+			loss, err := e.TrainStep(tokens, targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, loss)
+		}
+		return losses, e
+	}
+	syncLoss, _ := run(func(c *Config) {})
+	readyLoss, _ := run(func(c *Config) { c.OptSchedule = opt.ScheduleReadiness })
+	for i := range syncLoss {
+		if syncLoss[i] != readyLoss[i] {
+			t.Fatalf("readiness loss[%d] = %v differs from sync %v", i, readyLoss[i], syncLoss[i])
+		}
+	}
+	for _, s := range []int{1, 2} {
+		s := s
+		_, e := run(func(c *Config) {
+			c.OptSchedule = opt.ScheduleAsync
+			c.AsyncTopK = 2
+			c.MaxStaleness = s
+		})
+		if m := e.LastStepMetrics(); m.StalenessPeak > s {
+			t.Fatalf("async-s%d staleness peak %d exceeds bound", s, m.StalenessPeak)
+		}
+		if err := e.FlushAsync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

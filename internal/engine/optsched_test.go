@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"ratel/internal/agoffload"
+	"ratel/internal/opt"
+)
+
+// TestReadinessBitIdenticalMatrix is the readiness mode's exactness claim:
+// for every gradient-offloading schedule and a mixed swap tier, training
+// with readiness-ordered state reads is bit-identical to the synchronous
+// optimizer schedule — same losses, same parameters, only the fetch timing
+// differs.
+func TestReadinessBitIdenticalMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"serialized", Config{GradMode: agoffload.Serialized}},
+		{"naive", Config{GradMode: agoffload.Naive}},
+		{"optimized", Config{GradMode: agoffload.Optimized}},
+		{"optimized/mixed-swap", Config{GradMode: agoffload.Optimized,
+			Swap: map[int]Tier{0: SwapSSD, 1: SwapHost, 2: SwapSSD}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sync := newEngine(t, tc.cfg)
+			syncLoss := trainK(t, sync, 4)
+			syncSnap := paramsSnapshot(sync.Model())
+
+			rcfg := tc.cfg
+			rcfg.OptSchedule = opt.ScheduleReadiness
+			ready := newEngine(t, rcfg)
+			readyLoss := trainK(t, ready, 4)
+			readySnap := paramsSnapshot(ready.Model())
+
+			for i := range syncLoss {
+				if syncLoss[i] != readyLoss[i] {
+					t.Fatalf("loss[%d]: sync %v vs readiness %v", i, syncLoss[i], readyLoss[i])
+				}
+			}
+			for i := range syncSnap {
+				if syncSnap[i] != readySnap[i] {
+					t.Fatalf("parameter %d differs under readiness scheduling", i)
+				}
+			}
+			if m := ready.LastStepMetrics(); m.PrefetchedReads == 0 {
+				t.Error("readiness mode issued no prefetched state reads")
+			}
+		})
+	}
+}
+
+// TestAsyncConvergence is the async mode's regression bound: with the tail
+// partition deferred at bounded staleness, the loss trajectory must track
+// the synchronous baseline closely and end within tolerance.
+func TestAsyncConvergence(t *testing.T) {
+	const steps = 10
+	sync := newEngine(t, Config{GradMode: agoffload.Optimized})
+	syncLoss := trainK(t, sync, steps)
+
+	async := newEngine(t, Config{GradMode: agoffload.Optimized,
+		OptSchedule: opt.ScheduleAsync, AsyncTopK: 2, MaxStaleness: 2})
+	asyncLoss := trainK(t, async, steps)
+	if err := async.FlushAsync(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range asyncLoss {
+		if math.IsNaN(asyncLoss[i]) || math.IsInf(asyncLoss[i], 0) {
+			t.Fatalf("async loss[%d] = %v", i, asyncLoss[i])
+		}
+	}
+	ref, got := syncLoss[steps-1], asyncLoss[steps-1]
+	if drift := math.Abs(got-ref) / math.Abs(ref); drift > 0.05 {
+		t.Fatalf("async final loss %v drifted %.1f%% from sync %v (tolerance 5%%)",
+			got, 100*drift, ref)
+	}
+}
+
+// TestAsyncStalenessBound: the post-barrier peak staleness reported each
+// step must never exceed MaxStaleness, and the async mode must actually
+// defer work (the bound is vacuous otherwise).
+func TestAsyncStalenessBound(t *testing.T) {
+	for _, maxStale := range []int{1, 2} {
+		e := newEngine(t, Config{GradMode: agoffload.Optimized,
+			OptSchedule: opt.ScheduleAsync, AsyncTopK: 1, MaxStaleness: maxStale})
+		cfg := e.cfg.Model
+		deferredSeen := false
+		for s := 0; s < 8; s++ {
+			tokens, targets := data(cfg, int64(s))
+			if _, err := e.TrainStep(tokens, targets); err != nil {
+				t.Fatal(err)
+			}
+			m := e.LastStepMetrics()
+			if m.StalenessPeak > maxStale {
+				t.Fatalf("S=%d step %d: staleness peak %d exceeds bound", maxStale, s, m.StalenessPeak)
+			}
+			if m.DeferredGroups > 0 {
+				deferredSeen = true
+				if m.DeferredBytes <= 0 {
+					t.Fatalf("S=%d step %d: %d groups deferred but zero bytes credited", maxStale, s, m.DeferredGroups)
+				}
+			}
+		}
+		if !deferredSeen {
+			t.Fatalf("S=%d: async mode never deferred a group", maxStale)
+		}
+		if err := e.FlushAsync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAsyncApplierFaultSurfaces: a device failure hit by the background
+// applier's state stream must surface as a training (or flush) error, not
+// vanish into the background goroutine.
+func TestAsyncApplierFaultSurfaces(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Optimized,
+		OptSchedule: opt.ScheduleAsync, AsyncTopK: 1, MaxStaleness: 1})
+	cfg := e.cfg.Model
+	// Two clean steps establish the partition and start deferring.
+	for s := 0; s < 2; s++ {
+		tokens, targets := data(cfg, int64(s))
+		if _, err := e.TrainStep(tokens, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("media failure")
+	for d := 0; d < 3; d++ {
+		e.Array().InjectFault(d, boom)
+	}
+	var err error
+	for s := 2; s < 6 && err == nil; s++ {
+		tokens, targets := data(cfg, int64(s))
+		_, err = e.TrainStep(tokens, targets)
+	}
+	if err == nil {
+		err = e.FlushAsync()
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("applier fault did not surface: %v", err)
+	}
+	for d := 0; d < 3; d++ {
+		e.Array().InjectFault(d, nil)
+	}
+}
+
+// TestAsyncCheckpointFlushes: SaveCheckpoint joins in-flight deferred
+// updates, so a checkpoint taken mid-training restores to the same
+// parameters the flushed engine holds.
+func TestAsyncCheckpointFlushes(t *testing.T) {
+	e := newEngine(t, Config{GradMode: agoffload.Optimized,
+		OptSchedule: opt.ScheduleAsync, AsyncTopK: 1, MaxStaleness: 2})
+	trainK(t, e, 4)
+	var buf bytes.Buffer
+	if err := e.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Post-save, nothing is pending: the snapshot covered every staged update.
+	m := e.LastStepMetrics()
+	if m.Step == 0 {
+		t.Fatal("no steps recorded")
+	}
+	restored := newEngine(t, Config{GradMode: agoffload.Optimized})
+	if err := restored.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, b := paramsSnapshot(e.Model()), paramsSnapshot(restored.Model())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored parameter %d differs from checkpointed engine", i)
+		}
+	}
+}
+
+// TestOptScheduleConfigErrors: the incompatible and malformed knob
+// combinations fail at construction, not mid-training.
+func TestOptScheduleConfigErrors(t *testing.T) {
+	bad := []Config{
+		{GradMode: agoffload.Serialized, OptSchedule: opt.ScheduleAsync, DynamicLossScale: true, LossScale: 1024},
+		{GradMode: agoffload.Optimized, OptSchedule: opt.ScheduleReadiness, DelayedUpdate: true},
+		{GradMode: agoffload.Optimized, OptSchedule: opt.ScheduleMode(99)},
+	}
+	for i, cfg := range bad {
+		cfg.Model = miniConfig()
+		cfg.Devices = 2
+		if e, err := New(cfg); err == nil {
+			e.Close()
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestOptSchedSteadyStateAllocs extends the zero-allocation pin to the new
+// schedules: after warm-up both readiness and async TrainSteps must stay
+// under the same budget as the synchronous path.
+func TestOptSchedSteadyStateAllocs(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"readiness", Config{GradMode: agoffload.Optimized,
+			Swap:        map[int]Tier{0: SwapSSD, 1: SwapHost, 2: SwapSSD},
+			OptSchedule: opt.ScheduleReadiness}},
+		{"async", Config{GradMode: agoffload.Optimized,
+			Swap:        map[int]Tier{0: SwapSSD, 1: SwapHost, 2: SwapSSD},
+			OptSchedule: opt.ScheduleAsync, AsyncTopK: 2, MaxStaleness: 2}},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			e := newEngine(t, m.cfg)
+			tokens, targets := data(e.cfg.Model, 1)
+			for i := 0; i < 3; i++ {
+				if _, err := e.TrainStep(tokens, targets); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := e.TrainStep(tokens, targets); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s steady-state allocs/step = %.0f (budget %d)", m.name, allocs, steadyStateAllocBudget)
+			if allocs > steadyStateAllocBudget {
+				t.Fatalf("%s TrainStep allocates %.0f/step, budget %d", m.name, allocs, steadyStateAllocBudget)
+			}
+		})
+	}
+}

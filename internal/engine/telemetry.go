@@ -98,6 +98,17 @@ type StepMetrics struct {
 	// Flow is the step's byte-flow ledger delta: bytes moved per
 	// (edge, purpose) cell during this step (see obs.FlowLedger).
 	Flow obs.FlowSnapshot
+	// Optimizer-scheduling profile (zero under the sync schedule).
+	// DeferredGroups/DeferredBytes count this step's updates handed to the
+	// async applier and the optimizer traffic they moved off the step;
+	// StalenessPeak is the oldest still-pending deferred update (in steps)
+	// observed after the staleness barrier — ≤ MaxStaleness by construction.
+	// PrefetchedReads counts readiness-ordered state reads issued during
+	// backward.
+	DeferredGroups  int
+	DeferredBytes   int64
+	StalenessPeak   int
+	PrefetchedReads int
 }
 
 // AdamParamsPerSec is the step's measured CPU-optimizer throughput
@@ -147,6 +158,14 @@ type instruments struct {
 	offloadStalls  *obs.Counter
 	offloadStallMS *obs.Gauge
 	offloadQueue   *obs.Gauge
+
+	// Optimizer-scheduling health (readiness/async modes): groups and bytes
+	// deferred to the background applier last step, the post-barrier peak
+	// staleness, and the readiness reads issued during backward.
+	optDeferredGroups  *obs.Gauge
+	optDeferredBytes   *obs.Gauge
+	optStalenessPeak   *obs.Gauge
+	optPrefetchedReads *obs.Gauge
 
 	nvmeReadBytes  *obs.Gauge
 	nvmeWriteBytes *obs.Gauge
@@ -218,6 +237,11 @@ func makeInstruments(r *obs.Registry) instruments {
 		offloadStallMS: r.Gauge("engine.offload_stall_ms"),
 		offloadQueue:   r.Gauge("engine.offload_queue_peak"),
 
+		optDeferredGroups:  r.Gauge("engine.opt_deferred_groups"),
+		optDeferredBytes:   r.Gauge("engine.opt_deferred_bytes"),
+		optStalenessPeak:   r.Gauge("engine.opt_staleness_peak"),
+		optPrefetchedReads: r.Gauge("engine.opt_prefetched_reads"),
+
 		nvmeReadBytes:  r.Gauge("nvme.read_bytes"),
 		nvmeWriteBytes: r.Gauge("nvme.write_bytes"),
 		nvmeReadBW:     r.Gauge("nvme.read_bytes_per_sec"),
@@ -283,6 +307,10 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 		m.OffloadStallWait = e.pipe.stallWait
 		m.OffloadQueuePeak = e.pipe.queuePeak
 	}
+	m.DeferredGroups = e.deferredGroupsN
+	m.DeferredBytes = e.deferredBytesN
+	m.StalenessPeak = e.stalenessPeakN
+	m.PrefetchedReads = e.prefLaunchedN
 	e.prevKernelParams, e.prevKernelBusy = kp, kb
 
 	// Fold this step's byte flow out of the cumulative ledger; the delta
@@ -340,6 +368,11 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	ins.offloadStalls.Add(int64(m.OffloadStalls))
 	ins.offloadStallMS.Set(float64(m.OffloadStallWait) / float64(time.Millisecond))
 	ins.offloadQueue.Set(float64(m.OffloadQueuePeak))
+
+	ins.optDeferredGroups.Set(float64(m.DeferredGroups))
+	ins.optDeferredBytes.Set(float64(m.DeferredBytes))
+	ins.optStalenessPeak.Set(float64(m.StalenessPeak))
+	ins.optPrefetchedReads.Set(float64(m.PrefetchedReads))
 
 	ssd := e.array.Stats()
 	ins.nvmeReadBytes.Set(float64(ssd.BytesRead))

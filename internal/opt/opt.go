@@ -305,11 +305,35 @@ func (o *OutOfCoreAdam) InitGroup(g nn.ParamGroup) error {
 // iteration before the group updates.
 func (o *OutOfCoreAdam) BeginStep() { o.step++ }
 
+// StateWire is one group's optimizer state in wire form: the raw
+// little-endian fp32 bytes of the masters and both Adam moments, exactly as
+// the store holds them (4*NumParams bytes each). The readiness-ordered
+// prefetcher fills one from the store ahead of the update and the optimizer
+// decodes it through the same codec path a direct load uses, so a prefetched
+// update is bit-identical to a synchronous one.
+type StateWire struct {
+	P32, M, V []byte
+}
+
 // UpdateGroup is the active-gradient-offloading handler body: it consumes
 // the group's gradients (rounded to fp16, as they arrive over PCIe),
 // streams P32+OS32 in from the store, applies Adam, streams the updated
 // state back, and installs the new fp16 working weights.
 func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
+	return o.applyGroup(g, nil)
+}
+
+// UpdateGroupWire is UpdateGroup consuming state the readiness prefetcher
+// already read: wire holds the group's raw store bytes, so the only
+// difference from UpdateGroup is *when* the store read happened — the
+// decoded values, and therefore the update, are bit-identical.
+func (o *OutOfCoreAdam) UpdateGroupWire(g nn.ParamGroup, wire *StateWire) error {
+	return o.applyGroup(g, wire)
+}
+
+// applyGroup runs one group update. wire, when non-nil, supplies the state
+// bytes (prefetched); nil streams them from the store inline.
+func (o *OutOfCoreAdam) applyGroup(g nn.ParamGroup, wire *StateWire) error {
 	if o.step < 1 {
 		return fmt.Errorf("opt: UpdateGroup(%s) before BeginStep", g.Name)
 	}
@@ -324,14 +348,26 @@ func (o *OutOfCoreAdam) UpdateGroup(g nn.ParamGroup) error {
 		o.scr.enc = make([]byte, 4*n)
 	}
 	buf := o.scr.enc[:4*n]
-	if err := o.loadFP32Into(p32, buf, ks.p32, g.Name, "p32"); err != nil {
-		return err
-	}
-	if err := o.loadFP32Into(m, buf, ks.m, g.Name, "m"); err != nil {
-		return err
-	}
-	if err := o.loadFP32Into(v, buf, ks.v, g.Name, "v"); err != nil {
-		return err
+	if wire != nil {
+		if err := decodeWire(wire.P32, p32, g.Name, "p32"); err != nil {
+			return err
+		}
+		if err := decodeWire(wire.M, m, g.Name, "m"); err != nil {
+			return err
+		}
+		if err := decodeWire(wire.V, v, g.Name, "v"); err != nil {
+			return err
+		}
+	} else {
+		if err := o.loadFP32Into(p32, buf, ks.p32, g.Name, "p32"); err != nil {
+			return err
+		}
+		if err := o.loadFP32Into(m, buf, ks.m, g.Name, "m"); err != nil {
+			return err
+		}
+		if err := o.loadFP32Into(v, buf, ks.v, g.Name, "v"); err != nil {
+			return err
+		}
 	}
 	// Three fp32 state tensors decoded from their wire form (P32, M, V).
 	o.flows.Add(obs.EdgeCodecDecode, obs.FlowOptState, int64(3*4*n))
@@ -418,6 +454,14 @@ func scrF32(s *[]float32, n int) []float32 {
 		*s = make([]float32, n)
 	}
 	return (*s)[:n]
+}
+
+// decodeWire decodes one prefetched state tensor from its wire bytes.
+func decodeWire(src []byte, dst []float32, group, kind string) error {
+	if err := tensor.FromFP32Bytes(src, dst); err != nil {
+		return fmt.Errorf("opt: decode prefetched %s/%s: %w", group, kind, err)
+	}
+	return nil
 }
 
 // loadFP32Into streams one state tensor into dst, using the store's in-place
@@ -523,14 +567,20 @@ func (o *OutOfCoreAdam) SetStep(step int) error {
 	return nil
 }
 
+// loadFP32 returns one state tensor as a fresh caller-owned slice. It
+// streams through the persistent scratch under scrMu exactly like
+// UpdateGroup — the only allocation is the result itself, so checkpoint and
+// export traffic stays off the steady-state alloc budget.
 func (o *OutOfCoreAdam) loadFP32(group, kind string, n int) ([]float32, error) {
-	b, err := o.store.Get(o.key(group, kind))
-	if err != nil {
-		return nil, fmt.Errorf("opt: load %s/%s: %w", group, kind, err)
-	}
 	out := make([]float32, n)
-	if err := tensor.FromFP32Bytes(b, out); err != nil {
-		return nil, fmt.Errorf("opt: decode %s/%s: %w", group, kind, err)
+	o.scrMu.Lock()
+	defer o.scrMu.Unlock()
+	if cap(o.scr.enc) < 4*n {
+		o.scr.enc = make([]byte, 4*n)
+	}
+	buf := o.scr.enc[:4*n]
+	if err := o.loadFP32Into(out, buf, o.key(group, kind), group, kind); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -94,6 +94,9 @@ type Policy struct {
 	Optimizer OptimizerPlace
 	// GradMode applies when Optimizer == OptCPU.
 	GradMode agoffload.Mode
+	// OptSched tunes the Readiness/AsyncTopK gradient modes (prefetch
+	// depth, in-step top-k); the zero value takes the defaults.
+	OptSched agoffload.Options
 	Act      ActPolicy
 
 	// LinkEff derates the effective GPU<->host PCIe bandwidth the system
