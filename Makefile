@@ -78,6 +78,14 @@ bench-datapath:
 bench-overlap:
 	go test -run '^$$' -bench 'BenchmarkTrainStepOverlap' -benchtime=15x -benchmem ./internal/engine
 
+# Transfer-scheduler benchmark: FCFS vs duplex/priority/coalescing array
+# scheduling on a mixed activation+optimizer trace at Table III-shaped
+# device throttles, plus the adaptive-depth variant (BENCH_sched.json is a
+# committed snapshot).
+.PHONY: bench-sched
+bench-sched:
+	go test -run '^$$' -bench 'BenchmarkTrainStepSched' -benchtime=30x -benchmem ./internal/engine
+
 # Optimizer scheduling benchmark: sync vs readiness-ordered state reads vs
 # importance-partitioned async Adam at staleness 1 and 2, under the same
 # Table III-shaped device throttles (BENCH_optimizer.json is a committed

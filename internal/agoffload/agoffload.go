@@ -101,6 +101,20 @@ type Options struct {
 	// ranked by parameter count — the simulator's stand-in for the
 	// engine's gradient-norm importance (0 = half the chunks, rounded up).
 	TopK int
+	// Duplex routes state reads onto sim.SSDRead and write-backs onto
+	// sim.SSDWrite instead of the shared simplex sim.SSDBus — the
+	// simulator counterpart of the NVMe transfer scheduler's per-device
+	// duplex lanes. BWS2M/BWM2S then throttle each direction
+	// independently, so opt-reads never queue behind write-backs.
+	Duplex bool
+}
+
+// ssdResources returns the (read, write) resources the options select.
+func (o Options) ssdResources() (sim.ResourceID, sim.ResourceID) {
+	if o.Duplex {
+		return sim.SSDRead, sim.SSDWrite
+	}
+	return sim.SSDBus, sim.SSDBus
 }
 
 // Schedule appends the optimizer tasks for all chunks to a schedule.
@@ -129,6 +143,7 @@ func ScheduleWith(mode Mode, chunks []Chunk, nextID int, r Rates, o Options) (ta
 	if depth <= 0 {
 		depth = 2
 	}
+	ssdRead, ssdWrite := o.ssdResources()
 	id := nextID
 	alloc := func() int { id++; return id - 1 }
 
@@ -190,7 +205,7 @@ func ScheduleWith(mode Mode, chunks []Chunk, nextID int, r Rates, o Options) (ta
 			tasks = append(tasks, sim.Task{
 				ID:       readID,
 				Label:    c.Label + "/opt-read",
-				Resource: sim.SSDBus,
+				Resource: ssdRead,
 				Duration: units.TransferTime(c.StateReadBytes(), r.BWS2M),
 				Deps:     readDeps,
 			})
@@ -218,7 +233,7 @@ func ScheduleWith(mode Mode, chunks []Chunk, nextID int, r Rates, o Options) (ta
 			tasks = append(tasks, sim.Task{
 				ID:       writeID,
 				Label:    c.Label + "/opt-write",
-				Resource: sim.SSDBus,
+				Resource: ssdWrite,
 				Duration: units.TransferTime(c.StateWriteBytes(), r.BWM2S),
 				Deps:     []int{computeID},
 			})

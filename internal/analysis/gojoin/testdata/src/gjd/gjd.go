@@ -169,6 +169,59 @@ func (f *fetcher) drain() {
 	}
 }
 
+// The array scheduler's persistent-dispatcher shape: per-device workers
+// parked on a condition variable, signalling a field WaitGroup whose only
+// Wait lives in close. The Done in the worker body plus the package-level
+// Wait form the join edge.
+type dispatcher struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func (d *dispatcher) start(n int) {
+	for i := 0; i < n; i++ {
+		d.wg.Add(1)
+		go d.loop()
+	}
+}
+
+func (d *dispatcher) loop() {
+	defer d.wg.Done()
+	d.mu.Lock()
+	for !d.closed {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// The same shape with the Wait forgotten: the field WaitGroup is signalled
+// but no shutdown path ever joins the dispatchers.
+type leakyDispatcher struct {
+	wg sync.WaitGroup
+}
+
+func (d *leakyDispatcher) start(n int) {
+	for i := 0; i < n; i++ {
+		d.wg.Add(1)
+		go d.loop() // want `goroutine signals wg.Done but nothing in the package calls wg.Wait: the spawn has no join edge`
+	}
+}
+
+func (d *leakyDispatcher) loop() {
+	defer d.wg.Done()
+	work()
+}
+
 // A select-style worker consumes via receive-with-ok inside its loop:
 // closing the input joins it, with no range-style close obligation.
 func recvLoopWorker() {

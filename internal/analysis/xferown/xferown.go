@@ -288,6 +288,10 @@ func releaseCall(info *types.Info, call *ast.CallExpr) (*types.Var, string, bool
 		argIdx, via = 0, "BufPool.Put"
 	case fn.Name() == "PutFrom" && analysis.NamedType(sig.Recv().Type(), nvmePkg, "Array"):
 		argIdx, via = 1, "Array.PutFrom"
+	case fn.Name() == "PutFromClass" && analysis.NamedType(sig.Recv().Type(), nvmePkg, "Array"):
+		// The class-tagged variant the transfer scheduler adds: same
+		// borrowed-buffer hand-off, the class only routes the queue.
+		argIdx, via = 1, "Array.PutFromClass"
 	default:
 		return nil, "", false
 	}

@@ -50,6 +50,17 @@ type Options struct {
 	// when non-empty.
 	Devices int
 	Dir     string
+	// Sched enables the NVMe transfer scheduler: per-device duplex queues
+	// with class-priority dispatch and coalescing instead of FCFS.
+	// SchedClasses overrides the priority order as a comma-separated
+	// permutation of fetch,opt-read,writeback,write-behind. The scheduler
+	// reorders I/O only, never data — trajectories are bit-identical.
+	Sched        bool
+	SchedClasses string
+	// AdaptiveDepth lets a per-window feedback loop choose the effective
+	// activation pipeline depth between 1 and PipelineDepth from the step's
+	// stall profile, instead of a hand-tuned static knob.
+	AdaptiveDepth bool
 	// HostMemory caps pinned host staging (0 = unlimited).
 	HostMemory units.Bytes
 	// Rates describes the hardware the activation planner should optimize
@@ -99,6 +110,9 @@ func Init(opts Options) (*Session, error) {
 		ImportanceEvery:  opts.ImportanceEvery,
 		Devices:          opts.Devices,
 		Dir:              opts.Dir,
+		Sched:            opts.Sched,
+		SchedClasses:     opts.SchedClasses,
+		AdaptiveDepth:    opts.AdaptiveDepth,
 		HostMemory:       opts.HostMemory,
 		LRSchedule:       opts.LRSchedule,
 		LossScale:        opts.LossScale,

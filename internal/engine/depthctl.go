@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ratel/internal/obs"
+)
+
+// This file is the adaptive pipeline-depth controller: a per-window
+// feedback loop that nudges the engine's *effective* activation I/O window
+// between 1 and the configured PipelineDepth, so mixed traffic converges to
+// the stall-free operating point instead of relying on a hand-tuned static
+// knob. The controller changes only how many transfers are in flight —
+// depth is timing, never values, so every effective depth is bit-identical
+// to every other (the same argument as Config.PipelineDepth itself).
+//
+// The control signals are the step's fetch-stall wait (backward blocked on
+// read-ahead misses: the window is too shallow) and its pool-stall count
+// (host staging exhausted waiting on write-behind: the window is too deep
+// for memory), plus — when span tracing is on — the flight window's
+// obs.Attribute verdict as a corroborating signal. The raise rule is the
+// window's fetch-wait *fraction of wall clock*, not the raw miss count:
+// the last block's fetch is launched at the backward boundary and so
+// always misses by a few microseconds even when the window is deep enough
+// — counting events would peg every configuration at the ceiling, while a
+// time fraction separates "backward is waiting on the SSD" from "the
+// channel hand-off lost a race". The raise threshold sits well under
+// obs.Attribute's 15% verdict bound so the controller reacts to stall
+// levels the postmortem verdict would still call healthy.
+
+// adaptiveDepthCeiling is the depth ceiling when AdaptiveDepth is enabled
+// without an explicit PipelineDepth: one more than the static default, so
+// the controller can find operating points the default knob cannot express.
+const adaptiveDepthCeiling = 4
+
+// DefaultDepthWindow is the controller's decision window in steps.
+const DefaultDepthWindow = 2
+
+// depthRaiseFraction is the fetch-wait share of a window's wall clock above
+// which the window is judged read-ahead-starved and the depth raised.
+const depthRaiseFraction = 0.02
+
+// depthController holds the feedback state. The effective depth is an
+// atomic so telemetry readers never race the step goroutine; every other
+// field is owned by the step goroutine (observe runs from noteStep).
+type depthController struct {
+	eff     atomic.Int32
+	ceiling int
+	window  int // steps per decision
+
+	// Current-window accumulators.
+	steps      int
+	fetchWait  time.Duration
+	wall       time.Duration
+	poolStalls int
+	winStart   time.Duration // tracer offset at window start
+
+	// Lifetime decision counts, for tests and postmortems.
+	windows, raises, lowers int
+}
+
+// newDepthController starts at depth 1 — the controller's first windows
+// probe upward from the cheapest window rather than down from the ceiling,
+// so a trace that never stalls never pays for unused in-flight buffers.
+func newDepthController(ceiling, window int) *depthController {
+	if window <= 0 {
+		window = DefaultDepthWindow
+	}
+	c := &depthController{ceiling: ceiling, window: window}
+	c.eff.Store(1)
+	return c
+}
+
+// depth is the effective pipeline depth in force right now.
+func (c *depthController) depth() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.eff.Load())
+}
+
+// observe folds one finished step's stall profile into the current window
+// and, at window boundaries, decides whether to move the effective depth.
+func (c *depthController) observe(fetchWait, wall time.Duration, poolStalls int, tr *obs.Tracer) {
+	c.fetchWait += fetchWait
+	c.wall += wall
+	c.poolStalls += poolStalls
+	c.steps++
+	if c.steps < c.window {
+		return
+	}
+	starved := c.wall > 0 && float64(c.fetchWait) > depthRaiseFraction*float64(c.wall)
+	raise := starved
+	lower := !starved && c.poolStalls > 0
+	if tr.Enabled() {
+		switch att := obs.Attribute(tr.Spans(), c.winStart, tr.Now()); att.Bound {
+		case obs.VerdictStalledReadhead:
+			raise = true
+		case obs.VerdictStalledOffload:
+			if !starved {
+				lower = true
+			}
+		}
+	}
+	eff := int(c.eff.Load())
+	switch {
+	case raise && eff < c.ceiling:
+		c.eff.Store(int32(eff + 1))
+		c.raises++
+	case lower && eff > 1:
+		c.eff.Store(int32(eff - 1))
+		c.lowers++
+	}
+	c.windows++
+	c.steps, c.poolStalls = 0, 0
+	c.fetchWait, c.wall = 0, 0
+	c.winStart = tr.Now()
+}
+
+// EffectiveDepth reports the activation I/O window currently in force: the
+// adaptive controller's choice when enabled, the resolved static depth
+// otherwise (0 = synchronous).
+func (e *Engine) EffectiveDepth() int {
+	if e.depthCtl != nil {
+		return e.depthCtl.depth()
+	}
+	return e.depth
+}
+
+// DepthDecisions reports the adaptive controller's lifetime decision
+// counts (all zero when AdaptiveDepth is off). For tests and diagnostics.
+func (e *Engine) DepthDecisions() (windows, raises, lowers int) {
+	if e.depthCtl == nil {
+		return 0, 0, 0
+	}
+	return e.depthCtl.windows, e.depthCtl.raises, e.depthCtl.lowers
+}

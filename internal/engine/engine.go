@@ -150,6 +150,26 @@ type Config struct {
 	// compute (for ablation benchmarks; values are unaffected either way).
 	// It subsumes the old DisablePrefetch knob: both directions degrade.
 	DisablePipeline bool
+	// Sched enables the NVMe transfer scheduler: duplex per-device queues
+	// with priority-class dequeue, so critical-path fetches stop queuing
+	// behind bulk write-behind and optimizer spills. Off, the array runs
+	// FCFS. Scheduling reorders I/O timing only — trajectories are
+	// bit-identical in both modes.
+	Sched bool
+	// SchedClasses, when non-empty, overrides the scheduler's priority
+	// order (see nvme.ParseClassOrder; default
+	// "fetch,opt-read,writeback,write-behind").
+	SchedClasses string
+	// AdaptiveDepth enables the pipeline-depth feedback controller: the
+	// effective read-ahead/write-behind window starts at 1 and moves
+	// between 1 and PipelineDepth per decision window, driven by fetch- and
+	// pool-stall counts (and the obs.Attribute verdict when tracing is on).
+	// With PipelineDepth zero the ceiling is adaptiveDepthCeiling. Depth is
+	// timing, never values.
+	AdaptiveDepth bool
+	// DepthWindow is the adaptive controller's decision window in steps;
+	// DefaultDepthWindow if zero.
+	DepthWindow int
 	// Tracer, when non-nil, records wall-clock spans for every training
 	// stage (forward/backward kernels, activation offload and prefetch,
 	// NVMe device I/O, CPU-optimizer chunks). Tracing never changes
@@ -197,10 +217,13 @@ type Engine struct {
 	blobLen int
 	// depth is the resolved activation I/O window (0 = synchronous); pipe is
 	// the write-behind offload pipeline, nil when depth is 0 (see
-	// pipeline.go). fetchCh/fetchLive are the per-block read-ahead result
-	// channels and their in-flight marks, preallocated so backward's launch
-	// path allocates no channels or maps per step.
+	// pipeline.go). depthCtl, when non-nil, adapts the *effective* window
+	// between 1 and depth (see depthctl.go). fetchCh/fetchLive are the
+	// per-block read-ahead result channels and their in-flight marks,
+	// preallocated so backward's launch path allocates no channels or maps
+	// per step.
 	depth     int
+	depthCtl  *depthController
 	pipe      *offloadPipeline
 	fetchCh   []chan error
 	fetchLive []bool
@@ -235,6 +258,11 @@ type Engine struct {
 	deferredBytesN  int64
 	stalenessPeakN  int
 	prefLaunchedN   int
+	// Per-step read-ahead telemetry: backward waits on fetches that missed
+	// their deadline. Owned by the step goroutine; the adaptive depth
+	// controller's raise signal.
+	fetchStallsN    int
+	fetchStallWaitN time.Duration
 
 	// Telemetry (see telemetry.go). tracer may be nil; ins instruments are
 	// detached no-ops when Config.Metrics is nil. flows and flight are
@@ -250,6 +278,7 @@ type Engine struct {
 	prevKernelParams int64
 	prevKernelBusy   time.Duration
 	prevSSD          nvme.Stats
+	prevSched        nvme.SchedStats
 
 	// Per-block data-movement counters, updated inside the hot
 	// forward/backward loops. Atomics rather than e.mu: the loops run once
@@ -302,6 +331,16 @@ func New(cfg Config) (*Engine, error) {
 	}
 	ncfg.Devices = cfg.Devices
 	ncfg.Dir = cfg.Dir
+	if cfg.Sched {
+		ncfg.Sched = true
+	}
+	if cfg.SchedClasses != "" {
+		order, err := nvme.ParseClassOrder(cfg.SchedClasses)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		ncfg.SchedOrder = order
+	}
 	a, err := nvme.Open(ncfg)
 	if err != nil {
 		return nil, err
@@ -332,9 +371,17 @@ func New(cfg Config) (*Engine, error) {
 	e.depth = cfg.PipelineDepth
 	if e.depth == 0 {
 		e.depth = DefaultPipelineDepth
+		if cfg.AdaptiveDepth {
+			// No explicit depth to respect: give the controller headroom to
+			// find operating points past the static default.
+			e.depth = adaptiveDepthCeiling
+		}
 	}
 	if cfg.DisablePipeline {
 		e.depth = 0
+	}
+	if cfg.AdaptiveDepth && e.depth > 0 {
+		e.depthCtl = newDepthController(e.depth, cfg.DepthWindow)
 	}
 	e.arena.init(e.depth + 1)
 	e.fetchCh = make([]chan error, len(m.Blocks))
@@ -854,6 +901,8 @@ func (e *Engine) resetOptSchedCounters() {
 	e.deferredBytesN = 0
 	e.stalenessPeakN = 0
 	e.prefLaunchedN = 0
+	e.fetchStallsN = 0
+	e.fetchStallWaitN = 0
 }
 
 // maybeDefer routes a group under async scheduling: important groups (and
@@ -993,6 +1042,13 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 		return 0, fwdDur, bwdDur, err
 	}
 	tr := e.tracer
+	// The effective activation I/O window for this step: the adaptive
+	// controller's current choice, or the static depth. Stable for the whole
+	// step — the controller only moves between steps (noteStep).
+	effDepth := e.depth
+	if e.depthCtl != nil {
+		effDepth = e.depthCtl.depth()
+	}
 
 	// ---------- Forward ----------
 	fwdStart := time.Now()
@@ -1042,6 +1098,13 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 					return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
 				}
 				e.pipe.submit(offloadJob{slot: slot, key: e.labels[i].actKey, label: e.labels[i].write, blob: blob, res: res})
+				if e.depthCtl != nil {
+					// Adaptive window: hold write-behind to the effective
+					// depth even though the ring could buffer more.
+					if err := e.pipe.limit(effDepth); err != nil {
+						return fail(fmt.Errorf("engine: offload block %d activations: %w", i, err))
+					}
+				}
 			} else {
 				// Synchronous fallback (DisablePipeline): host staging, then
 				// the NVMe store inline. Put borrows the blob only for the
@@ -1057,7 +1120,7 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 					sp.End()
 					return fail(fmt.Errorf("engine: host staging for block %d: %w", i, err))
 				}
-				if err := e.array.Put(e.labels[i].actKey, blob); err != nil {
+				if err := e.array.PutClass(e.labels[i].actKey, blob, nvme.ClassWriteBehind); err != nil {
 					sp.End()
 					res.Release()
 					return fail(fmt.Errorf("engine: offload block %d activations: %w", i, err))
@@ -1204,10 +1267,14 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 					// Read-ahead missed its deadline — backward is now blocked
 					// on the fetch. The wait lands on the stall lane so
 					// bottleneck attribution can tell "stalled-on-readahead"
-					// from plain NVMe-read occupancy.
+					// from plain NVMe-read occupancy, and is counted for the
+					// adaptive depth controller.
+					stallStart := time.Now()
 					sp = tr.StartSpan(obs.LaneStall, e.labels[i].fetchStall)
 					err = <-e.fetchCh[i]
 					sp.End()
+					e.fetchStallsN++
+					e.fetchStallWaitN += time.Since(stallStart)
 				}
 				e.fetchLive[i] = false
 			} else {
@@ -1251,8 +1318,9 @@ func (e *Engine) runBatch(tokens, targets [][]int, groups []nn.ParamGroup, submi
 			e.recomputedN.Add(1)
 		}
 		// Refill the read-ahead window now that block i's slot is consumed;
-		// these fetches overlap block i's backward compute.
-		for nextFetch >= i-e.depth && nextFetch >= 0 {
+		// these fetches overlap block i's backward compute. The window is the
+		// effective depth — the adaptive controller's choice when enabled.
+		for nextFetch >= i-effDepth && nextFetch >= 0 {
 			launch(nextFetch)
 			nextFetch--
 		}

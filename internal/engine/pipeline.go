@@ -73,8 +73,12 @@ type offloadPipeline struct {
 	stopOnce sync.Once
 
 	// Step-local accounting, owned by the engine's step goroutine.
+	// poolStalls is the subset of stalls caused by host-staging exhaustion
+	// (reserveStaged backpressure) — the adaptive depth controller's lower
+	// signal, kept separate from ring-slot waits.
 	outstanding int
 	stalls      int
+	poolStalls  int
 	stallWait   time.Duration
 	queuePeak   int
 }
@@ -112,7 +116,9 @@ func newOffloadPipeline(a *nvme.Array, tr *obs.Tracer, nslots, writers, maxJobs 
 func (p *offloadPipeline) writer() {
 	for j := range p.jobs {
 		start := p.tracer.Now()
-		err := p.array.Put(j.key, j.blob)
+		// Write-behind is the least urgent traffic class: a whole
+		// forward+backward separates the Put from the blob's next read.
+		err := p.array.PutClass(j.key, j.blob, nvme.ClassWriteBehind)
 		p.tracer.RecordSpan(obs.LaneOffload, j.label, start, p.tracer.Now())
 		j.res.Release()
 		p.slotTok[j.slot] <- struct{}{}
@@ -179,6 +185,24 @@ func (p *offloadPipeline) submit(j offloadJob) {
 	runtime.Gosched()
 }
 
+// limit drains in-flight write-behind until at most max jobs remain — the
+// adaptive depth controller's forward-side window. The waits are not
+// counted as stalls: they are imposed by the controller, not by flow
+// control, and counting them would teach the controller to read its own
+// throttling as congestion.
+func (p *offloadPipeline) limit(max int) error {
+	if p == nil {
+		return nil
+	}
+	var joined error
+	for p.outstanding > max {
+		if err := p.waitOne(); err != nil {
+			joined = errors.Join(joined, err)
+		}
+	}
+	return joined
+}
+
 // waitOne blocks until any in-flight write retires and returns its error —
 // the reservation-backpressure primitive: when the host pool is full, the
 // forward loop waits for one queued blob's staging footprint to be
@@ -215,6 +239,7 @@ func (p *offloadPipeline) resetStepCounters() {
 		return
 	}
 	p.stalls = 0
+	p.poolStalls = 0
 	p.stallWait = 0
 	p.queuePeak = 0
 }
@@ -252,6 +277,7 @@ func (e *Engine) reserveStaged(n int, stallLabel string) (*memctl.Reservation, e
 		werr := e.pipe.waitOne()
 		e.tracer.RecordSpan(obs.LaneStall, stallLabel, tstart, e.tracer.Now())
 		e.pipe.stalls++
+		e.pipe.poolStalls++
 		e.pipe.stallWait += time.Since(start)
 		if werr != nil {
 			return nil, werr

@@ -95,6 +95,18 @@ type StepMetrics struct {
 	OffloadStallWait time.Duration
 	// OffloadQueuePeak is the deepest the offload queue got this step.
 	OffloadQueuePeak int
+	// FetchStalls counts backward read-ahead misses (the compute loop
+	// blocked waiting for an activation fetch); FetchStallWait is the summed
+	// wait. Disjoint from OffloadStalls — this is the read direction.
+	FetchStalls    int
+	FetchStallWait time.Duration
+	// EffectiveDepth is the activation I/O window in force this step (the
+	// adaptive controller's choice when enabled, the static depth otherwise).
+	EffectiveDepth int
+	// Sched is the NVMe transfer scheduler's per-class step delta:
+	// dispatched stride items, their summed queue wait, and the cumulative
+	// queue-depth peak, indexed per nvme class / obs.SchedClassNames.
+	Sched obs.SchedSample
 	// Flow is the step's byte-flow ledger delta: bytes moved per
 	// (edge, purpose) cell during this step (see obs.FlowLedger).
 	Flow obs.FlowSnapshot
@@ -158,6 +170,23 @@ type instruments struct {
 	offloadStalls  *obs.Counter
 	offloadStallMS *obs.Gauge
 	offloadQueue   *obs.Gauge
+
+	// Read-ahead health and the adaptive window: cumulative fetch stalls,
+	// the last step's summed fetch wait, and the effective pipeline depth.
+	fetchStalls  *obs.Counter
+	fetchStallMS *obs.Gauge
+	pipelineEff  *obs.Gauge
+
+	// NVMe transfer-scheduler per-class health: last step's summed queue
+	// wait and the cumulative queue-depth peak, one pair per traffic class.
+	schedFetchWaitMS        *obs.Gauge
+	schedFetchQueuePeak     *obs.Gauge
+	schedOptReadWaitMS      *obs.Gauge
+	schedOptReadQueuePeak   *obs.Gauge
+	schedWritebackWaitMS    *obs.Gauge
+	schedWritebackQueuePk   *obs.Gauge
+	schedWriteBehindWaitMS  *obs.Gauge
+	schedWriteBehindQueuePk *obs.Gauge
 
 	// Optimizer-scheduling health (readiness/async modes): groups and bytes
 	// deferred to the background applier last step, the post-barrier peak
@@ -237,6 +266,19 @@ func makeInstruments(r *obs.Registry) instruments {
 		offloadStallMS: r.Gauge("engine.offload_stall_ms"),
 		offloadQueue:   r.Gauge("engine.offload_queue_peak"),
 
+		fetchStalls:  r.Counter("engine.fetch_stalls"),
+		fetchStallMS: r.Gauge("engine.fetch_stall_ms"),
+		pipelineEff:  r.Gauge("engine.pipeline_depth_effective"),
+
+		schedFetchWaitMS:        r.Gauge("nvme.sched_fetch_wait_ms"),
+		schedFetchQueuePeak:     r.Gauge("nvme.sched_fetch_queue_peak"),
+		schedOptReadWaitMS:      r.Gauge("nvme.sched_opt_read_wait_ms"),
+		schedOptReadQueuePeak:   r.Gauge("nvme.sched_opt_read_queue_peak"),
+		schedWritebackWaitMS:    r.Gauge("nvme.sched_writeback_wait_ms"),
+		schedWritebackQueuePk:   r.Gauge("nvme.sched_writeback_queue_peak"),
+		schedWriteBehindWaitMS:  r.Gauge("nvme.sched_write_behind_wait_ms"),
+		schedWriteBehindQueuePk: r.Gauge("nvme.sched_write_behind_queue_peak"),
+
 		optDeferredGroups:  r.Gauge("engine.opt_deferred_groups"),
 		optDeferredBytes:   r.Gauge("engine.opt_deferred_bytes"),
 		optStalenessPeak:   r.Gauge("engine.opt_staleness_peak"),
@@ -307,6 +349,22 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 		m.OffloadStallWait = e.pipe.stallWait
 		m.OffloadQueuePeak = e.pipe.queuePeak
 	}
+	m.FetchStalls = e.fetchStallsN
+	m.FetchStallWait = e.fetchStallWaitN
+	m.EffectiveDepth = e.EffectiveDepth()
+	// Per-class scheduler delta vs the previous step's cumulative snapshot.
+	// QueuePeak is the class's lifetime high-water mark — a peak can't be
+	// differenced, and the lifetime value is what a postmortem wants.
+	sched := e.array.SchedStats()
+	for c := range sched.PerClass {
+		cur, prev := sched.PerClass[c], e.prevSched.PerClass[c]
+		m.Sched[c] = obs.SchedClassDelta{
+			Dispatched: cur.Dispatched - prev.Dispatched,
+			Wait:       cur.Wait - prev.Wait,
+			QueuePeak:  cur.DepthPeak,
+		}
+	}
+	e.prevSched = sched
 	m.DeferredGroups = e.deferredGroupsN
 	m.DeferredBytes = e.deferredBytesN
 	m.StalenessPeak = e.stalenessPeakN
@@ -343,8 +401,22 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 		Tokens:         tokens,
 		Stalls:         int64(m.OffloadStalls),
 		StallWait:      m.OffloadStallWait,
+		FetchStalls:    int64(m.FetchStalls),
+		FetchStallWait: m.FetchStallWait,
+		EffectiveDepth: m.EffectiveDepth,
+		Sched:          m.Sched,
 		Flow:           m.Flow,
 	})
+
+	// Feed the adaptive depth controller after the record is cut, so the
+	// recorded EffectiveDepth is the one this step actually ran at.
+	if e.depthCtl != nil {
+		poolStalls := 0
+		if e.pipe != nil {
+			poolStalls = e.pipe.poolStalls
+		}
+		e.depthCtl.observe(m.FetchStallWait, m.Wall, poolStalls, e.tracer)
+	}
 
 	ins := &e.ins
 	ins.steps.Add(1)
@@ -368,6 +440,19 @@ func (e *Engine) noteStep(fwd, bwd, drain, wall time.Duration, tokens int) {
 	ins.offloadStalls.Add(int64(m.OffloadStalls))
 	ins.offloadStallMS.Set(float64(m.OffloadStallWait) / float64(time.Millisecond))
 	ins.offloadQueue.Set(float64(m.OffloadQueuePeak))
+
+	ins.fetchStalls.Add(int64(m.FetchStalls))
+	ins.fetchStallMS.Set(float64(m.FetchStallWait) / float64(time.Millisecond))
+	ins.pipelineEff.Set(float64(m.EffectiveDepth))
+
+	ins.schedFetchWaitMS.Set(float64(m.Sched[nvme.ClassCriticalFetch].Wait) / float64(time.Millisecond))
+	ins.schedFetchQueuePeak.Set(float64(m.Sched[nvme.ClassCriticalFetch].QueuePeak))
+	ins.schedOptReadWaitMS.Set(float64(m.Sched[nvme.ClassOptRead].Wait) / float64(time.Millisecond))
+	ins.schedOptReadQueuePeak.Set(float64(m.Sched[nvme.ClassOptRead].QueuePeak))
+	ins.schedWritebackWaitMS.Set(float64(m.Sched[nvme.ClassWriteback].Wait) / float64(time.Millisecond))
+	ins.schedWritebackQueuePk.Set(float64(m.Sched[nvme.ClassWriteback].QueuePeak))
+	ins.schedWriteBehindWaitMS.Set(float64(m.Sched[nvme.ClassWriteBehind].Wait) / float64(time.Millisecond))
+	ins.schedWriteBehindQueuePk.Set(float64(m.Sched[nvme.ClassWriteBehind].QueuePeak))
 
 	ins.optDeferredGroups.Set(float64(m.DeferredGroups))
 	ins.optDeferredBytes.Set(float64(m.DeferredBytes))

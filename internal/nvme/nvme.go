@@ -62,6 +62,21 @@ type Config struct {
 	// DeviceCapacity, when > 0, caps each device's allocated bytes; Put
 	// fails with ErrNoSpace when a chunk cannot be placed.
 	DeviceCapacity units.Bytes
+	// Sched enables the priority-aware transfer scheduler: duplex per-device
+	// queues (reads dispatch independently of writes), class-priority
+	// dequeue with anti-starvation aging, and coalescing of adjacent stripe
+	// submissions. Off, devices run a single FCFS queue — arrival order,
+	// reads behind writes — which is the contention baseline the scheduler
+	// exists to beat. Either way transfers complete before the API call
+	// returns, so stored data is identical in both modes.
+	Sched bool
+	// SchedOrder, when non-nil, overrides the dequeue priority (must name
+	// every class exactly once; see ParseClassOrder). Default:
+	// fetch > opt-read > writeback > write-behind.
+	SchedOrder []Class
+	// SchedAging bounds how long a low-priority transfer can be starved by
+	// higher classes before it is served anyway; DefaultSchedAging if zero.
+	SchedAging time.Duration
 }
 
 // ErrCorrupt is returned when a checksummed object fails verification.
@@ -69,6 +84,9 @@ var ErrCorrupt = errors.New("nvme: object corrupted")
 
 // ErrNoSpace is returned when a device's capacity is exhausted.
 var ErrNoSpace = errors.New("nvme: device full")
+
+// ErrClosed is returned by transfers issued after Close.
+var ErrClosed = errors.New("nvme: array closed")
 
 // device is one SSD: a backing store plus a chunk allocator. Chunks are
 // fixed-size so freeing is a free-list push.
@@ -81,7 +99,18 @@ type device struct {
 	// operations succeed (0 = immediately). See InjectFault/InjectFaultAfter.
 	fault      error
 	faultDelay int
-	busySlot   time.Time // throttle bookkeeping
+	// lanes are the device's dispatch queues, indexed laneRead/laneWrite.
+	// FCFS mode points both at one shared lane (reads queue behind writes);
+	// duplex mode gives each direction its own lane and dispatcher.
+	lanes [2]*ioLane
+}
+
+// laneFor picks the dispatch lane for a transfer direction.
+func (d *device) laneFor(write bool) *ioLane {
+	if write {
+		return d.lanes[laneWrite]
+	}
+	return d.lanes[laneRead]
 }
 
 // backend is the byte-addressed storage under a device.
@@ -117,7 +146,21 @@ type Array struct {
 	objs      map[string]object
 	nextRR    int // round-robin start device for the next object
 
-	hostMu sync.Mutex // serializes host-link throttle accounting
+	// Transfer-scheduler state: resolved mode, dequeue priority, aging
+	// bound, the dispatcher join group, and the recycled transfer headers.
+	schedOn    bool
+	classOrder []Class
+	aging      time.Duration
+	dispWG     sync.WaitGroup
+	xpool      xferPool
+	sched      [NumClasses]schedClassCounters
+
+	closeOnce sync.Once
+	closeErr  error
+
+	hostMu    sync.Mutex // serializes host-link throttle accounting
+	hostSlot  time.Time  // end of the host link's last modeled busy interval
+	hostCarry float64    // sub-nanosecond remainder of host-cap charges
 
 	tracer atomic.Pointer[obs.Tracer]     // optional wall-clock span recorder
 	obsv   atomic.Pointer[arrayObservers] // optional latency/flow instruments
@@ -224,10 +267,35 @@ func Open(cfg Config) (*Array, error) {
 	if cfg.Mirror && cfg.Devices < 2 {
 		return nil, fmt.Errorf("nvme: mirroring needs at least two devices, got %d", cfg.Devices)
 	}
+	order := cfg.SchedOrder
+	if order == nil {
+		order = DefaultSchedOrder()
+	} else {
+		if len(order) != NumClasses {
+			return nil, fmt.Errorf("nvme: sched order names %d classes, want %d", len(order), NumClasses)
+		}
+		var seen [NumClasses]bool
+		for _, c := range order {
+			if c >= NumClasses {
+				return nil, fmt.Errorf("nvme: sched order has invalid class %d", c)
+			}
+			if seen[c] {
+				return nil, fmt.Errorf("nvme: sched order names %q twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	aging := cfg.SchedAging
+	if aging == 0 {
+		aging = DefaultSchedAging
+	}
 	a := &Array{
 		cfg:         cfg,
 		objs:        make(map[string]object),
 		perDevBytes: make([]int64, cfg.Devices),
+		schedOn:     cfg.Sched,
+		classOrder:  order,
+		aging:       aging,
 	}
 	for i := 0; i < cfg.Devices; i++ {
 		var b backend
@@ -236,25 +304,59 @@ func Open(cfg Config) (*Array, error) {
 		} else {
 			f, err := os.OpenFile(filepath.Join(cfg.Dir, fmt.Sprintf("ssd%02d.dat", i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 			if err != nil {
+				if cerr := a.Close(); cerr != nil {
+					err = fmt.Errorf("%w (cleanup: %v)", err, cerr)
+				}
 				return nil, fmt.Errorf("nvme: open device %d: %w", i, err)
 			}
 			b = fileBackend{f}
 		}
-		a.devs = append(a.devs, &device{back: b})
+		d := &device{back: b}
+		if cfg.Sched {
+			d.lanes[laneRead] = newIOLane()
+			d.lanes[laneWrite] = newIOLane()
+		} else {
+			shared := newIOLane()
+			d.lanes[laneRead] = shared
+			d.lanes[laneWrite] = shared
+		}
+		a.devs = append(a.devs, d)
 		a.devLabels = append(a.devLabels, fmt.Sprintf("ssd%d", i))
+		for li, ln := range d.lanes {
+			if li == laneWrite && ln == d.lanes[laneRead] {
+				continue // FCFS: one dispatcher drives the shared lane
+			}
+			a.dispWG.Add(1)
+			go a.dispatch(ln)
+		}
 	}
 	return a, nil
 }
 
-// Close releases the backing stores.
+// Close drains and joins the per-device dispatchers, then releases the
+// backing stores. Transfers issued after Close fail with ErrClosed; Close
+// is idempotent.
 func (a *Array) Close() error {
-	var first error
-	for i, d := range a.devs {
-		if err := d.back.Close(); err != nil && first == nil {
-			first = fmt.Errorf("nvme: close device %d: %w", i, err)
+	a.closeOnce.Do(func() {
+		for _, d := range a.devs {
+			for li, ln := range d.lanes {
+				if ln == nil || (li == laneWrite && ln == d.lanes[laneRead]) {
+					continue
+				}
+				ln.mu.Lock()
+				ln.closed = true
+				ln.mu.Unlock()
+				ln.cond.Broadcast()
+			}
 		}
-	}
-	return first
+		a.dispWG.Wait()
+		for i, d := range a.devs {
+			if err := d.back.Close(); err != nil && a.closeErr == nil {
+				a.closeErr = fmt.Errorf("nvme: close device %d: %w", i, err)
+			}
+		}
+	})
+	return a.closeErr
 }
 
 // InjectFault makes device dev fail all subsequent I/O with err (nil clears
@@ -288,7 +390,17 @@ func (a *Array) InjectFaultAfter(dev, ops int, err error) {
 // swap path, where every block's blob has a fixed size. If the in-place
 // write fails partway, the stored object's contents are undefined (with
 // Checksums enabled, subsequent reads fail with ErrCorrupt).
+//
+// Put schedules as ClassWriteback; use PutClass to tag other traffic.
 func (a *Array) Put(key string, data []byte) error {
+	return a.PutClass(key, data, ClassWriteback)
+}
+
+// PutClass is Put with an explicit scheduler traffic class.
+func (a *Array) PutClass(key string, data []byte, class Class) error {
+	if class >= NumClasses {
+		return fmt.Errorf("nvme: put %q: invalid class %d", key, class)
+	}
 	a.mu.RLock()
 	old, ok := a.objs[key]
 	a.mu.RUnlock()
@@ -303,15 +415,13 @@ func (a *Array) Put(key string, data []byte) error {
 			opStart = time.Now()
 		}
 		sp := a.tracer.Load().StartSpan(obs.LaneNVMeWrite, key)
-		err := a.transfer(obj, data, true)
+		err := a.transfer(obj, data, true, class)
 		sp.End()
 		if err != nil {
 			return err
 		}
 		if o != nil {
-			if o != nil {
-				o.note(key, int64(len(data)), true, time.Since(opStart))
-			}
+			o.note(key, int64(len(data)), true, time.Since(opStart))
 		}
 		a.mu.Lock()
 		a.objs[key] = obj
@@ -371,7 +481,7 @@ func (a *Array) Put(key string, data []byte) error {
 		opStart = time.Now()
 	}
 	sp := a.tracer.Load().StartSpan(obs.LaneNVMeWrite, key)
-	if err := a.transfer(obj, data, true); err != nil {
+	if err := a.transfer(obj, data, true, class); err != nil {
 		sp.End()
 		a.releaseChunks(obj)
 		return err
@@ -398,7 +508,12 @@ func (a *Array) Put(key string, data []byte) error {
 // the borrowed-buffer protocol (ReadInto is the read half); pair it with
 // Buffers.Get so steady-state spills allocate nothing.
 func (a *Array) PutFrom(key string, data []byte) error {
-	err := a.Put(key, data)
+	return a.PutFromClass(key, data, ClassWriteback)
+}
+
+// PutFromClass is PutFrom with an explicit scheduler traffic class.
+func (a *Array) PutFromClass(key string, data []byte, class Class) error {
+	err := a.PutClass(key, data, class)
 	Buffers.Put(data)
 	return err
 }
@@ -422,8 +537,17 @@ func (a *Array) Has(key string) bool {
 	return ok
 }
 
-// Get reads the object stored under key.
+// Get reads the object stored under key. It schedules as
+// ClassCriticalFetch; use GetClass to tag other traffic.
 func (a *Array) Get(key string) ([]byte, error) {
+	return a.GetClass(key, ClassCriticalFetch)
+}
+
+// GetClass is Get with an explicit scheduler traffic class.
+func (a *Array) GetClass(key string, class Class) ([]byte, error) {
+	if class >= NumClasses {
+		return nil, fmt.Errorf("nvme: get %q: invalid class %d", key, class)
+	}
 	a.mu.RLock()
 	obj, ok := a.objs[key]
 	a.mu.RUnlock()
@@ -437,7 +561,7 @@ func (a *Array) Get(key string) ([]byte, error) {
 		opStart = time.Now()
 	}
 	sp := a.tracer.Load().StartSpan(obs.LaneNVMeRead, key)
-	if err := a.transfer(obj, dst, false); err != nil {
+	if err := a.transfer(obj, dst, false, class); err != nil {
 		sp.End()
 		return nil, err
 	}
@@ -469,8 +593,17 @@ func (a *Array) verify(key string, obj object, data []byte) error {
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ReadInto reads key into dst, which must have the object's exact size. It
-// avoids allocation on the engine's hot swap-in path.
+// avoids allocation on the engine's hot swap-in path, and schedules as
+// ClassCriticalFetch; use ReadIntoClass to tag other traffic.
 func (a *Array) ReadInto(key string, dst []byte) error {
+	return a.ReadIntoClass(key, dst, ClassCriticalFetch)
+}
+
+// ReadIntoClass is ReadInto with an explicit scheduler traffic class.
+func (a *Array) ReadIntoClass(key string, dst []byte, class Class) error {
+	if class >= NumClasses {
+		return fmt.Errorf("nvme: read %q: invalid class %d", key, class)
+	}
 	a.mu.RLock()
 	obj, ok := a.objs[key]
 	a.mu.RUnlock()
@@ -486,7 +619,7 @@ func (a *Array) ReadInto(key string, dst []byte) error {
 		opStart = time.Now()
 	}
 	sp := a.tracer.Load().StartSpan(obs.LaneNVMeRead, key)
-	if err := a.transfer(obj, dst, false); err != nil {
+	if err := a.transfer(obj, dst, false, class); err != nil {
 		sp.End()
 		return err
 	}
@@ -623,16 +756,19 @@ func (a *Array) chunkIO(dev int, off int64, p []byte, write bool) error {
 // fan-out; above it, parallel memcpy across devices is worth the spawns.
 const inlineTransferMax = 256 << 10
 
-// transfer moves all chunks of obj between buf and the devices, one worker
-// per device, applying the configured throttles.
+// transfer moves all chunks of obj between buf and the devices, applying
+// the configured throttles.
 //
 // Chunks are allocated round-robin, so chunk indexes congruent mod the
-// device count share a device: worker w phase-strides through indexes
-// w, w+D, w+2D, ... and owns exactly one device. This replaces the old
-// per-call device→indexes map (plus error channel and per-device index
-// slices) with one flat error slice — the only allocations left on the
-// per-transfer path are the goroutines themselves.
-func (a *Array) transfer(obj object, buf []byte, write bool) error {
+// device count share a device: stride w covers indexes w, w+D, w+2D, ...
+// and touches exactly one device. Timed transfers split into one stride
+// item per device, enqueued on the device's dispatch lane and executed by
+// its persistent dispatcher (see sched.go) — replacing the old per-call
+// goroutine spawn, so the steady-state path allocates nothing. Untimed
+// small transfers skip the queue entirely: without bandwidth or latency
+// sleeps there is no contention to schedule, and the dispatcher round-trip
+// buys nothing below ~memcpy scale.
+func (a *Array) transfer(obj object, buf []byte, write bool, class Class) error {
 	cur, peak := &a.readsInFlight, &a.peakReads
 	if write {
 		cur, peak = &a.writesInFlight, &a.peakWrites
@@ -660,76 +796,74 @@ func (a *Array) transfer(obj object, buf []byte, write bool) error {
 	if nchunks < workers {
 		workers = nchunks
 	}
-	// Small transfers with no device timing modeled run their per-device
-	// strides inline, sequentially: without bandwidth or latency sleeps the
-	// goroutine fan-out buys nothing below ~memcpy scale, and the spawn plus
-	// error-slice churn dominates the steady-state allocation profile. With
-	// throttling on, workers must overlap their sleeps (that is the RAID-0
-	// speedup being modeled), so the parallel path stays.
-	inline := workers == 1 ||
-		(bw <= 0 && a.cfg.OpLatency <= 0 && obj.size <= inlineTransferMax)
-	if inline {
+	if bw <= 0 && a.cfg.OpLatency <= 0 && (workers == 1 || obj.size <= inlineTransferMax) {
 		for w := 0; w < workers; w++ {
-			if err := a.transferWorker(obj, buf, write, w, bw, lane, tr); err != nil {
+			if err := a.runStrideInline(obj, buf, write, w, lane, tr); err != nil {
 				return err
 			}
 		}
 		a.throttleHost(obj.size)
 		return nil
 	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
+	x := a.xpool.get(ndevs)
+	x.a, x.obj, x.buf, x.write = a, obj, buf, write
+	x.class, x.bw, x.lane, x.tr = class, bw, lane, tr
+	x.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			errs[w] = a.transferWorker(obj, buf, write, w, bw, lane, tr)
-		}(w)
+		it := &x.items[w]
+		it.x = x
+		it.w = w
+		a.enqueue(a.devs[obj.chunks[w].dev].laneFor(write), it)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	x.wg.Wait()
+	err := x.err
+	a.xpool.put(x)
+	if err != nil {
+		return err
 	}
 	a.throttleHost(obj.size)
 	return nil
 }
 
-// transferWorker moves the chunks of one phase-stride class (indexes
-// congruent to w mod device count — all on one device) between buf and the
-// backing store.
-func (a *Array) transferWorker(obj object, buf []byte, write bool, w int, bw units.BytesPerSecond, lane string, tr *obs.Tracer) error {
+// runStrideInline moves one device stride synchronously on the caller's
+// goroutine — the untimed fast path, where no throttle charges apply.
+func (a *Array) runStrideInline(obj object, buf []byte, write bool, w int, lane string, tr *obs.Tracer) error {
 	dev := obj.chunks[w].dev
 	devSpan := tr.StartSpan(lane, a.devLabels[dev])
 	defer devSpan.End()
-	d := a.devs[dev]
 	ndevs := len(a.devs)
 	stripe := a.cfg.StripeSize
 	var devBytes int64
 	for i := w; i < len(obj.chunks); i += ndevs {
 		c := obj.chunks[i]
-		p := buf[i*stripe : i*stripe+c.n]
-		err := a.chunkIO(c.dev, c.off, p, write)
-		switch {
-		case err != nil && !write && c.mirrorDev >= 0:
-			// RAID-1 read fallback.
-			if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, false); merr != nil {
-				return fmt.Errorf("nvme: primary failed (%v) and mirror failed: %w", err, merr)
-			}
-		case err != nil:
+		if err := a.chunkIOMirrored(c, buf[i*stripe:i*stripe+c.n], write); err != nil {
 			return err
-		case write && c.mirrorDev >= 0:
-			if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, true); merr != nil {
-				return fmt.Errorf("nvme: mirror write: %w", merr)
-			}
 		}
 		devBytes += int64(c.n)
-		a.throttleDevice(d, c.n, bw)
 	}
 	a.statMu.Lock()
 	a.perDevBytes[dev] += devBytes
 	a.statMu.Unlock()
+	return nil
+}
+
+// chunkIOMirrored performs one chunk's I/O with the RAID-1 semantics: reads
+// fall back to the mirror when the primary fails; writes propagate to the
+// mirror after the primary succeeds.
+func (a *Array) chunkIOMirrored(c chunkRef, p []byte, write bool) error {
+	err := a.chunkIO(c.dev, c.off, p, write)
+	switch {
+	case err != nil && !write && c.mirrorDev >= 0:
+		if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, false); merr != nil {
+			return fmt.Errorf("nvme: primary failed (%v) and mirror failed: %w", err, merr)
+		}
+	case err != nil:
+		return err
+	case write && c.mirrorDev >= 0:
+		if merr := a.chunkIO(c.mirrorDev, c.mirrorOff, p, true); merr != nil {
+			return fmt.Errorf("nvme: mirror write: %w", merr)
+		}
+	}
 	return nil
 }
 
@@ -745,39 +879,30 @@ func inflightEnter(cur, peak *atomic.Int64) {
 	}
 }
 
-// throttleDevice sleeps so a device sustains at most bw, plus the per-op
-// access latency.
-func (a *Array) throttleDevice(d *device, n int, bw units.BytesPerSecond) {
-	if bw <= 0 && a.cfg.OpLatency <= 0 {
+// throttleHost enforces the aggregate host-link cap with the same
+// slot+carry model as the device lanes: the busy interval is advanced under
+// the lock but the sleep happens outside it, so concurrent transfers pace
+// against shared accounting instead of serializing on each other's sleeps,
+// and the fractional-nanosecond carry keeps streams of tiny transfers from
+// rounding down to free.
+func (a *Array) throttleHost(n int) {
+	if a.cfg.HostCap <= 0 || n <= 0 {
 		return
 	}
-	var dur time.Duration
-	if bw > 0 {
-		dur = units.TransferDuration(units.Bytes(n), bw)
-	}
-	dur += a.cfg.OpLatency
-	d.mu.Lock()
+	a.hostMu.Lock()
+	total := a.hostCarry + units.TransferNanos(units.Bytes(n), a.cfg.HostCap)
+	dur := time.Duration(total)
+	a.hostCarry = total - float64(dur)
 	now := time.Now()
-	if d.busySlot.Before(now) {
-		d.busySlot = now
+	if a.hostSlot.Before(now) {
+		a.hostSlot = now
 	}
-	d.busySlot = d.busySlot.Add(dur)
-	wait := time.Until(d.busySlot)
-	d.mu.Unlock()
+	a.hostSlot = a.hostSlot.Add(dur)
+	wait := a.hostSlot.Sub(now)
+	a.hostMu.Unlock()
 	if wait > 0 {
 		time.Sleep(wait)
 	}
-}
-
-// throttleHost enforces the aggregate host-link cap.
-func (a *Array) throttleHost(n int) {
-	if a.cfg.HostCap <= 0 {
-		return
-	}
-	dur := units.TransferDuration(units.Bytes(n), a.cfg.HostCap)
-	a.hostMu.Lock()
-	time.Sleep(dur)
-	a.hostMu.Unlock()
 }
 
 // memBackend is a growable in-memory device.

@@ -35,6 +35,21 @@ type StepRecord struct {
 	Stalls    int64         // pipeline stall events this step
 	StallWait time.Duration // time spent in those stalls
 
+	// FetchStalls / FetchStallWait isolate the read-ahead misses (backward
+	// blocked on an activation fetch) from the write-behind backpressure
+	// counted in Stalls — the signal the adaptive depth controller and
+	// postmortems key on.
+	FetchStalls    int64
+	FetchStallWait time.Duration
+
+	// EffectiveDepth is the pipeline depth in force during the step (equal
+	// to the configured depth when the adaptive controller is off).
+	EffectiveDepth int
+
+	// Sched is the NVMe transfer scheduler's per-class activity this step
+	// (zero when the array ran unscheduled or saw no queued traffic).
+	Sched SchedSample
+
 	Flow FlowSnapshot // ledger delta for this step
 }
 

@@ -1,0 +1,40 @@
+package obs
+
+import "time"
+
+// Per-class NVMe scheduler telemetry. The transfer classes live in
+// internal/nvme (Class constants); obs mirrors only the count and the
+// canonical snake_case names so the flight recorder and the metric
+// exporters can carry per-class samples without importing the storage
+// layer. nvme pins the two counts equal with a compile-time assertion.
+
+// SchedClassCount is the number of transfer priority classes.
+const SchedClassCount = 4
+
+// SchedClassNames are the canonical per-class telemetry names, indexed by
+// class value (critical-path fetch, optimizer-state read, grad/state
+// writeback, write-behind activation offload).
+var SchedClassNames = [SchedClassCount]string{"fetch", "opt_read", "writeback", "write_behind"}
+
+// SchedClassDelta is one step's scheduler activity for one class: transfers
+// dispatched, their summed queue wait, and the class's cumulative queue
+// depth high-water mark.
+type SchedClassDelta struct {
+	Dispatched int64
+	Wait       time.Duration
+	QueuePeak  int64
+}
+
+// SchedSample is a per-class scheduler snapshot carried on a StepRecord.
+type SchedSample [SchedClassCount]SchedClassDelta
+
+// Active reports whether any class saw traffic (the zero value means the
+// scheduler was off or idle, and dumps omit the block).
+func (s SchedSample) Active() bool {
+	for _, c := range s {
+		if c.Dispatched != 0 || c.Wait != 0 || c.QueuePeak != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ratel/internal/nn"
+	"ratel/internal/nvme"
 	"ratel/internal/obs"
 	"ratel/internal/tensor"
 	"ratel/internal/tensor/pool"
@@ -107,6 +108,20 @@ type ReadIntoStore interface {
 	ReadInto(key string, dst []byte) error
 }
 
+// classedStore / classedReadStore are the optional traffic-classed paths:
+// stores backed by the NVMe transfer scheduler (*nvme.Array) expose them so
+// the optimizer's state streams carry their true priority — reads ahead of
+// the Adam sweep are latency-sensitive (ClassOptRead), state writebacks are
+// not (ClassWriteback). Stores without classes (MemStore) fall back to the
+// plain Put/ReadInto paths; the bytes moved are identical either way.
+type classedStore interface {
+	PutClass(key string, data []byte, class nvme.Class) error
+}
+
+type classedReadStore interface {
+	ReadIntoClass(key string, dst []byte, class nvme.Class) error
+}
+
 // MemStore is an in-memory Store for tests and the in-memory reference
 // optimizer.
 type MemStore map[string][]byte
@@ -146,7 +161,9 @@ func (s MemStore) ReadInto(key string, dst []byte) error {
 type OutOfCoreAdam struct {
 	cfg       AdamConfig
 	store     Store
-	readInto  ReadIntoStore // store's optional in-place read path, nil if absent
+	readInto  ReadIntoStore    // store's optional in-place read path, nil if absent
+	putClass  classedStore     // store's optional classed write path, nil if absent
+	readClass classedReadStore // store's optional classed read path, nil if absent
 	prefix    string
 	step      int
 	gradScale float64 // loss-scale divisor; 0 or 1 means unscaled
@@ -230,6 +247,8 @@ func (o *OutOfCoreAdam) SetClipNorm(n float64) error {
 func NewOutOfCoreAdam(store Store, cfg AdamConfig, prefix string) *OutOfCoreAdam {
 	o := &OutOfCoreAdam{cfg: cfg, store: store, prefix: prefix}
 	o.readInto, _ = store.(ReadIntoStore)
+	o.putClass, _ = store.(classedStore)
+	o.readClass, _ = store.(classedReadStore)
 	return o
 }
 
@@ -469,7 +488,13 @@ func decodeWire(src []byte, dst []float32, group, kind string) error {
 // 4*len(dst) bytes).
 func (o *OutOfCoreAdam) loadFP32Into(dst []float32, buf []byte, key, group, kind string) error {
 	if o.readInto != nil {
-		if err := o.readInto.ReadInto(key, buf); err != nil {
+		var err error
+		if o.readClass != nil {
+			err = o.readClass.ReadIntoClass(key, buf, nvme.ClassOptRead)
+		} else {
+			err = o.readInto.ReadInto(key, buf)
+		}
+		if err != nil {
 			return fmt.Errorf("opt: load %s/%s: %w", group, kind, err)
 		}
 		if err := tensor.FromFP32Bytes(buf, dst); err != nil {
@@ -492,6 +517,9 @@ func (o *OutOfCoreAdam) loadFP32Into(dst []float32, buf []byte, key, group, kind
 func (o *OutOfCoreAdam) saveFP32(buf []byte, key string, vals []float32) error {
 	if err := tensor.ToFP32BytesInto(buf, vals); err != nil {
 		return err
+	}
+	if o.putClass != nil {
+		return o.putClass.PutClass(key, buf, nvme.ClassWriteback)
 	}
 	return o.store.Put(key, buf)
 }

@@ -256,7 +256,13 @@ func (p *StatePrefetcher) fetch(f *stateFetch) error {
 // path.
 func (p *StatePrefetcher) readOne(key string, dst []byte, group, kind string) error {
 	if p.o.readInto != nil {
-		if err := p.o.readInto.ReadInto(key, dst); err != nil {
+		var err error
+		if p.o.readClass != nil {
+			err = p.o.readClass.ReadIntoClass(key, dst, nvme.ClassOptRead)
+		} else {
+			err = p.o.readInto.ReadInto(key, dst)
+		}
+		if err != nil {
 			return fmt.Errorf("opt: prefetch %s/%s: %w", group, kind, err)
 		}
 		return nil

@@ -27,6 +27,14 @@ const (
 	PCIeM2G    ResourceID = "pcie-m2g" // main memory -> GPU DMA direction
 	SSDBus     ResourceID = "ssd"      // simplex host <-> SSD-array path
 	CPUAdam    ResourceID = "cpu-adam" // out-of-core optimizer threads
+
+	// SSDRead / SSDWrite are the duplex SSD-array model: independent read
+	// and write paths, matching the NVMe transfer scheduler's per-device
+	// duplex lanes (consumer drives sustain reads and writes concurrently
+	// at asymmetric rates). Schedules use either SSDBus or the duplex pair,
+	// never both.
+	SSDRead  ResourceID = "ssd-read"  // host <- SSD-array read path
+	SSDWrite ResourceID = "ssd-write" // host -> SSD-array write path
 )
 
 // Task is one unit of work on one resource.

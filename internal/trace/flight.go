@@ -20,17 +20,32 @@ import (
 // FlightStep is the serialized form of one obs.StepRecord: durations in
 // nanoseconds, flow deltas as nested maps keyed by edge then purpose name.
 type FlightStep struct {
-	Step      int              `json:"step"`
-	StartNS   int64            `json:"start_ns"`
-	EndNS     int64            `json:"end_ns"`
-	WallNS    int64            `json:"wall_ns"`
-	ForwardNS int64            `json:"forward_ns"`
-	BackwrdNS int64            `json:"backward_ns"`
-	DrainNS   int64            `json:"optimizer_drain_ns"`
-	Tokens    int              `json:"tokens"`
-	Stalls    int64            `json:"offload_stalls"`
-	StallNS   int64            `json:"offload_stall_wait_ns"`
-	FlowBytes map[string]int64 `json:"flow_bytes"`
+	Step      int   `json:"step"`
+	StartNS   int64 `json:"start_ns"`
+	EndNS     int64 `json:"end_ns"`
+	WallNS    int64 `json:"wall_ns"`
+	ForwardNS int64 `json:"forward_ns"`
+	BackwrdNS int64 `json:"backward_ns"`
+	DrainNS   int64 `json:"optimizer_drain_ns"`
+	Tokens    int   `json:"tokens"`
+	Stalls    int64 `json:"offload_stalls"`
+	StallNS   int64 `json:"offload_stall_wait_ns"`
+	// Fetch stalls (backward blocked on a read-ahead miss) are broken out
+	// from the write-behind stalls above; EffDepth is the pipeline depth in
+	// force (varies per step under the adaptive controller).
+	FetchStalls  int64                     `json:"fetch_stalls"`
+	FetchStallNS int64                     `json:"fetch_stall_wait_ns"`
+	EffDepth     int                       `json:"effective_depth"`
+	Sched        map[string]FlightSchedRow `json:"sched,omitempty"`
+	FlowBytes    map[string]int64          `json:"flow_bytes"`
+}
+
+// FlightSchedRow is one traffic class's scheduler activity in a step:
+// transfers dispatched, total queue wait, and the lifetime queue-depth peak.
+type FlightSchedRow struct {
+	Dispatched int64 `json:"dispatched"`
+	WaitNS     int64 `json:"wait_ns"`
+	QueuePeak  int64 `json:"queue_peak"`
 }
 
 // FlightDump is the top-level postmortem document.
@@ -60,20 +75,44 @@ func flowMap(s obs.FlowSnapshot) map[string]int64 {
 	return m
 }
 
+// schedMap flattens a scheduler sample to its active classes, keyed by the
+// canonical snake_case class names.
+func schedMap(s obs.SchedSample) map[string]FlightSchedRow {
+	if !s.Active() {
+		return nil
+	}
+	m := make(map[string]FlightSchedRow, obs.SchedClassCount)
+	for c, d := range s {
+		if d.Dispatched == 0 && d.Wait == 0 && d.QueuePeak == 0 {
+			continue
+		}
+		m[obs.SchedClassNames[c]] = FlightSchedRow{
+			Dispatched: d.Dispatched,
+			WaitNS:     int64(d.Wait),
+			QueuePeak:  d.QueuePeak,
+		}
+	}
+	return m
+}
+
 // flightStep converts one ring record.
 func flightStep(r obs.StepRecord) FlightStep {
 	return FlightStep{
-		Step:      r.Step,
-		StartNS:   int64(r.Start),
-		EndNS:     int64(r.End),
-		WallNS:    int64(r.Wall),
-		ForwardNS: int64(r.Forward),
-		BackwrdNS: int64(r.Backward),
-		DrainNS:   int64(r.OptimizerDrain),
-		Tokens:    r.Tokens,
-		Stalls:    r.Stalls,
-		StallNS:   int64(r.StallWait),
-		FlowBytes: flowMap(r.Flow),
+		Step:         r.Step,
+		StartNS:      int64(r.Start),
+		EndNS:        int64(r.End),
+		WallNS:       int64(r.Wall),
+		ForwardNS:    int64(r.Forward),
+		BackwrdNS:    int64(r.Backward),
+		DrainNS:      int64(r.OptimizerDrain),
+		Tokens:       r.Tokens,
+		Stalls:       r.Stalls,
+		StallNS:      int64(r.StallWait),
+		FetchStalls:  r.FetchStalls,
+		FetchStallNS: int64(r.FetchStallWait),
+		EffDepth:     r.EffectiveDepth,
+		Sched:        schedMap(r.Sched),
+		FlowBytes:    flowMap(r.Flow),
 	}
 }
 
@@ -140,6 +179,10 @@ func ReadFlightDump(r io.Reader) (FlightDump, error) {
 			valid[flowKey(e, p)] = true
 		}
 	}
+	classes := make(map[string]bool, obs.SchedClassCount)
+	for _, n := range obs.SchedClassNames {
+		classes[n] = true
+	}
 	for i, s := range d.Steps {
 		if i > 0 && s.Step <= d.Steps[i-1].Step {
 			return FlightDump{}, fmt.Errorf("flight dump: steps out of order at index %d", i)
@@ -147,6 +190,11 @@ func ReadFlightDump(r io.Reader) (FlightDump, error) {
 		for k := range s.FlowBytes {
 			if !valid[k] {
 				return FlightDump{}, fmt.Errorf("flight dump: unknown flow key %q", k)
+			}
+		}
+		for k := range s.Sched {
+			if !classes[k] {
+				return FlightDump{}, fmt.Errorf("flight dump: unknown sched class %q", k)
 			}
 		}
 	}

@@ -101,6 +101,18 @@ func TransferDuration(b Bytes, bw BytesPerSecond) time.Duration {
 	return TransferTime(b, bw).Duration()
 }
 
+// TransferNanos is the exact, fractional nanosecond cost of moving b bytes
+// at bw. The NVMe throttles carry the sub-nanosecond remainder between
+// charges: TransferDuration truncates to a whole nanosecond, which rounds a
+// 1-byte chunk at 6.5 GB/s (0.15 ns) — and, accumulated, any stream of
+// sub-microsecond transfers — down to free. Callers guard bw > 0.
+func TransferNanos(b Bytes, bw BytesPerSecond) float64 {
+	if b <= 0 || bw <= 0 {
+		return 0
+	}
+	return float64(b) / float64(bw) * float64(time.Second)
+}
+
 // FLOPs is a floating-point operation count.
 type FLOPs float64
 
